@@ -1,0 +1,17 @@
+//! # snap-baseline — comparator engines for the SNAP-1 evaluation
+//!
+//! The paper's Fig. 15 compares SNAP-1 against marker propagation on the
+//! CM-2. [`Cm2`] reproduces that comparator: a lockstep SIMD machine with
+//! 65 536 single-bit PEs whose controller must iterate with the array on
+//! every propagation step. It shares the instruction semantics of
+//! [`snap_core`], so its logical results are identical and only its
+//! timing differs.
+//!
+//! (The uniprocessor baseline is [`snap_core::EngineKind::Sequential`].)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cm2;
+
+pub use cm2::{Cm2, Cm2Cost, Cm2Report};

@@ -1,0 +1,75 @@
+//! Criterion end-to-end benchmarks: whole-machine runs of the paper's
+//! workloads (simulator wall-clock, not simulated time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snap_baseline::Cm2;
+use snap_bench::workloads::{alpha_network, alpha_program};
+use snap_core::{EngineKind, Snap1};
+use snap_nlu::{hierarchy, inheritance_program, DomainSpec, MemoryBasedParser, SentenceGenerator};
+
+fn bench_parse(c: &mut Criterion) {
+    let kb = DomainSpec::sized(3_000).build().unwrap();
+    let parser = MemoryBasedParser::new(&kb);
+    let mut generator = SentenceGenerator::new(&kb, 42);
+    let sentence = generator.generate(18);
+    let machine = Snap1::builder().clusters(8).build();
+    c.bench_function("parse/18_words_3k_kb_des", |b| {
+        b.iter(|| {
+            let mut net = kb.network.clone();
+            parser.parse(&mut net, &machine, &sentence).unwrap()
+        })
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_walk_256");
+    let program = alpha_program();
+    for engine in [EngineKind::Sequential, EngineKind::Des, EngineKind::Threaded] {
+        group.bench_with_input(
+            BenchmarkId::new("engine", format!("{engine:?}")),
+            &engine,
+            |b, &engine| {
+                let machine = Snap1::builder().clusters(8).engine(engine).build();
+                b.iter(|| {
+                    let mut net = alpha_network(256, 8).unwrap();
+                    machine.run(&mut net, &program).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inheritance(c: &mut Criterion) {
+    let workload = hierarchy(1_600, 4).unwrap();
+    let program = inheritance_program(workload.root);
+    let snap = Snap1::new();
+    let cm2 = Cm2::new();
+    let mut group = c.benchmark_group("inheritance_1600");
+    group.bench_function("snap1_des", |b| {
+        b.iter(|| {
+            let mut net = workload.network.clone();
+            snap.run(&mut net, &program).unwrap()
+        })
+    });
+    group.bench_function("cm2", |b| {
+        b.iter(|| {
+            let mut net = workload.network.clone();
+            cm2.run(&mut net, &program).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_kb_build(c: &mut Criterion) {
+    c.bench_function("domain_kb/build_3k", |b| {
+        b.iter(|| DomainSpec::sized(3_000).build().unwrap())
+    });
+}
+
+criterion_group! {
+    name = machine;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parse, bench_engines, bench_inheritance, bench_kb_build
+}
+criterion_main!(machine);

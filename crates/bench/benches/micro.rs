@@ -1,0 +1,143 @@
+//! Criterion micro-benchmarks of the substrate primitives: the
+//! operations the cost model charges for, so the simulator's inner
+//! loops themselves stay fast.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use snap_kb::{
+    Color, Marker, MarkerState, NetworkConfig, NodeId, Partition, PartitionScheme, RelationType,
+    SemanticNetwork, StatusRow,
+};
+use snap_net::HypercubeTopology;
+use snap_sync::TieredSyncModel;
+
+fn chain_network(n: usize) -> SemanticNetwork {
+    let mut net = SemanticNetwork::new(NetworkConfig::default());
+    for _ in 0..n {
+        net.add_node(Color(0)).unwrap();
+    }
+    for i in 0..n - 1 {
+        net.add_link(NodeId(i as u32), RelationType(1), 1.0, NodeId(i as u32 + 1))
+            .unwrap();
+    }
+    net
+}
+
+fn bench_status_words(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marker_status");
+    for &nodes in &[1_024usize, 32_768] {
+        group.bench_with_input(BenchmarkId::new("and", nodes), &nodes, |b, &n| {
+            let mut a = StatusRow::new(n);
+            let mut x = StatusRow::new(n);
+            for i in (0..n).step_by(3) {
+                a.set(NodeId(i as u32));
+            }
+            for i in (0..n).step_by(5) {
+                x.set(NodeId(i as u32));
+            }
+            let mut out = StatusRow::new(n);
+            b.iter(|| out.assign_and(&a, &x));
+        });
+        group.bench_with_input(BenchmarkId::new("iter_set_bits", nodes), &nodes, |b, &n| {
+            let mut a = StatusRow::new(n);
+            for i in (0..n).step_by(7) {
+                a.set(NodeId(i as u32));
+            }
+            b.iter(|| a.iter().count());
+        });
+    }
+    group.finish();
+}
+
+fn bench_relation_search(c: &mut Criterion) {
+    let net = chain_network(4_096);
+    c.bench_function("relation_table/links_by", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..4_095u32 {
+                total += net.links_by(NodeId(i), RelationType(1)).count();
+            }
+            total
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = HypercubeTopology::snap1();
+    c.bench_function("hypercube/route_all_pairs", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for s in 0..32u8 {
+                for d in 0..32u8 {
+                    hops += topo
+                        .route(snap_kb::ClusterId(s), snap_kb::ClusterId(d))
+                        .len();
+                }
+            }
+            hops
+        })
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let net = chain_network(8_192);
+    let mut group = c.benchmark_group("partition");
+    for scheme in [
+        PartitionScheme::Sequential,
+        PartitionScheme::RoundRobin,
+        PartitionScheme::Semantic,
+    ] {
+        group.bench_function(format!("{scheme:?}"), |b| {
+            b.iter(|| Partition::build(&net, 16, scheme))
+        });
+    }
+    group.finish();
+}
+
+fn bench_marker_state(c: &mut Criterion) {
+    c.bench_function("marker_state/set_value_1k", |b| {
+        b.iter_batched(
+            || MarkerState::new(1_024, 64, 64),
+            |mut st| {
+                for i in 0..1_024u32 {
+                    st.set_value(
+                        Marker::complex(3),
+                        NodeId(i),
+                        snap_kb::MarkerValue {
+                            value: i as f32,
+                            origin: NodeId(0),
+                        },
+                    )
+                    .unwrap();
+                }
+                st
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sync(c: &mut Criterion) {
+    c.bench_function("tiered_sync/create_consume_check", |b| {
+        let mut sync = TieredSyncModel::new(72);
+        b.iter(|| {
+            for level in 0..16u8 {
+                sync.created(level);
+            }
+            for level in 0..16u8 {
+                sync.consumed(level);
+            }
+            sync.is_complete()
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_status_words,
+    bench_relation_search,
+    bench_routing,
+    bench_partition,
+    bench_marker_state,
+    bench_sync
+);
+criterion_main!(micro);

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 6 of the paper. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = snap_bench::output::quick_requested();
+    let out = snap_bench::experiments::fig06::run(quick);
+    out.print();
+    let dir = snap_bench::output::results_dir();
+    let files = out.save(&dir).expect("write results");
+    eprintln!("wrote {} file(s) under {}", files.len(), dir.display());
+}

@@ -1,0 +1,11 @@
+//! Projects the SNAP-1 / CM-2 comparison to the paper's million-concept
+//! design target. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = snap_bench::output::quick_requested();
+    let out = snap_bench::experiments::projection::run(quick);
+    out.print();
+    let dir = snap_bench::output::results_dir();
+    let files = out.save(&dir).expect("write results");
+    eprintln!("wrote {} file(s) under {}", files.len(), dir.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates every table and figure of the evaluation into `results/`.
+//! Pass `--quick` for a reduced smoke run.
+
+fn main() {
+    let quick = snap_bench::output::quick_requested();
+    let dir = snap_bench::output::results_dir();
+    for out in snap_bench::experiments::run_all(quick) {
+        out.print();
+        out.save(&dir).expect("write results");
+    }
+    eprintln!("all experiment outputs written under {}", dir.display());
+}

@@ -1,0 +1,11 @@
+//! Validates the Table I design requirements on the running machine.
+//! Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = snap_bench::output::quick_requested();
+    let out = snap_bench::experiments::table1::run(quick);
+    out.print();
+    let dir = snap_bench::output::results_dir();
+    let files = out.save(&dir).expect("write results");
+    eprintln!("wrote {} file(s) under {}", files.len(), dir.display());
+}

@@ -1,0 +1,30 @@
+//! # snap-bench — regenerating the SNAP-1 evaluation
+//!
+//! One experiment module per table and figure of Section IV, each
+//! producing printable tables and TSV series. The binaries in
+//! `src/bin/` are thin wrappers; `run_all` regenerates everything into
+//! `results/`.
+//!
+//! | ID | Paper artifact | Module |
+//! |----|----------------|--------|
+//! | Fig. 6 | instruction frequency vs time, single PE | [`experiments::fig06`] |
+//! | Fig. 8 | marker traffic per synchronization point | [`experiments::fig08`] |
+//! | Table III/IV | MUC-4 sentence parse times | [`experiments::table4`] |
+//! | Fig. 15 | inheritance: SNAP-1 vs CM-2 | [`experiments::fig15`] |
+//! | Fig. 16 | speedup vs processors for α | [`experiments::fig16`] |
+//! | Fig. 17 | speedup vs β | [`experiments::fig17`] |
+//! | Fig. 18 | instruction profile vs cluster count | [`experiments::fig18`] |
+//! | Fig. 19 | instruction profile vs KB size | [`experiments::fig19`] |
+//! | Fig. 20 | propagation counts vs KB size | [`experiments::fig20`] |
+//! | Fig. 21 | parallel overhead components | [`experiments::fig21`] |
+//! | §IV text | β statistics of PASS/DMSNAP analogues | [`experiments::beta`] |
+//! | ablations | tiered sync, partitioning, topology | [`experiments::ablations`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+pub mod workloads;
+
+pub use output::ExperimentOutput;

@@ -1,0 +1,144 @@
+//! Experiment output container: print to stdout, save to `results/`.
+
+use snap_stats::Table;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The rendered output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Short identifier, e.g. `fig16`.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Captioned tables, in presentation order.
+    pub tables: Vec<(String, Table)>,
+    /// Free-form notes (shape checks, paper comparison).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Creates an empty output.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        ExperimentOutput {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a captioned table.
+    pub fn table(&mut self, caption: impl Into<String>, table: Table) -> &mut Self {
+        self.tables.push((caption.into(), table));
+        self
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders everything as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        for (caption, table) in &self.tables {
+            out.push_str(&format!("\n-- {caption} --\n"));
+            out.push_str(&table.render());
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("note: {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Prints the rendered output to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Saves the tables as TSV plus the rendered text under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the files.
+    pub fn save(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let txt = dir.join(format!("{}.txt", self.id));
+        fs::write(&txt, self.render())?;
+        written.push(txt);
+        for (i, (_, table)) in self.tables.iter().enumerate() {
+            let path = if self.tables.len() == 1 {
+                dir.join(format!("{}.tsv", self.id))
+            } else {
+                dir.join(format!("{}_{}.tsv", self.id, i))
+            };
+            fs::write(&path, table.to_tsv())?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+/// The default results directory: `results/` at the workspace root.
+pub fn results_dir() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    Path::new(&manifest).join("../../results").components().collect()
+}
+
+/// `true` if the process was invoked with `--quick` (reduced problem
+/// sizes for smoke runs).
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Formats nanoseconds as milliseconds with two decimals.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Formats a ratio with two decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_tables_and_notes() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into()]);
+        let mut out = ExperimentOutput::new("figX", "demo");
+        out.table("caption", t).note("shape holds");
+        let text = out.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("caption"));
+        assert!(text.contains("note: shape holds"));
+    }
+
+    #[test]
+    fn save_writes_tsv_and_txt() {
+        let dir = std::env::temp_dir().join(format!("snapbench-{}", std::process::id()));
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let mut out = ExperimentOutput::new("figY", "demo");
+        out.table("c", t);
+        let files = out.save(&dir).unwrap();
+        assert_eq!(files.len(), 2);
+        assert!(files[1].to_string_lossy().ends_with("figY.tsv"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(1_500_000), "1.50");
+        assert_eq!(ratio(2.0), "2.00");
+    }
+}

@@ -1,0 +1,190 @@
+//! Controller-side program planning.
+//!
+//! The dual-processor controller pipelines execution: the PCP walks the
+//! application's control flow while the SCP broadcasts instructions to
+//! the array. Consecutive `PROPAGATE` instructions without marker data
+//! dependencies are overlapped (β-parallelism); a barrier synchronization
+//! is required before any instruction that depends on in-flight markers,
+//! and after every propagation group before the accumulation phase.
+//!
+//! [`plan`] turns a [`Program`] into the step sequence all engines
+//! execute: single instructions and overlapped propagation groups, with
+//! an implicit barrier after each group.
+
+use snap_isa::{InstrClass, Instruction, Program};
+use snap_kb::Marker;
+use std::collections::HashSet;
+
+/// One controller step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Execute a single (non-propagate) instruction, by program index.
+    Instr(usize),
+    /// Execute these `PROPAGATE` instructions overlapped, then barrier.
+    Group(Vec<usize>),
+}
+
+/// Plans `program` into controller steps, preserving program order for
+/// everything except the overlap of independent adjacent propagations.
+pub(crate) fn plan(program: &Program) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut group: Vec<usize> = Vec::new();
+    let mut reads: HashSet<Marker> = HashSet::new();
+    let mut writes: HashSet<Marker> = HashSet::new();
+
+    let close = |group: &mut Vec<usize>,
+                 reads: &mut HashSet<Marker>,
+                 writes: &mut HashSet<Marker>,
+                 steps: &mut Vec<Step>| {
+        if !group.is_empty() {
+            steps.push(Step::Group(std::mem::take(group)));
+            reads.clear();
+            writes.clear();
+        }
+    };
+
+    for (idx, instr) in program.iter().enumerate() {
+        if instr.class() == InstrClass::Propagate {
+            let ir: HashSet<Marker> = instr.reads().into_iter().collect();
+            let iw: HashSet<Marker> = instr.writes().into_iter().collect();
+            let dependent = ir.iter().any(|m| writes.contains(m))
+                || iw.iter().any(|m| reads.contains(m) || writes.contains(m));
+            if dependent {
+                close(&mut group, &mut reads, &mut writes, &mut steps);
+            }
+            reads.extend(ir);
+            writes.extend(iw);
+            group.push(idx);
+        } else {
+            close(&mut group, &mut reads, &mut writes, &mut steps);
+            steps.push(Step::Instr(idx));
+        }
+    }
+    close(&mut group, &mut reads, &mut writes, &mut steps);
+    steps
+}
+
+/// The pieces of a `PROPAGATE` instruction an engine needs, pre-compiled.
+#[derive(Debug, Clone)]
+pub(crate) struct PropSpec {
+    /// Index within the overlap group.
+    pub prop: usize,
+    /// Source marker.
+    pub source: snap_kb::Marker,
+    /// Target marker.
+    pub target: snap_kb::Marker,
+    /// Compiled rule program.
+    pub rule: snap_isa::RuleProgram,
+    /// Per-step function.
+    pub func: snap_isa::StepFunc,
+}
+
+impl PropSpec {
+    /// Compiles group member `prop` from instruction `instr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instr` is not a `PROPAGATE` — `plan` only places
+    /// propagations in groups.
+    pub fn compile(prop: usize, instr: &Instruction) -> Self {
+        match instr {
+            Instruction::Propagate {
+                source,
+                target,
+                rule,
+                func,
+            } => PropSpec {
+                prop,
+                source: *source,
+                target: *target,
+                rule: rule.compile(),
+                func: *func,
+            },
+            other => panic!("expected PROPAGATE in group, found {}", other.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_isa::{PropRule, StepFunc};
+    use snap_kb::{Marker, RelationType};
+
+    fn prop(src: u8, dst: u8) -> Instruction {
+        Instruction::Propagate {
+            source: Marker::binary(src),
+            target: Marker::complex(dst),
+            rule: PropRule::Star(RelationType(0)),
+            func: StepFunc::Identity,
+        }
+    }
+
+    #[test]
+    fn adjacent_independent_propagates_group() {
+        let p: Program = vec![
+            prop(1, 3),
+            prop(2, 4),
+            Instruction::CollectMarker {
+                marker: Marker::complex(3),
+            },
+        ]
+        .into_iter()
+        .collect();
+        let steps = plan(&p);
+        assert_eq!(steps, vec![Step::Group(vec![0, 1]), Step::Instr(2)]);
+    }
+
+    #[test]
+    fn dependent_propagates_split_groups() {
+        let chain = Instruction::Propagate {
+            source: Marker::complex(3),
+            target: Marker::complex(4),
+            rule: PropRule::Star(RelationType(0)),
+            func: StepFunc::Identity,
+        };
+        let p: Program = vec![prop(1, 3), chain].into_iter().collect();
+        assert_eq!(plan(&p), vec![Step::Group(vec![0]), Step::Group(vec![1])]);
+    }
+
+    #[test]
+    fn non_propagate_instructions_preserve_order() {
+        let p: Program = vec![
+            Instruction::SetMarker {
+                marker: Marker::binary(1),
+                value: 0.0,
+            },
+            prop(1, 3),
+            Instruction::ClearMarker {
+                marker: Marker::binary(1),
+            },
+            prop(1, 4),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            plan(&p),
+            vec![
+                Step::Instr(0),
+                Step::Group(vec![1]),
+                Step::Instr(2),
+                Step::Group(vec![3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn compile_extracts_propagate_fields() {
+        let i = prop(1, 3);
+        let spec = PropSpec::compile(7, &i);
+        assert_eq!(spec.prop, 7);
+        assert_eq!(spec.source, Marker::binary(1));
+        assert_eq!(spec.target, Marker::complex(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected PROPAGATE")]
+    fn compile_rejects_non_propagate() {
+        PropSpec::compile(0, &Instruction::Barrier);
+    }
+}

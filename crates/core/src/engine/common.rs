@@ -1,0 +1,411 @@
+//! Instruction execution shared by all engines.
+//!
+//! [`exec_single`] applies one non-propagate instruction to the regions
+//! and network, returning per-cluster work counts that each engine
+//! converts to time with its own cost model. Keeping this logic in one
+//! place is what guarantees the engines' logical results agree.
+
+use crate::error::CoreError;
+use crate::region::Region;
+use crate::report::CollectOutput;
+use snap_isa::Instruction;
+use snap_kb::{Marker, NodeId, SemanticNetwork};
+
+/// Work performed by one cluster while executing a single instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterWork {
+    /// Marker-status words manipulated.
+    pub words: usize,
+    /// Complex-marker value slots updated.
+    pub value_ops: usize,
+    /// Nodes examined (search scans).
+    pub scans: usize,
+    /// Items produced (collect results from this cluster).
+    pub items: usize,
+}
+
+/// Outcome of executing one non-propagate instruction.
+#[derive(Debug, Clone, Default)]
+pub struct SingleOutcome {
+    /// Per-cluster work, indexed like the regions slice.
+    pub work: Vec<ClusterWork>,
+    /// Retrieval output, for `COLLECT-*`.
+    pub collect: Option<CollectOutput>,
+    /// Controller-side maintenance operations performed (link edits,
+    /// recolors).
+    pub maintenance_ops: usize,
+}
+
+/// Applies `instr` to `regions`/`network`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] for unknown nodes, out-of-range markers, or
+/// missing links (DELETE / MARKER-DELETE).
+///
+/// # Panics
+///
+/// Panics if called with a `PROPAGATE` instruction — propagation goes
+/// through each engine's phase executor.
+pub fn exec_single(
+    instr: &Instruction,
+    network: &mut SemanticNetwork,
+    regions: &mut [Region],
+) -> Result<SingleOutcome, CoreError> {
+    let mut out = SingleOutcome {
+        work: vec![ClusterWork::default(); regions.len()],
+        ..SingleOutcome::default()
+    };
+    match instr {
+        Instruction::Propagate { .. } => {
+            panic!("PROPAGATE must be executed by a propagation phase")
+        }
+
+        // ----- node maintenance (controller housekeeping) -----
+        Instruction::Create {
+            source,
+            relation,
+            weight,
+            destination,
+        } => {
+            network.add_link(*source, *relation, *weight, *destination)?;
+            out.maintenance_ops = 1;
+        }
+        Instruction::Delete {
+            source,
+            relation,
+            destination,
+        } => {
+            network.remove_link(*source, *relation, *destination)?;
+            out.maintenance_ops = 1;
+        }
+        Instruction::SetColor { node, color } => {
+            network.set_color(*node, *color)?;
+            out.maintenance_ops = 1;
+        }
+
+        // ----- marker node maintenance -----
+        Instruction::MarkerCreate {
+            marker,
+            forward,
+            end,
+            reverse,
+        } => {
+            let marked = all_active(regions, *marker);
+            for node in &marked {
+                network.add_link(*node, *forward, 0.0, *end)?;
+                network.add_link(*end, *reverse, 0.0, *node)?;
+            }
+            out.maintenance_ops = marked.len() * 2;
+        }
+        Instruction::MarkerDelete {
+            marker,
+            forward,
+            end,
+            reverse,
+        } => {
+            let marked = all_active(regions, *marker);
+            for node in &marked {
+                network.remove_link(*node, *forward, *end)?;
+                network.remove_link(*end, *reverse, *node)?;
+            }
+            out.maintenance_ops = marked.len() * 2;
+        }
+        Instruction::MarkerSetColor { marker, color } => {
+            let marked = all_active(regions, *marker);
+            for node in &marked {
+                network.set_color(*node, *color)?;
+            }
+            out.maintenance_ops = marked.len();
+        }
+
+        // ----- search -----
+        Instruction::SearchNode {
+            node,
+            marker,
+            value,
+        } => {
+            if !network.contains(*node) {
+                return Err(CoreError::Kb(snap_kb::KbError::UnknownNode(*node)));
+            }
+            for (c, region) in regions.iter_mut().enumerate() {
+                if region.search_node(*node, *marker, *value)? {
+                    out.work[c].scans = 1;
+                    out.work[c].value_ops = 1;
+                }
+            }
+        }
+        Instruction::SearchRelation {
+            relation,
+            marker,
+            value,
+        } => {
+            for (c, region) in regions.iter_mut().enumerate() {
+                let hits = region.search_relation(network, *relation, *marker, *value)?;
+                out.work[c].scans = region.len();
+                out.work[c].value_ops = hits;
+            }
+        }
+        Instruction::SearchColor {
+            color,
+            marker,
+            value,
+        } => {
+            for (c, region) in regions.iter_mut().enumerate() {
+                let hits = region.search_color(network, *color, *marker, *value)?;
+                out.work[c].scans = region.len();
+                out.work[c].value_ops = hits;
+            }
+        }
+
+        // ----- boolean -----
+        Instruction::AndMarker {
+            a,
+            b,
+            target,
+            combine,
+        } => {
+            for (c, region) in regions.iter_mut().enumerate() {
+                let (words, values) = region.bool_op(true, *a, *b, *target, *combine)?;
+                out.work[c].words = words;
+                out.work[c].value_ops = values;
+            }
+        }
+        Instruction::OrMarker {
+            a,
+            b,
+            target,
+            combine,
+        } => {
+            for (c, region) in regions.iter_mut().enumerate() {
+                let (words, values) = region.bool_op(false, *a, *b, *target, *combine)?;
+                out.work[c].words = words;
+                out.work[c].value_ops = values;
+            }
+        }
+        Instruction::NotMarker { source, target } => {
+            for (c, region) in regions.iter_mut().enumerate() {
+                out.work[c].words = region.not_op(*source, *target)?;
+            }
+        }
+
+        // ----- set/clear -----
+        Instruction::SetMarker { marker, value } => {
+            for (c, region) in regions.iter_mut().enumerate() {
+                out.work[c].words = region.set_marker(*marker, *value)?;
+            }
+        }
+        Instruction::ClearMarker { marker } => {
+            for (c, region) in regions.iter_mut().enumerate() {
+                out.work[c].words = region.clear_marker(*marker)?;
+            }
+        }
+        Instruction::FuncMarker { marker, func } => {
+            for (c, region) in regions.iter_mut().enumerate() {
+                let (active, _) = region.func_marker(*marker, *func)?;
+                out.work[c].words = region.words();
+                out.work[c].value_ops = active;
+            }
+        }
+
+        // ----- retrieval -----
+        Instruction::CollectMarker { marker } => {
+            let mut all = Vec::new();
+            for (c, region) in regions.iter().enumerate() {
+                let part = region.collect_marker(*marker);
+                out.work[c].items = part.len();
+                all.extend(part);
+            }
+            all.sort_by_key(|(n, _)| *n);
+            out.collect = Some(CollectOutput::Nodes(all));
+        }
+        Instruction::CollectRelation { marker, relation } => {
+            let mut all = Vec::new();
+            for (c, region) in regions.iter().enumerate() {
+                let part = region.collect_relation(network, *marker, *relation);
+                out.work[c].items = part.len();
+                all.extend(part);
+            }
+            all.sort_by_key(|(n, l)| (*n, l.destination));
+            out.collect = Some(CollectOutput::Links(all));
+        }
+        Instruction::CollectColor { marker } => {
+            let mut all = Vec::new();
+            for (c, region) in regions.iter().enumerate() {
+                let part = region.collect_color(network, *marker);
+                out.work[c].items = part.len();
+                all.extend(part);
+            }
+            all.sort_by_key(|(n, _)| *n);
+            out.collect = Some(CollectOutput::Colors(all));
+        }
+
+        // ----- explicit barrier: no marker work -----
+        Instruction::Barrier => {}
+    }
+    Ok(out)
+}
+
+/// All nodes where `marker` is active, across every region, ascending.
+fn all_active(regions: &[Region], marker: Marker) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = regions
+        .iter()
+        .flat_map(|r| r.active_nodes(marker))
+        .collect();
+    nodes.sort_unstable();
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionMap;
+    use snap_isa::CombineFunc;
+    use snap_kb::{Color, ClusterId, NetworkConfig, PartitionScheme, RelationType};
+    use std::sync::Arc;
+
+    fn setup(clusters: usize) -> (SemanticNetwork, Vec<Region>) {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        for i in 0..6 {
+            net.add_named_node(format!("n{i}"), Color(i as u8 % 2)).unwrap();
+        }
+        net.add_link(NodeId(0), RelationType(1), 0.5, NodeId(1)).unwrap();
+        let map = RegionMap::build(&net, clusters, PartitionScheme::RoundRobin);
+        let regions = (0..clusters)
+            .map(|c| Region::new(ClusterId(c as u8), Arc::clone(&map), &net))
+            .collect();
+        (net, regions)
+    }
+
+    #[test]
+    fn search_node_marks_exactly_one_cluster() {
+        let (mut net, mut regions) = setup(2);
+        let instr = Instruction::SearchNode {
+            node: NodeId(3),
+            marker: Marker::binary(0),
+            value: 0.0,
+        };
+        let out = exec_single(&instr, &mut net, &mut regions).unwrap();
+        // Node 3 is odd → cluster 1 under round-robin.
+        assert_eq!(out.work[0].scans, 0);
+        assert_eq!(out.work[1].scans, 1);
+        assert!(regions[1].test(Marker::binary(0), NodeId(3)));
+    }
+
+    #[test]
+    fn search_unknown_node_errors() {
+        let (mut net, mut regions) = setup(2);
+        let instr = Instruction::SearchNode {
+            node: NodeId(100),
+            marker: Marker::binary(0),
+            value: 0.0,
+        };
+        assert!(exec_single(&instr, &mut net, &mut regions).is_err());
+    }
+
+    #[test]
+    fn boolean_runs_on_every_cluster() {
+        let (mut net, mut regions) = setup(3);
+        let set = Instruction::SetMarker {
+            marker: Marker::binary(0),
+            value: 0.0,
+        };
+        exec_single(&set, &mut net, &mut regions).unwrap();
+        let and = Instruction::AndMarker {
+            a: Marker::binary(0),
+            b: Marker::binary(0),
+            target: Marker::binary(1),
+            combine: CombineFunc::Add,
+        };
+        let out = exec_single(&and, &mut net, &mut regions).unwrap();
+        assert!(out.work.iter().all(|w| w.words > 0));
+        let total: usize = regions.iter().map(|r| r.count(Marker::binary(1))).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn collect_merges_and_sorts_across_clusters() {
+        let (mut net, mut regions) = setup(2);
+        regions[1].arrive(Marker::binary(0), NodeId(5), 0.0, NodeId(5)).unwrap();
+        regions[0].arrive(Marker::binary(0), NodeId(0), 0.0, NodeId(0)).unwrap();
+        regions[1].arrive(Marker::binary(0), NodeId(1), 0.0, NodeId(1)).unwrap();
+        let instr = Instruction::CollectMarker {
+            marker: Marker::binary(0),
+        };
+        let out = exec_single(&instr, &mut net, &mut regions).unwrap();
+        let Some(CollectOutput::Nodes(nodes)) = out.collect else {
+            panic!("expected node collect");
+        };
+        let ids: Vec<u32> = nodes.iter().map(|(n, _)| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 5]);
+        assert_eq!(out.work[0].items, 1);
+        assert_eq!(out.work[1].items, 2);
+    }
+
+    #[test]
+    fn marker_create_binds_marked_nodes() {
+        let (mut net, mut regions) = setup(2);
+        regions[0].arrive(Marker::binary(0), NodeId(2), 0.0, NodeId(2)).unwrap();
+        regions[1].arrive(Marker::binary(0), NodeId(3), 0.0, NodeId(3)).unwrap();
+        let fwd = RelationType(10);
+        let rev = RelationType(11);
+        let instr = Instruction::MarkerCreate {
+            marker: Marker::binary(0),
+            forward: fwd,
+            end: NodeId(5),
+            reverse: rev,
+        };
+        let out = exec_single(&instr, &mut net, &mut regions).unwrap();
+        assert_eq!(out.maintenance_ops, 4);
+        assert_eq!(net.links_by(NodeId(2), fwd).count(), 1);
+        assert_eq!(net.links_by(NodeId(5), rev).count(), 2);
+        // And MARKER-DELETE undoes it.
+        let del = Instruction::MarkerDelete {
+            marker: Marker::binary(0),
+            forward: fwd,
+            end: NodeId(5),
+            reverse: rev,
+        };
+        exec_single(&del, &mut net, &mut regions).unwrap();
+        assert_eq!(net.links_by(NodeId(5), rev).count(), 0);
+    }
+
+    #[test]
+    fn maintenance_edits_network() {
+        let (mut net, mut regions) = setup(1);
+        let create = Instruction::Create {
+            source: NodeId(2),
+            relation: RelationType(7),
+            weight: 1.0,
+            destination: NodeId(3),
+        };
+        exec_single(&create, &mut net, &mut regions).unwrap();
+        assert_eq!(net.links_by(NodeId(2), RelationType(7)).count(), 1);
+        let recolor = Instruction::SetColor {
+            node: NodeId(2),
+            color: Color(9),
+        };
+        exec_single(&recolor, &mut net, &mut regions).unwrap();
+        assert_eq!(net.color(NodeId(2)).unwrap(), Color(9));
+        let delete = Instruction::Delete {
+            source: NodeId(2),
+            relation: RelationType(7),
+            destination: NodeId(3),
+        };
+        exec_single(&delete, &mut net, &mut regions).unwrap();
+        assert_eq!(net.links_by(NodeId(2), RelationType(7)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "PROPAGATE must be executed")]
+    fn propagate_rejected() {
+        let (mut net, mut regions) = setup(1);
+        let instr = Instruction::Propagate {
+            source: Marker::binary(0),
+            target: Marker::binary(1),
+            rule: snap_isa::PropRule::Star(RelationType(0)),
+            func: snap_isa::StepFunc::Identity,
+        };
+        let _ = exec_single(&instr, &mut net, &mut regions);
+    }
+}

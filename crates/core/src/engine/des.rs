@@ -1,0 +1,795 @@
+//! The deterministic discrete-event engine.
+//!
+//! Simulates the cluster array at the functional-unit level: the SCP
+//! broadcasts each instruction over the global bus; PUs decode and
+//! enqueue tasks; MUs execute marker work (each cluster has its
+//! configured number of MU servers); CUs serialize outgoing messages
+//! onto the hypercube, which delivers them after the per-hop wire and
+//! relay latencies; and the controller closes each propagation group
+//! with a tiered barrier synchronization. Simulated time is nanoseconds;
+//! processing is totally ordered by `(time, sequence)` so results and
+//! timings are exactly reproducible.
+
+use crate::config::MachineConfig;
+use crate::controller::{plan, PropSpec, Step};
+use crate::cost::CostModel;
+use crate::engine::common::exec_single;
+use crate::error::CoreError;
+use crate::propagate::{expand, Expansion, PropTask, VisitedMap};
+use crate::region::{Region, RegionMap};
+use crate::report::RunReport;
+use snap_isa::{InstrClass, Program};
+use snap_kb::{ClusterId, SemanticNetwork};
+use snap_mem::SimTime;
+use snap_net::{BusModel, HypercubeTopology, PerfCollector};
+use snap_sync::TieredSyncModel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Executes `program` on the simulated array.
+pub(crate) fn run(
+    config: &MachineConfig,
+    cost: &CostModel,
+    network: &mut SemanticNetwork,
+    program: &Program,
+) -> Result<RunReport, CoreError> {
+    config.validate();
+    let mut machine = Des::new(config, cost, network);
+    for step in plan(program) {
+        match step {
+            Step::Instr(idx) => machine.exec_instr(network, &program.instructions()[idx])?,
+            Step::Group(indices) => {
+                let specs: Vec<PropSpec> = indices
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &idx)| PropSpec::compile(g, &program.instructions()[idx]))
+                    .collect();
+                machine.exec_group(network, &specs)?;
+            }
+        }
+    }
+    Ok(machine.finish())
+}
+
+/// One scheduled event of the propagation phase.
+#[derive(Debug, Clone)]
+enum EventKind {
+    /// An MU finishes expanding a task; its arrivals take effect.
+    Completion {
+        cluster: usize,
+        task: PropTask,
+        expansion: Expansion,
+    },
+    /// A marker message arrives at its destination cluster.
+    Delivery { cluster: usize, task: PropTask },
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct Des<'c> {
+    config: &'c MachineConfig,
+    cost: &'c CostModel,
+    map: Arc<RegionMap>,
+    regions: Vec<Region>,
+    topology: HypercubeTopology,
+    bus: BusModel,
+    mu_free: Vec<Vec<SimTime>>,
+    cu_free: Vec<SimTime>,
+    /// In-flight delivery times per sending cluster: the occupancy of
+    /// the CU's outgoing marker-activation buffer.
+    outbox: Vec<BinaryHeap<Reverse<SimTime>>>,
+    sync: TieredSyncModel,
+    perf: Option<PerfCollector>,
+    now: SimTime,
+    seq: u64,
+    pending_msgs: u64,
+    report: RunReport,
+}
+
+impl<'c> Des<'c> {
+    fn new(config: &'c MachineConfig, cost: &'c CostModel, network: &SemanticNetwork) -> Self {
+        let map = RegionMap::build(network, config.clusters, config.partition);
+        let regions = (0..config.clusters)
+            .map(|c| Region::new(ClusterId(c as u8), Arc::clone(&map), network))
+            .collect();
+        Des {
+            config,
+            cost,
+            map,
+            regions,
+            topology: HypercubeTopology::covering(config.clusters),
+            bus: BusModel::new(),
+            mu_free: config.mus.iter().map(|&m| vec![0; m]).collect(),
+            cu_free: vec![0; config.clusters],
+            outbox: (0..config.clusters).map(|_| BinaryHeap::new()).collect(),
+            sync: TieredSyncModel::new(config.pe_count()),
+            perf: config
+                .instrument
+                .then(|| PerfCollector::new(config.pe_count(), 1 << 16)),
+            now: 0,
+            seq: 0,
+            pending_msgs: 0,
+            report: RunReport::default(),
+        }
+    }
+
+    fn finish(mut self) -> RunReport {
+        self.report.total_ns = self.now;
+        self.report
+    }
+
+    /// Reports an event on the performance-collection network. The PE
+    /// resumes immediately; only the serial-link shift and FIFO are
+    /// modelled.
+    fn record_perf(&mut self, code: u8) {
+        if let Some(pc) = &mut self.perf {
+            match pc.record(0, self.now, code, self.report.barriers as u32) {
+                Some(_) => self.report.perf_events += 1,
+                None => self.report.perf_dropped += 1,
+            }
+        }
+    }
+
+    /// Executes one non-propagate instruction with barrier-stable
+    /// markers.
+    fn exec_instr(
+        &mut self,
+        network: &mut SemanticNetwork,
+        instr: &snap_isa::Instruction,
+    ) -> Result<(), CoreError> {
+        let start = self.now;
+        let class = instr.class();
+        let out = exec_single(instr, network, &mut self.regions)?;
+        let items: usize = out.work.iter().map(|w| w.items).sum();
+        match class {
+            InstrClass::Maintenance => {
+                // Controller housekeeping; no broadcast to the array.
+                self.now += self.cost.pcp_ns
+                    + self.cost.maintenance_ns * out.maintenance_ops.max(1) as SimTime;
+            }
+            InstrClass::Collect => {
+                let bcast = self.cost.broadcast_ns;
+                self.bus.broadcast(self.now, 2, bcast / 2);
+                self.report.overhead.broadcast_ns += bcast;
+                let ns = self.cost.collect_ns(self.config.clusters, items);
+                self.report.overhead.collect_ns += ns;
+                self.now += self.cost.pcp_ns + bcast + ns;
+            }
+            InstrClass::Barrier => {
+                self.barrier();
+            }
+            InstrClass::Search | InstrClass::Boolean | InstrClass::SetClear => {
+                let bcast = self.cost.broadcast_ns;
+                self.bus.broadcast(self.now, 2, bcast / 2);
+                self.report.overhead.broadcast_ns += bcast;
+                let t0 = self.now + bcast;
+                // Each cluster executes its local part on one MU.
+                let done = out
+                    .work
+                    .iter()
+                    .map(|w| {
+                        let work_ns = match class {
+                            InstrClass::Search => {
+                                w.scans as SimTime * self.cost.link_scan_ns
+                                    + w.value_ops as SimTime * self.cost.value_op_ns
+                            }
+                            _ => {
+                                w.words as SimTime * self.cost.word_op_ns
+                                    + w.value_ops as SimTime * self.cost.value_op_ns
+                            }
+                        };
+                        t0 + self.cost.pu_decode_ns + work_ns
+                    })
+                    .max()
+                    .unwrap_or(t0);
+                self.now = done + self.cost.pcp_ns;
+            }
+            InstrClass::Propagate => unreachable!("plan puts propagates in groups"),
+        }
+        if let Some(c) = out.collect {
+            self.report.collects.push(c);
+        }
+        self.report.record(class, self.now - start);
+        self.record_perf(class as u8);
+        Ok(())
+    }
+
+    /// Executes an overlapped group of propagations, then barriers.
+    fn exec_group(
+        &mut self,
+        network: &SemanticNetwork,
+        specs: &[PropSpec],
+    ) -> Result<(), CoreError> {
+        let start = self.now;
+        // Broadcast each PROPAGATE of the group over the bus.
+        for _ in specs {
+            self.bus.broadcast(self.now, 2, self.cost.broadcast_ns / 2);
+            self.report.overhead.broadcast_ns += self.cost.broadcast_ns;
+            self.now += self.cost.broadcast_ns;
+        }
+        let t0 = self.now + self.cost.pu_decode_ns;
+        // Reset MU/CU timelines to the phase start (they were drained by
+        // the previous barrier).
+        for mus in &mut self.mu_free {
+            mus.iter_mut().for_each(|t| *t = t0);
+        }
+        self.cu_free.iter_mut().for_each(|t| *t = t0);
+
+        let phase_end = if self.config.lockstep_waves {
+            self.run_group_lockstep(network, specs, t0)?
+        } else {
+            self.run_group_events(network, specs, t0)?
+        };
+
+        let phase_ns = phase_end.saturating_sub(start);
+        let share = phase_ns / specs.len() as SimTime;
+        for _ in specs {
+            self.report.record(InstrClass::Propagate, share);
+        }
+        self.now = phase_end;
+        self.barrier();
+        Ok(())
+    }
+
+    /// MIMD propagation: the normal SNAP-1 mode.
+    fn run_group_events(
+        &mut self,
+        network: &SemanticNetwork,
+        specs: &[PropSpec],
+        t0: SimTime,
+    ) -> Result<SimTime, CoreError> {
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut visited = VisitedMap::new();
+        let mut phase_end = t0;
+
+        // Seed: every cluster scans its marker status table for sources.
+        for spec in specs {
+            let mut alpha = 0u64;
+            for c in 0..self.regions.len() {
+                let sources = self.regions[c].active_nodes(spec.source);
+                alpha += sources.len() as u64;
+                for node in sources {
+                    let value = self.regions[c].source_value(spec.source, node);
+                    if visited.should_expand(spec.prop, 0, node, value, node) {
+                        let task = PropTask {
+                            prop: spec.prop,
+                            node,
+                            state: 0,
+                            value,
+                            origin: node,
+                            level: 0,
+                        };
+                        self.schedule_task(network, specs, &mut heap, c, task, t0);
+                    }
+                }
+            }
+            self.report.alpha_per_propagate.push(alpha);
+        }
+
+        while let Some(Reverse(ev)) = heap.pop() {
+            phase_end = phase_end.max(ev.time);
+            match ev.kind {
+                EventKind::Completion {
+                    cluster,
+                    task,
+                    expansion,
+                } => {
+                    self.report.expansions += 1;
+                    if task.level >= self.config.max_hops {
+                        self.sync.consumed(task.level.min(63));
+                        continue;
+                    }
+                    for arrival in &expansion.arrivals {
+                        let level = task.level + 1;
+                        self.report.max_propagation_depth =
+                            self.report.max_propagation_depth.max(level);
+                        let next = PropTask {
+                            prop: task.prop,
+                            node: arrival.node,
+                            state: arrival.state,
+                            value: arrival.value,
+                            origin: task.origin,
+                            level,
+                        };
+                        let dest = self.map.cluster_of(arrival.node).index();
+                        if dest == cluster {
+                            self.deliver_local(network, specs, &mut heap, &mut visited, dest, next, ev.time)?;
+                        } else {
+                            // Off-cluster: CU serializes, hypercube carries.
+                            self.pending_msgs += 1;
+                            self.report.traffic.total_messages += 1;
+                            let hops = self
+                                .topology
+                                .distance(ClusterId(cluster as u8), ClusterId(dest as u8));
+                            self.report.traffic.total_hops += hops as u64;
+                            // The outbox absorbs the burst; when full,
+                            // the sender blocks until a delivery frees a
+                            // slot (§II-C).
+                            let capacity = self.config.cu_outbox_capacity;
+                            let mut ready = ev.time;
+                            let mut blocked = false;
+                            {
+                                let ob = &mut self.outbox[cluster];
+                                while ob.peek().is_some_and(|Reverse(t)| *t <= ev.time) {
+                                    ob.pop();
+                                }
+                                if ob.len() >= capacity {
+                                    let Reverse(freed) =
+                                        ob.pop().expect("full outbox is nonempty");
+                                    ready = ready.max(freed);
+                                    blocked = true;
+                                }
+                            }
+                            if blocked {
+                                self.report.traffic.blocked_sends += 1;
+                            }
+                            let cu_start = ready.max(self.cu_free[cluster]);
+                            let cu_done = cu_start + self.cost.cu_service_ns;
+                            self.cu_free[cluster] = cu_done;
+                            let wire = hops as SimTime * self.cost.hop_ns
+                                + hops.saturating_sub(1) as SimTime * self.cost.cu_service_ns;
+                            let deliver = cu_done + wire;
+                            self.outbox[cluster].push(Reverse(deliver));
+                            self.report.overhead.communication_ns += deliver - ev.time;
+                            self.sync.created(level.min(63));
+                            self.seq += 1;
+                            heap.push(Reverse(Event {
+                                time: deliver,
+                                seq: self.seq,
+                                kind: EventKind::Delivery {
+                                    cluster: dest,
+                                    task: next,
+                                },
+                            }));
+                        }
+                    }
+                    self.sync.consumed(task.level.min(63));
+                }
+                EventKind::Delivery { cluster, task } => {
+                    let level = task.level;
+                    self.deliver_local(network, specs, &mut heap, &mut visited, cluster, task, ev.time)?;
+                    self.sync.consumed(level.min(63));
+                }
+            }
+        }
+        debug_assert_eq!(self.sync.in_flight(), 0, "tiered counters drained");
+        Ok(phase_end)
+    }
+
+    /// Applies an arrival at its home cluster and schedules the follow-on
+    /// expansion if warranted.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_local(
+        &mut self,
+        network: &SemanticNetwork,
+        specs: &[PropSpec],
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        visited: &mut VisitedMap,
+        cluster: usize,
+        task: PropTask,
+        now: SimTime,
+    ) -> Result<(), CoreError> {
+        let spec = &specs[task.prop];
+        self.regions[cluster].arrive(spec.target, task.node, task.value, task.origin)?;
+        self.report.traffic.local_activations += 1;
+        if visited.should_expand(task.prop, task.state, task.node, task.value, task.origin) {
+            self.schedule_task(network, specs, heap, cluster, task, now);
+        }
+        Ok(())
+    }
+
+    /// Assigns a task to the earliest-free MU of `cluster` and schedules
+    /// its completion.
+    fn schedule_task(
+        &mut self,
+        network: &SemanticNetwork,
+        specs: &[PropSpec],
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        cluster: usize,
+        task: PropTask,
+        ready: SimTime,
+    ) {
+        let spec = &specs[task.prop];
+        let expansion = expand(network, &spec.rule, spec.func, &task);
+        let local_sets = expansion
+            .arrivals
+            .iter()
+            .filter(|a| self.map.cluster_of(a.node).index() == cluster)
+            .count();
+        let dur = self
+            .cost
+            .expand_ns(expansion.segments, expansion.links_scanned, local_sets)
+            .max(1);
+        let mu = (0..self.mu_free[cluster].len())
+            .min_by_key(|&i| self.mu_free[cluster][i])
+            .expect("cluster has at least one MU");
+        let start = ready.max(self.mu_free[cluster][mu]);
+        let done = start + dur;
+        self.mu_free[cluster][mu] = done;
+        self.sync.created(task.level.min(63));
+        self.seq += 1;
+        heap.push(Reverse(Event {
+            time: done,
+            seq: self.seq,
+            kind: EventKind::Completion {
+                cluster,
+                task,
+                expansion,
+            },
+        }));
+    }
+
+    /// SIMD-only ablation: a global barrier plus controller round-trip
+    /// after every propagation wave, the way the CM-2 had to iterate
+    /// between controller and array on the critical path.
+    fn run_group_lockstep(
+        &mut self,
+        network: &SemanticNetwork,
+        specs: &[PropSpec],
+        t0: SimTime,
+    ) -> Result<SimTime, CoreError> {
+        let mut visited = VisitedMap::new();
+        // (cluster, task) pairs of the current wave.
+        let mut wave: Vec<(usize, PropTask)> = Vec::new();
+        for spec in specs {
+            let mut alpha = 0u64;
+            for c in 0..self.regions.len() {
+                for node in self.regions[c].active_nodes(spec.source) {
+                    alpha += 1;
+                    let value = self.regions[c].source_value(spec.source, node);
+                    if visited.should_expand(spec.prop, 0, node, value, node) {
+                        wave.push((
+                            c,
+                            PropTask {
+                                prop: spec.prop,
+                                node,
+                                state: 0,
+                                value,
+                                origin: node,
+                                level: 0,
+                            },
+                        ));
+                    }
+                }
+            }
+            self.report.alpha_per_propagate.push(alpha);
+        }
+
+        let mut wave_start = t0;
+        while !wave.is_empty() {
+            let mut mu_free: Vec<Vec<SimTime>> = self
+                .config
+                .mus
+                .iter()
+                .map(|&m| vec![wave_start; m])
+                .collect();
+            let mut wave_end = wave_start;
+            let mut next_wave = Vec::new();
+            for (cluster, task) in wave.drain(..) {
+                let spec = &specs[task.prop];
+                let expansion = expand(network, &spec.rule, spec.func, &task);
+                self.report.expansions += 1;
+                let dur = self
+                    .cost
+                    .expand_ns(expansion.segments, expansion.links_scanned, expansion.arrivals.len())
+                    .max(1);
+                let mu = (0..mu_free[cluster].len())
+                    .min_by_key(|&i| mu_free[cluster][i])
+                    .expect("cluster has at least one MU");
+                let done = mu_free[cluster][mu] + dur;
+                mu_free[cluster][mu] = done;
+                wave_end = wave_end.max(done);
+                if task.level >= self.config.max_hops {
+                    continue;
+                }
+                for arrival in &expansion.arrivals {
+                    let level = task.level + 1;
+                    self.report.max_propagation_depth =
+                        self.report.max_propagation_depth.max(level);
+                    let dest = self.map.cluster_of(arrival.node).index();
+                    if dest != cluster {
+                        self.pending_msgs += 1;
+                        self.report.traffic.total_messages += 1;
+                        let hops = self
+                            .topology
+                            .distance(ClusterId(cluster as u8), ClusterId(dest as u8));
+                        self.report.traffic.total_hops += hops as u64;
+                        let wire = self.cost.cu_service_ns
+                            + hops as SimTime * self.cost.hop_ns
+                            + hops.saturating_sub(1) as SimTime * self.cost.cu_service_ns;
+                        wave_end = wave_end.max(done + wire);
+                        self.report.overhead.communication_ns += wire;
+                    }
+                    let next = PropTask {
+                        prop: task.prop,
+                        node: arrival.node,
+                        state: arrival.state,
+                        value: arrival.value,
+                        origin: task.origin,
+                        level,
+                    };
+                    self.regions[dest].arrive(spec.target, next.node, next.value, next.origin)?;
+                    self.report.traffic.local_activations += u64::from(dest == cluster);
+                    if visited.should_expand(next.prop, next.state, next.node, next.value, next.origin) {
+                        next_wave.push((dest, next));
+                    }
+                }
+            }
+            // Controller round-trip: global barrier + re-broadcast before
+            // the next wave may start.
+            let sync = self.cost.barrier_ns(self.config.pe_count());
+            let rebroadcast = self.cost.broadcast_ns + self.cost.pcp_ns;
+            self.report.overhead.sync_ns += sync;
+            self.report.overhead.broadcast_ns += self.cost.broadcast_ns;
+            self.report.barriers += 1;
+            wave_start = wave_end + sync + rebroadcast;
+            wave = next_wave;
+        }
+        Ok(wave_start)
+    }
+
+    /// The tiered barrier closing a propagation group.
+    fn barrier(&mut self) {
+        let ns = self.cost.barrier_ns(self.config.pe_count());
+        self.now += ns;
+        self.report.overhead.sync_ns += ns;
+        self.report.barriers += 1;
+        self.report
+            .traffic
+            .messages_per_sync
+            .push(self.pending_msgs);
+        self.pending_msgs = 0;
+        self.record_perf(0xFF);
+        debug_assert!(self.sync.is_complete(), "barrier with in-flight markers");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::sequential;
+    use snap_isa::{CombineFunc, PropRule, StepFunc};
+    use snap_kb::{Color, Marker, NetworkConfig, NodeId, RelationType};
+
+    fn chain_network(n: usize) -> SemanticNetwork {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let mut prev = None;
+        for i in 0..n {
+            let id = net.add_node(Color((i % 4) as u8)).unwrap();
+            if let Some(p) = prev {
+                net.add_link(p, RelationType(1), 1.0, id).unwrap();
+            }
+            prev = Some(id);
+        }
+        net
+    }
+
+    fn parse_like_program() -> Program {
+        Program::builder()
+            .search_color(Color(0), Marker::binary(1), 0.0)
+            .search_color(Color(1), Marker::binary(2), 0.0)
+            .propagate(
+                Marker::binary(1),
+                Marker::complex(3),
+                PropRule::Star(RelationType(1)),
+                StepFunc::AddWeight,
+            )
+            .propagate(
+                Marker::binary(2),
+                Marker::complex(4),
+                PropRule::Star(RelationType(1)),
+                StepFunc::AddWeight,
+            )
+            .and_marker(
+                Marker::complex(3),
+                Marker::complex(4),
+                Marker::complex(5),
+                CombineFunc::Min,
+            )
+            .collect_marker(Marker::complex(5))
+            .build()
+    }
+
+    #[test]
+    fn des_matches_sequential_results() {
+        let program = parse_like_program();
+        let mut net1 = chain_network(64);
+        let mut net2 = chain_network(64);
+        let seq = sequential::run(
+            &MachineConfig::snap1_eval(),
+            &CostModel::snap1(),
+            &mut net1,
+            &program,
+        )
+        .unwrap();
+        let des = run(
+            &MachineConfig::snap1_eval(),
+            &CostModel::snap1(),
+            &mut net2,
+            &program,
+        )
+        .unwrap();
+        assert_eq!(seq.collects, des.collects);
+    }
+
+    #[test]
+    fn more_clusters_reduce_propagation_time() {
+        // A wide star: many independent sources propagate one hop.
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let hub_color = Color(2);
+        for _ in 0..256 {
+            let src = net.add_node(Color(0)).unwrap();
+            let dst = net.add_node(hub_color).unwrap();
+            net.add_link(src, RelationType(1), 1.0, dst).unwrap();
+        }
+        let program = Program::builder()
+            .search_color(Color(0), Marker::binary(0), 0.0)
+            .propagate(
+                Marker::binary(0),
+                Marker::binary(1),
+                PropRule::Once(RelationType(1)),
+                StepFunc::Identity,
+            )
+            .collect_marker(Marker::binary(1))
+            .build();
+        let cost = CostModel::snap1();
+        let t1 = {
+            let mut net = net.clone();
+            run(&MachineConfig::uniform(1, 1), &cost, &mut net, &program)
+                .unwrap()
+                .time_of(InstrClass::Propagate)
+        };
+        let t16 = {
+            let mut net = net.clone();
+            run(&MachineConfig::uniform(16, 3), &cost, &mut net, &program)
+                .unwrap()
+                .time_of(InstrClass::Propagate)
+        };
+        assert!(
+            t16 * 4 < t1,
+            "16×3MU clusters should be ≫ faster: t1={t1} t16={t16}"
+        );
+    }
+
+    #[test]
+    fn messages_counted_per_sync_point() {
+        let mut net = chain_network(32);
+        let program = Program::builder()
+            .search_node(NodeId(0), Marker::binary(0), 0.0)
+            .propagate(
+                Marker::binary(0),
+                Marker::binary(1),
+                PropRule::Star(RelationType(1)),
+                StepFunc::Identity,
+            )
+            .collect_marker(Marker::binary(1))
+            .build();
+        // Round-robin over 4 clusters: every chain hop crosses clusters.
+        let mut cfg = MachineConfig::uniform(4, 1);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        let report = run(&cfg, &CostModel::snap1(), &mut net, &program).unwrap();
+        assert_eq!(report.traffic.messages_per_sync.len() as u64, report.barriers);
+        assert_eq!(report.traffic.total_messages, 31);
+        assert!(report.overhead.communication_ns > 0);
+        assert!(report.overhead.sync_ns > 0);
+        // Collect returns all 31 reached nodes.
+        assert_eq!(report.collects[0].len(), 31);
+    }
+
+    #[test]
+    fn lockstep_ablation_is_slower_and_equal_results() {
+        let mut cfg = MachineConfig::uniform(4, 2);
+        let cost = CostModel::snap1();
+        let program = parse_like_program();
+        let mut net1 = chain_network(64);
+        let normal = run(&cfg, &cost, &mut net1, &program).unwrap();
+        cfg.lockstep_waves = true;
+        let mut net2 = chain_network(64);
+        let lockstep = run(&cfg, &cost, &mut net2, &program).unwrap();
+        assert_eq!(normal.collects, lockstep.collects);
+        assert!(
+            lockstep.total_ns > normal.total_ns,
+            "per-wave round-trips must cost time: {} vs {}",
+            lockstep.total_ns,
+            normal.total_ns
+        );
+    }
+
+    #[test]
+    fn tiny_outbox_blocks_senders_and_slows_the_run() {
+        // A single source bursting at many off-cluster destinations.
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let hub = net.add_node(Color(1)).unwrap();
+        for _ in 0..120 {
+            let leaf = net.add_node(Color(0)).unwrap();
+            net.add_link(hub, RelationType(1), 1.0, leaf).unwrap();
+        }
+        let program = Program::builder()
+            .search_color(Color(1), Marker::binary(0), 0.0)
+            .propagate(
+                Marker::binary(0),
+                Marker::binary(1),
+                PropRule::Once(RelationType(1)),
+                StepFunc::Identity,
+            )
+            .collect_marker(Marker::binary(1))
+            .build();
+        let mut cfg = MachineConfig::uniform(4, 1);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        let roomy = {
+            let mut net = net.clone();
+            run(&cfg, &CostModel::snap1(), &mut net, &program).unwrap()
+        };
+        assert_eq!(roomy.traffic.blocked_sends, 0, "1024 slots absorb the burst");
+        cfg.cu_outbox_capacity = 4;
+        let cramped = {
+            let mut net = net.clone();
+            run(&cfg, &CostModel::snap1(), &mut net, &program).unwrap()
+        };
+        assert!(cramped.traffic.blocked_sends > 0, "4 slots overflow");
+        assert_eq!(roomy.collects, cramped.collects, "results unchanged");
+        assert!(
+            cramped.total_ns >= roomy.total_ns,
+            "blocking cannot make the run faster"
+        );
+    }
+
+    #[test]
+    fn instrumentation_records_events_without_perturbing_results() {
+        let mut cfg = MachineConfig::uniform(4, 2);
+        let program = parse_like_program();
+        let mut n1 = chain_network(64);
+        let plain = run(&cfg, &CostModel::snap1(), &mut n1, &program).unwrap();
+        cfg.instrument = true;
+        let mut n2 = chain_network(64);
+        let instrumented = run(&cfg, &CostModel::snap1(), &mut n2, &program).unwrap();
+        assert_eq!(plain.collects, instrumented.collects);
+        assert_eq!(plain.total_ns, instrumented.total_ns, "separate network");
+        assert_eq!(plain.perf_events, 0);
+        // One event per non-propagate instruction + one per barrier.
+        assert_eq!(
+            instrumented.perf_events,
+            plain.instruction_count() - plain.count_of(InstrClass::Propagate)
+                + plain.barriers
+        );
+        assert_eq!(instrumented.perf_dropped, 0);
+    }
+
+    #[test]
+    fn alpha_recorded_per_propagate() {
+        let mut net = chain_network(16);
+        let program = parse_like_program();
+        let report = run(
+            &MachineConfig::snap1_eval(),
+            &CostModel::snap1(),
+            &mut net,
+            &program,
+        )
+        .unwrap();
+        assert_eq!(report.alpha_per_propagate.len(), 2);
+        assert_eq!(report.alpha_per_propagate[0], 4); // colors cycle 0..4 over 16 nodes
+    }
+}

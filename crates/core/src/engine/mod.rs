@@ -1,0 +1,7 @@
+//! Execution engines sharing one instruction semantics.
+
+pub(crate) mod common;
+
+pub(crate) mod des;
+pub(crate) mod sequential;
+pub(crate) mod threaded;

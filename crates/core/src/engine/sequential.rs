@@ -1,0 +1,312 @@
+//! The single-PE reference engine.
+//!
+//! Runs the whole knowledge base in one region on one (simulated)
+//! processing element — no broadcast, no network, no overlap. It serves
+//! two purposes: it is the semantics oracle the parallel engines are
+//! compared against, and it produces the uniprocessor instruction
+//! profile of Fig. 6 (instruction frequency vs execution time measured
+//! "for NLU applications on a single processor").
+
+use crate::config::MachineConfig;
+use crate::controller::{plan, PropSpec, Step};
+use crate::cost::CostModel;
+use crate::engine::common::exec_single;
+use crate::error::CoreError;
+use crate::propagate::{expand, PropTask, VisitedMap};
+use crate::region::{Region, RegionMap};
+use crate::report::RunReport;
+use snap_isa::{InstrClass, Program};
+use snap_kb::{ClusterId, PartitionScheme, SemanticNetwork};
+use snap_mem::SimTime;
+use std::collections::VecDeque;
+
+/// Executes `program` sequentially, returning the measured report.
+pub(crate) fn run(
+    config: &MachineConfig,
+    cost: &CostModel,
+    network: &mut SemanticNetwork,
+    program: &Program,
+) -> Result<RunReport, CoreError> {
+    let map = RegionMap::build(network, 1, PartitionScheme::Sequential);
+    let mut region = Region::new(ClusterId(0), map, network);
+    let mut report = RunReport::default();
+    let mut now: SimTime = 0;
+
+    for step in plan(program) {
+        match step {
+            Step::Instr(idx) => {
+                let instr = &program.instructions()[idx];
+                let regions = std::slice::from_mut(&mut region);
+                let out = exec_single(instr, network, regions)?;
+                let w = out.work[0];
+                let ns = cost.pcp_ns
+                    + match instr.class() {
+                        InstrClass::Search => {
+                            cost.pu_decode_ns
+                                + w.scans as SimTime * cost.link_scan_ns
+                                + w.value_ops as SimTime * cost.value_op_ns
+                        }
+                        InstrClass::Boolean | InstrClass::SetClear => {
+                            cost.global_op_ns(w.words)
+                                + w.value_ops as SimTime * cost.value_op_ns
+                        }
+                        InstrClass::Collect => {
+                            let ns = cost.collect_ns(1, w.items);
+                            report.overhead.collect_ns += ns;
+                            ns
+                        }
+                        InstrClass::Maintenance => {
+                            cost.maintenance_ns * (out.maintenance_ops.max(1) as SimTime)
+                        }
+                        InstrClass::Barrier => {
+                            let ns = cost.sync_base_ns;
+                            report.overhead.sync_ns += ns;
+                            report.barriers += 1;
+                            ns
+                        }
+                        InstrClass::Propagate => unreachable!("plan puts propagates in groups"),
+                    };
+                now += ns;
+                report.record(instr.class(), ns);
+                if let Some(c) = out.collect {
+                    report.collects.push(c);
+                }
+            }
+            Step::Group(indices) => {
+                // A single PE cannot overlap propagations: run them in order.
+                for (g, &idx) in indices.iter().enumerate() {
+                    let instr = &program.instructions()[idx];
+                    let spec = PropSpec::compile(g, instr);
+                    let ns = run_propagate(config, cost, network, &mut region, &spec, &mut report)?;
+                    now += ns;
+                    report.record(InstrClass::Propagate, ns);
+                }
+                // Implicit barrier closing the group (trivial on one PE).
+                now += cost.sync_base_ns;
+                report.overhead.sync_ns += cost.sync_base_ns;
+                report.barriers += 1;
+                report.traffic.messages_per_sync.push(0);
+            }
+        }
+    }
+    report.total_ns = now;
+    Ok(report)
+}
+
+/// Breadth-first propagation with value re-relaxation (SPFA-style),
+/// entirely local to the single region.
+fn run_propagate(
+    config: &MachineConfig,
+    cost: &CostModel,
+    network: &SemanticNetwork,
+    region: &mut Region,
+    spec: &PropSpec,
+    report: &mut RunReport,
+) -> Result<SimTime, CoreError> {
+    let mut visited = VisitedMap::new();
+    let mut queue: VecDeque<PropTask> = VecDeque::new();
+    let sources = region.active_nodes(spec.source);
+    report.alpha_per_propagate.push(sources.len() as u64);
+    for node in sources {
+        let value = region.source_value(spec.source, node);
+        if visited.should_expand(spec.prop, 0, node, value, node) {
+            queue.push_back(PropTask {
+                prop: spec.prop,
+                node,
+                state: 0,
+                value,
+                origin: node,
+                level: 0,
+            });
+        }
+    }
+
+    let mut ns = cost.pu_decode_ns;
+    while let Some(task) = queue.pop_front() {
+        let exp = expand(network, &spec.rule, spec.func, &task);
+        report.expansions += 1;
+        ns += cost.expand_ns(exp.segments, exp.links_scanned, exp.arrivals.len());
+        if task.level >= config.max_hops {
+            continue;
+        }
+        for arrival in exp.arrivals {
+            region.arrive(spec.target, arrival.node, arrival.value, task.origin)?;
+            report.traffic.local_activations += 1;
+            let level = task.level + 1;
+            report.max_propagation_depth = report.max_propagation_depth.max(level);
+            if visited.should_expand(
+                spec.prop,
+                arrival.state,
+                arrival.node,
+                arrival.value,
+                task.origin,
+            ) {
+                queue.push_back(PropTask {
+                    prop: spec.prop,
+                    node: arrival.node,
+                    state: arrival.state,
+                    value: arrival.value,
+                    origin: task.origin,
+                    level,
+                });
+            }
+        }
+    }
+    Ok(ns)
+}
+
+/// Convenience used by tests and the machine facade.
+#[allow(dead_code)]
+pub(crate) fn run_default(
+    network: &mut SemanticNetwork,
+    program: &Program,
+) -> Result<RunReport, CoreError> {
+    run(
+        &MachineConfig::snap1_eval(),
+        &CostModel::snap1(),
+        network,
+        program,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_isa::{CombineFunc, PropRule, StepFunc};
+    use snap_kb::{Color, Marker, NetworkConfig, RelationType};
+
+    /// The Fig. 1 / Fig. 5 miniature: lexical nodes under syntactic
+    /// categories, a concept sequence with first/last elements.
+    fn fig1_network() -> SemanticNetwork {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let np = Color(1);
+        let vp = Color(2);
+        let cs = Color(3);
+        let is_a = RelationType(0);
+        let first = RelationType(1);
+        let last = RelationType(2);
+        let we = net.add_named_node("we", np).unwrap();
+        let ship = net.add_named_node("ship", np).unwrap();
+        let see = net.add_named_node("see", vp).unwrap();
+        let nphr = net.add_named_node("noun-phrase", np).unwrap();
+        let vphr = net.add_named_node("verb-phrase", vp).unwrap();
+        let seeing = net.add_named_node("seeing-event", cs).unwrap();
+        net.add_link(we, is_a, 0.1, nphr).unwrap();
+        net.add_link(ship, is_a, 0.2, nphr).unwrap();
+        net.add_link(see, is_a, 0.1, vphr).unwrap();
+        net.add_link(nphr, first, 0.5, seeing).unwrap();
+        net.add_link(vphr, last, 0.5, seeing).unwrap();
+        net
+    }
+
+    #[test]
+    fn fig5_parse_intersects_at_concept_sequence() {
+        let mut net = fig1_network();
+        let is_a = RelationType(0);
+        let first = RelationType(1);
+        let last = RelationType(2);
+        let (m1, m2, m3, m4, m5) = (
+            Marker::binary(1),
+            Marker::binary(2),
+            Marker::complex(3),
+            Marker::complex(4),
+            Marker::complex(5),
+        );
+        let program = Program::builder()
+            .search_color(Color(1), m1, 0.0) // NP words + noun-phrase
+            .search_color(Color(2), m2, 0.0) // VP words + verb-phrase
+            .propagate(m1, m3, PropRule::Spread(is_a, first), StepFunc::AddWeight)
+            .propagate(m2, m4, PropRule::Spread(is_a, last), StepFunc::AddWeight)
+            .and_marker(m3, m4, m5, CombineFunc::Add)
+            .collect_marker(m5)
+            .build();
+        let report = run_default(&mut net, &program).unwrap();
+        assert_eq!(report.collects.len(), 1);
+        let ids = report.collects[0].node_ids();
+        assert_eq!(ids, vec![net.lookup("seeing-event").unwrap()]);
+        // Cost semantics keep the minimum-cost binding: noun-phrase and
+        // verb-phrase are themselves colored sources (value 0), so the
+        // cheapest paths are first(0.5) and last(0.5); AND with Add → 1.0.
+        let crate::report::CollectOutput::Nodes(nodes) = &report.collects[0] else {
+            panic!("expected nodes");
+        };
+        let v = nodes[0].1.unwrap();
+        assert!((v.value - 1.0).abs() < 1e-5, "got {}", v.value);
+    }
+
+    #[test]
+    fn propagate_dominates_time_not_count() {
+        let mut net = fig1_network();
+        let is_a = RelationType(0);
+        let m1 = Marker::binary(1);
+        let m2 = Marker::complex(2);
+        let program = Program::builder()
+            .search_color(Color(1), m1, 0.0)
+            .set_marker(Marker::binary(9), 0.0)
+            .clear_marker(Marker::binary(9))
+            .propagate(m1, m2, PropRule::Star(is_a), StepFunc::AddWeight)
+            .collect_marker(m2)
+            .build();
+        let report = run_default(&mut net, &program).unwrap();
+        assert_eq!(report.count_of(InstrClass::Propagate), 1);
+        assert_eq!(report.instruction_count(), 5);
+        assert!(report.time_of(InstrClass::Propagate) > 0);
+        assert!(report.total_ns > 0);
+    }
+
+    #[test]
+    fn alpha_and_depth_recorded() {
+        let mut net = fig1_network();
+        let m1 = Marker::binary(1);
+        let m2 = Marker::binary(2);
+        let program = Program::builder()
+            .search_color(Color(1), m1, 0.0)
+            .propagate(
+                m1,
+                m2,
+                PropRule::Spread(RelationType(0), RelationType(1)),
+                StepFunc::Identity,
+            )
+            .build();
+        let report = run_default(&mut net, &program).unwrap();
+        assert_eq!(report.alpha_per_propagate, vec![3]); // we, ship, noun-phrase
+        // `we` (the smallest origin ID) wins the equal-cost binding at
+        // noun-phrase and re-expands it, so the deepest recorded arrival
+        // is the two-link path we → noun-phrase → seeing-event.
+        assert_eq!(report.max_propagation_depth, 2);
+        assert!(report.expansions >= 3);
+    }
+
+    #[test]
+    fn cyclic_network_terminates() {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let a = net.add_node(Color(0)).unwrap();
+        let b = net.add_node(Color(0)).unwrap();
+        let r = RelationType(1);
+        net.add_link(a, r, 1.0, b).unwrap();
+        net.add_link(b, r, 1.0, a).unwrap();
+        let program = Program::builder()
+            .search_node(a, Marker::binary(0), 0.0)
+            .propagate(
+                Marker::binary(0),
+                Marker::complex(1),
+                PropRule::Star(r),
+                StepFunc::AddWeight,
+            )
+            .collect_marker(Marker::complex(1))
+            .build();
+        let report = run_default(&mut net, &program).unwrap();
+        let ids = report.collects[0].node_ids();
+        assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn barrier_instruction_counts() {
+        let mut net = fig1_network();
+        let program = Program::builder().barrier().build();
+        let report = run_default(&mut net, &program).unwrap();
+        assert_eq!(report.count_of(InstrClass::Barrier), 1);
+        assert_eq!(report.barriers, 1);
+        assert!(report.overhead.sync_ns > 0);
+    }
+}

@@ -1,0 +1,673 @@
+//! The threaded parallel engine: one real thread per cluster.
+//!
+//! Cluster threads own their regions and exchange marker messages
+//! through the [`snap_net::Fabric`]; the controller (the calling thread)
+//! broadcasts commands over channels, overlaps independent propagations,
+//! and closes each propagation group with the tiered barrier
+//! ([`snap_sync::TieredBarrier`]) — the same protocol the hardware
+//! implements with its AND-tree and counter network. Logical results are
+//! identical to the other engines; timing is wall-clock.
+
+use crate::config::MachineConfig;
+use crate::controller::{plan, PropSpec, Step};
+use crate::error::CoreError;
+use crate::propagate::{expand, PropTask, VisitedMap};
+use crate::region::{Region, RegionMap};
+use crate::report::{CollectOutput, RunReport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use snap_isa::{InstrClass, Instruction, Program};
+use snap_kb::{ClusterId, Color, Link, MarkerValue, NodeId, SemanticNetwork};
+use snap_net::{Fabric, HypercubeTopology};
+use snap_sync::TieredBarrier;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Commands from the controller to the cluster workers.
+enum Cmd {
+    /// Execute the local part of a non-propagate, non-collect
+    /// instruction; reply `Done`.
+    Global(Arc<Instruction>),
+    /// Gather the local part of a retrieval; reply with the part.
+    Collect(Arc<Instruction>),
+    /// Report the nodes where a marker is active (marker-node
+    /// maintenance support); reply `Active`.
+    ActiveNodes(snap_kb::Marker),
+    /// Enter propagation mode for these overlapped specs.
+    Prop(Arc<Vec<PropSpec>>),
+    /// Leave propagation mode (sent after the barrier completes).
+    PhaseEnd,
+    /// Stop the worker.
+    Shutdown,
+}
+
+/// Replies from workers to the controller.
+enum Reply {
+    Done,
+    Nodes(Vec<(NodeId, Option<MarkerValue>)>),
+    Links(Vec<(NodeId, Link)>),
+    Colors(Vec<(NodeId, Color)>),
+    Active(Vec<NodeId>),
+}
+
+/// Executes `program` on real threads.
+pub(crate) fn run(
+    config: &MachineConfig,
+    network: &mut SemanticNetwork,
+    program: &Program,
+) -> Result<RunReport, CoreError> {
+    config.validate();
+    let started = Instant::now();
+    let map = RegionMap::build(network, config.clusters, config.partition);
+    let topology = HypercubeTopology::covering(config.clusters);
+    let (fabric, mut fabric_rxs) = Fabric::<PropTask>::new(topology);
+    let barrier = TieredBarrier::new();
+    let net = RwLock::new(network);
+    let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+
+    let (reply_tx, reply_rx) = unbounded::<Reply>();
+    let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(config.clusters);
+    let mut cmd_rxs: Vec<Receiver<Cmd>> = Vec::with_capacity(config.clusters);
+    for _ in 0..config.clusters {
+        let (tx, rx) = unbounded();
+        cmd_txs.push(tx);
+        cmd_rxs.push(rx);
+    }
+
+    let mut report = RunReport::default();
+    let steps = plan(program);
+
+    std::thread::scope(|scope| -> Result<(), CoreError> {
+        // Spawn one worker per cluster.
+        for c in (0..config.clusters).rev() {
+            let region = Region::new(ClusterId(c as u8), Arc::clone(&map), *net.read());
+            let worker = Worker {
+                cluster: c,
+                max_hops: config.max_hops,
+                region,
+                map: Arc::clone(&map),
+                cmd_rx: cmd_rxs.pop().expect("one rx per cluster"),
+                reply_tx: reply_tx.clone(),
+                fabric: fabric.clone(),
+                fabric_rx: fabric_rxs.pop().expect("one fabric rx per cluster"),
+                barrier: Arc::clone(&barrier),
+                net: &net,
+                first_error: &first_error,
+            };
+            scope.spawn(move || worker.run());
+        }
+        drop(reply_tx);
+
+        let mut msgs_before_phase = 0u64;
+        let result = (|| -> Result<(), CoreError> {
+            for step in &steps {
+                match step {
+                    Step::Instr(idx) => {
+                        let instr = &program.instructions()[*idx];
+                        let t0 = Instant::now();
+                        exec_instr(
+                            instr,
+                            &cmd_txs,
+                            &reply_rx,
+                            &net,
+                            &mut report,
+                            config.clusters,
+                        )?;
+                        check_error(&first_error)?;
+                        report.record(instr.class(), t0.elapsed().as_nanos() as u64);
+                    }
+                    Step::Group(indices) => {
+                        let t0 = Instant::now();
+                        let specs: Arc<Vec<PropSpec>> = Arc::new(
+                            indices
+                                .iter()
+                                .enumerate()
+                                .map(|(g, &idx)| {
+                                    PropSpec::compile(g, &program.instructions()[idx])
+                                })
+                                .collect(),
+                        );
+                        // One phase token per worker prevents completion
+                        // before every cluster has seeded its sources.
+                        for tx in &cmd_txs {
+                            barrier.created(0);
+                            tx.send(Cmd::Prop(Arc::clone(&specs)))
+                                .expect("worker alive");
+                        }
+                        barrier.wait_complete();
+                        for tx in &cmd_txs {
+                            tx.send(Cmd::PhaseEnd).expect("worker alive");
+                        }
+                        wait_done(&reply_rx, config.clusters);
+                        check_error(&first_error)?;
+                        report.barriers += 1;
+                        let now_msgs = fabric.messages();
+                        report
+                            .traffic
+                            .messages_per_sync
+                            .push(now_msgs - msgs_before_phase);
+                        msgs_before_phase = now_msgs;
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        for _ in indices {
+                            report.record(InstrClass::Propagate, ns / indices.len() as u64);
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })();
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        result
+    })?;
+
+    report.traffic.total_messages = fabric.messages();
+    report.traffic.total_hops = fabric.hops();
+    report.wall_ns = started.elapsed().as_nanos();
+    Ok(report)
+}
+
+fn check_error(slot: &Mutex<Option<CoreError>>) -> Result<(), CoreError> {
+    match slot.lock().take() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn wait_done(reply_rx: &Receiver<Reply>, clusters: usize) {
+    let mut done = 0;
+    while done < clusters {
+        if let Ok(Reply::Done) = reply_rx.recv() {
+            done += 1;
+        }
+    }
+}
+
+/// Controller-side execution of one non-propagate instruction.
+fn exec_instr(
+    instr: &Instruction,
+    cmd_txs: &[Sender<Cmd>],
+    reply_rx: &Receiver<Reply>,
+    net: &RwLock<&mut SemanticNetwork>,
+    report: &mut RunReport,
+    clusters: usize,
+) -> Result<(), CoreError> {
+    match instr.class() {
+        InstrClass::Maintenance => exec_maintenance(instr, cmd_txs, reply_rx, net, clusters),
+        InstrClass::Collect => {
+            let shared = Arc::new(instr.clone());
+            for tx in cmd_txs {
+                tx.send(Cmd::Collect(Arc::clone(&shared))).expect("worker alive");
+            }
+            let mut nodes = Vec::new();
+            let mut links = Vec::new();
+            let mut colors = Vec::new();
+            for _ in 0..clusters {
+                match reply_rx.recv().expect("workers alive") {
+                    Reply::Nodes(mut v) => nodes.append(&mut v),
+                    Reply::Links(mut v) => links.append(&mut v),
+                    Reply::Colors(mut v) => colors.append(&mut v),
+                    _ => {}
+                }
+            }
+            let out = match instr {
+                Instruction::CollectMarker { .. } => {
+                    nodes.sort_by_key(|(n, _)| *n);
+                    CollectOutput::Nodes(nodes)
+                }
+                Instruction::CollectRelation { .. } => {
+                    links.sort_by_key(|(n, l)| (*n, l.destination));
+                    CollectOutput::Links(links)
+                }
+                _ => {
+                    colors.sort_by_key(|(n, _)| *n);
+                    CollectOutput::Colors(colors)
+                }
+            };
+            report.collects.push(out);
+            Ok(())
+        }
+        InstrClass::Barrier => {
+            report.barriers += 1;
+            report.traffic.messages_per_sync.push(0);
+            Ok(())
+        }
+        _ => {
+            let shared = Arc::new(instr.clone());
+            for tx in cmd_txs {
+                tx.send(Cmd::Global(Arc::clone(&shared))).expect("worker alive");
+            }
+            wait_done(reply_rx, clusters);
+            Ok(())
+        }
+    }
+}
+
+/// Node/marker maintenance runs on the controller while the array is
+/// quiescent (the paper's "housekeeping when the pipeline is empty").
+fn exec_maintenance(
+    instr: &Instruction,
+    cmd_txs: &[Sender<Cmd>],
+    reply_rx: &Receiver<Reply>,
+    net: &RwLock<&mut SemanticNetwork>,
+    clusters: usize,
+) -> Result<(), CoreError> {
+    let marked = |marker: snap_kb::Marker| -> Vec<NodeId> {
+        for tx in cmd_txs {
+            tx.send(Cmd::ActiveNodes(marker)).expect("worker alive");
+        }
+        let mut nodes = Vec::new();
+        for _ in 0..clusters {
+            if let Ok(Reply::Active(mut v)) = reply_rx.recv() {
+                nodes.append(&mut v);
+            }
+        }
+        nodes.sort_unstable();
+        nodes
+    };
+    let mut guard = net.write();
+    match instr {
+        Instruction::Create {
+            source,
+            relation,
+            weight,
+            destination,
+        } => guard.add_link(*source, *relation, *weight, *destination)?,
+        Instruction::Delete {
+            source,
+            relation,
+            destination,
+        } => guard.remove_link(*source, *relation, *destination)?,
+        Instruction::SetColor { node, color } => guard.set_color(*node, *color)?,
+        Instruction::MarkerCreate {
+            marker,
+            forward,
+            end,
+            reverse,
+        } => {
+            drop(guard);
+            let nodes = marked(*marker);
+            let mut guard = net.write();
+            for n in nodes {
+                guard.add_link(n, *forward, 0.0, *end)?;
+                guard.add_link(*end, *reverse, 0.0, n)?;
+            }
+        }
+        Instruction::MarkerDelete {
+            marker,
+            forward,
+            end,
+            reverse,
+        } => {
+            drop(guard);
+            let nodes = marked(*marker);
+            let mut guard = net.write();
+            for n in nodes {
+                guard.remove_link(n, *forward, *end)?;
+                guard.remove_link(*end, *reverse, n)?;
+            }
+        }
+        Instruction::MarkerSetColor { marker, color } => {
+            drop(guard);
+            let nodes = marked(*marker);
+            let mut guard = net.write();
+            for n in nodes {
+                guard.set_color(n, *color)?;
+            }
+        }
+        _ => unreachable!("not a maintenance instruction"),
+    }
+    Ok(())
+}
+
+/// One cluster's worker thread.
+struct Worker<'env, 'net> {
+    cluster: usize,
+    max_hops: u8,
+    region: Region,
+    map: Arc<RegionMap>,
+    cmd_rx: Receiver<Cmd>,
+    reply_tx: Sender<Reply>,
+    fabric: Fabric<PropTask>,
+    fabric_rx: Receiver<PropTask>,
+    barrier: Arc<TieredBarrier>,
+    net: &'env RwLock<&'net mut SemanticNetwork>,
+    first_error: &'env Mutex<Option<CoreError>>,
+}
+
+impl Worker<'_, '_> {
+    fn run(mut self) {
+        while let Ok(cmd) = self.cmd_rx.recv() {
+            match cmd {
+                Cmd::Shutdown => return,
+                Cmd::Global(instr) => {
+                    if let Err(e) = self.exec_local(&instr) {
+                        self.report_error(e);
+                    }
+                    let _ = self.reply_tx.send(Reply::Done);
+                }
+                Cmd::Collect(instr) => {
+                    let reply = {
+                        let guard = self.net.read();
+                        match &*instr {
+                            Instruction::CollectMarker { marker } => {
+                                Reply::Nodes(self.region.collect_marker(*marker))
+                            }
+                            Instruction::CollectRelation { marker, relation } => Reply::Links(
+                                self.region.collect_relation(&guard, *marker, *relation),
+                            ),
+                            Instruction::CollectColor { marker } => Reply::Colors(
+                                self.region.collect_color(&guard, *marker),
+                            ),
+                            _ => Reply::Done,
+                        }
+                    };
+                    let _ = self.reply_tx.send(reply);
+                }
+                Cmd::ActiveNodes(marker) => {
+                    let _ = self
+                        .reply_tx
+                        .send(Reply::Active(self.region.active_nodes(marker)));
+                }
+                Cmd::Prop(specs) => {
+                    self.propagation_phase(&specs);
+                    let _ = self.reply_tx.send(Reply::Done);
+                }
+                Cmd::PhaseEnd => {}
+            }
+        }
+    }
+
+    fn report_error(&self, e: CoreError) {
+        self.first_error.lock().get_or_insert(e);
+    }
+
+    fn exec_local(&mut self, instr: &Instruction) -> Result<(), CoreError> {
+        match instr {
+            Instruction::SearchNode {
+                node,
+                marker,
+                value,
+            } => {
+                self.region.search_node(*node, *marker, *value)?;
+            }
+            Instruction::SearchRelation {
+                relation,
+                marker,
+                value,
+            } => {
+                let guard = self.net.read();
+                self.region.search_relation(&guard, *relation, *marker, *value)?;
+            }
+            Instruction::SearchColor {
+                color,
+                marker,
+                value,
+            } => {
+                let guard = self.net.read();
+                self.region.search_color(&guard, *color, *marker, *value)?;
+            }
+            Instruction::AndMarker {
+                a,
+                b,
+                target,
+                combine,
+            } => {
+                self.region.bool_op(true, *a, *b, *target, *combine)?;
+            }
+            Instruction::OrMarker {
+                a,
+                b,
+                target,
+                combine,
+            } => {
+                self.region.bool_op(false, *a, *b, *target, *combine)?;
+            }
+            Instruction::NotMarker { source, target } => {
+                self.region.not_op(*source, *target)?;
+            }
+            Instruction::SetMarker { marker, value } => {
+                self.region.set_marker(*marker, *value)?;
+            }
+            Instruction::ClearMarker { marker } => {
+                self.region.clear_marker(*marker)?;
+            }
+            Instruction::FuncMarker { marker, func } => {
+                self.region.func_marker(*marker, *func)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// MIMD propagation under local control, with tiered accounting:
+    /// every task/message is counted created before it becomes visible
+    /// and consumed after it is fully processed.
+    fn propagation_phase(&mut self, specs: &[PropSpec]) {
+        let mut visited = VisitedMap::new();
+        let mut queue: std::collections::VecDeque<PropTask> = Default::default();
+
+        // Seed local sources, then consume the controller's phase token.
+        self.barrier.enter_busy();
+        for spec in specs {
+            for node in self.region.active_nodes(spec.source) {
+                let value = self.region.source_value(spec.source, node);
+                if visited.should_expand(spec.prop, 0, node, value, node) {
+                    self.barrier.created(0);
+                    queue.push_back(PropTask {
+                        prop: spec.prop,
+                        node,
+                        state: 0,
+                        value,
+                        origin: node,
+                        level: 0,
+                    });
+                }
+            }
+        }
+        self.barrier.consumed(0);
+        self.barrier.exit_busy();
+
+        loop {
+            // Remote arrivals first, then local work.
+            if let Ok(task) = self.fabric_rx.try_recv() {
+                self.barrier.enter_busy();
+                let level = task.level;
+                self.handle_arrival(specs, &mut visited, &mut queue, task);
+                self.barrier.consumed(level.min(63));
+                self.barrier.exit_busy();
+                continue;
+            }
+            if let Some(task) = queue.pop_front() {
+                self.barrier.enter_busy();
+                self.expand_task(specs, &mut visited, &mut queue, &task);
+                self.barrier.consumed(task.level.min(63));
+                self.barrier.exit_busy();
+                continue;
+            }
+            match self.cmd_rx.try_recv() {
+                Ok(Cmd::PhaseEnd) => return,
+                Ok(Cmd::Shutdown) => return,
+                _ => std::thread::yield_now(),
+            }
+        }
+    }
+
+    fn handle_arrival(
+        &mut self,
+        specs: &[PropSpec],
+        visited: &mut VisitedMap,
+        queue: &mut std::collections::VecDeque<PropTask>,
+        task: PropTask,
+    ) {
+        let spec = &specs[task.prop];
+        if let Err(e) = self
+            .region
+            .arrive(spec.target, task.node, task.value, task.origin)
+        {
+            self.report_error(e);
+            return;
+        }
+        if visited.should_expand(task.prop, task.state, task.node, task.value, task.origin) {
+            self.barrier.created(task.level.min(63));
+            queue.push_back(task);
+        }
+    }
+
+    fn expand_task(
+        &mut self,
+        specs: &[PropSpec],
+        visited: &mut VisitedMap,
+        queue: &mut std::collections::VecDeque<PropTask>,
+        task: &PropTask,
+    ) {
+        let spec = &specs[task.prop];
+        let expansion = {
+            let guard = self.net.read();
+            expand(&guard, &spec.rule, spec.func, task)
+        };
+        if task.level >= self.max_hops {
+            return;
+        }
+        for arrival in expansion.arrivals {
+            let next = PropTask {
+                prop: task.prop,
+                node: arrival.node,
+                state: arrival.state,
+                value: arrival.value,
+                origin: task.origin,
+                level: task.level + 1,
+            };
+            let dest = self.map.cluster_of(arrival.node);
+            if dest.index() == self.cluster {
+                self.handle_arrival(specs, visited, queue, next);
+            } else {
+                self.barrier.created(next.level.min(63));
+                self.fabric
+                    .send(ClusterId(self.cluster as u8), dest, next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::engine::des;
+    use snap_isa::{CombineFunc, PropRule, StepFunc};
+    use snap_kb::{Marker, NetworkConfig, RelationType};
+
+    fn grid_network(n: usize) -> SemanticNetwork {
+        // A chain with extra skip links to create cross-cluster traffic.
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        for i in 0..n {
+            net.add_node(Color((i % 5) as u8)).unwrap();
+        }
+        for i in 0..n - 1 {
+            net.add_link(NodeId(i as u32), RelationType(1), 1.0, NodeId(i as u32 + 1))
+                .unwrap();
+        }
+        for i in 0..n - 7 {
+            net.add_link(NodeId(i as u32), RelationType(2), 2.0, NodeId(i as u32 + 7))
+                .unwrap();
+        }
+        net
+    }
+
+    fn workload() -> Program {
+        Program::builder()
+            .search_color(Color(0), Marker::binary(1), 0.0)
+            .search_color(Color(2), Marker::binary(2), 0.0)
+            .propagate(
+                Marker::binary(1),
+                Marker::complex(3),
+                PropRule::Union(RelationType(1), RelationType(2)),
+                StepFunc::AddWeight,
+            )
+            .propagate(
+                Marker::binary(2),
+                Marker::complex(4),
+                PropRule::Star(RelationType(1)),
+                StepFunc::AddWeight,
+            )
+            .and_marker(
+                Marker::complex(3),
+                Marker::complex(4),
+                Marker::complex(5),
+                CombineFunc::Min,
+            )
+            .func_marker(Marker::complex(5), snap_isa::ValueFunc::Scale(2.0))
+            .collect_marker(Marker::complex(5))
+            .collect_color(Marker::complex(5))
+            .build()
+    }
+
+    #[test]
+    fn threaded_matches_des_results() {
+        let program = workload();
+        let mut cfg = MachineConfig::uniform(4, 2);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        let mut net1 = grid_network(100);
+        let des_report = des::run(&cfg, &CostModel::snap1(), &mut net1, &program).unwrap();
+        let mut net2 = grid_network(100);
+        let thr_report = run(&cfg, &mut net2, &program).unwrap();
+        assert_eq!(des_report.collects.len(), thr_report.collects.len());
+        for (a, b) in des_report.collects.iter().zip(&thr_report.collects) {
+            assert_eq!(a.node_ids(), b.node_ids());
+        }
+        // Values agree too (monotone AddWeight converges identically).
+        let (CollectOutput::Nodes(a), CollectOutput::Nodes(b)) =
+            (&des_report.collects[0], &thr_report.collects[0])
+        else {
+            panic!("expected node collects");
+        };
+        for ((n1, v1), (n2, v2)) in a.iter().zip(b) {
+            assert_eq!(n1, n2);
+            let (v1, v2) = (v1.unwrap(), v2.unwrap());
+            assert!((v1.value - v2.value).abs() < 1e-4, "{n1}: {} vs {}", v1.value, v2.value);
+        }
+        assert!(thr_report.wall_ns > 0);
+        assert!(thr_report.traffic.total_messages > 0);
+    }
+
+    #[test]
+    fn maintenance_instructions_work_threaded() {
+        let mut net = grid_network(20);
+        let program = Program::builder()
+            .search_node(NodeId(0), Marker::binary(0), 0.0)
+            .search_node(NodeId(5), Marker::binary(0), 0.0)
+            .marker_create(Marker::binary(0), RelationType(9), NodeId(10), RelationType(10))
+            .collect_relation(Marker::binary(0), RelationType(9))
+            .build();
+        let cfg = MachineConfig::uniform(2, 1);
+        let report = run(&cfg, &mut net, &program).unwrap();
+        let CollectOutput::Links(links) = &report.collects[0] else {
+            panic!("expected links");
+        };
+        assert_eq!(links.len(), 2);
+        assert_eq!(net.links_by(NodeId(10), RelationType(10)).count(), 2);
+    }
+
+    #[test]
+    fn worker_errors_propagate_to_controller() {
+        let mut net = grid_network(10);
+        // Marker index 70 exceeds the 64-register file.
+        let program = Program::builder()
+            .set_marker(Marker::binary(70), 0.0)
+            .build();
+        let cfg = MachineConfig::uniform(2, 1);
+        assert!(run(&cfg, &mut net, &program).is_err());
+    }
+
+    #[test]
+    fn single_cluster_threaded_works() {
+        let mut net = grid_network(30);
+        let program = workload();
+        let cfg = MachineConfig::uniform(1, 2);
+        let report = run(&cfg, &mut net, &program).unwrap();
+        assert_eq!(report.collects.len(), 2);
+        assert_eq!(report.traffic.total_messages, 0);
+    }
+}

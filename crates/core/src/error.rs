@@ -1,0 +1,69 @@
+//! Error type for machine construction and program execution.
+
+use core::fmt;
+use snap_kb::KbError;
+
+/// Errors raised while loading a network or executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A knowledge-base operation failed.
+    Kb(KbError),
+    /// The program referenced a rule or function token the machine does
+    /// not have microcode for.
+    UnknownToken {
+        /// The offending token.
+        token: u8,
+    },
+    /// A cluster thread of the threaded engine panicked.
+    WorkerFailed {
+        /// The failing cluster index.
+        cluster: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Kb(e) => write!(f, "knowledge base error: {e}"),
+            CoreError::UnknownToken { token } => {
+                write!(f, "no microcode downloaded for token {token}")
+            }
+            CoreError::WorkerFailed { cluster } => {
+                write!(f, "cluster {cluster} worker thread failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Kb(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KbError> for CoreError {
+    fn from(e: KbError) -> Self {
+        CoreError::Kb(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_kb::NodeId;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(KbError::UnknownNode(NodeId(4)));
+        assert_eq!(e.to_string(), "knowledge base error: unknown node n4");
+        assert!(e.source().is_some());
+        let e = CoreError::UnknownToken { token: 9 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.source().is_none());
+    }
+}

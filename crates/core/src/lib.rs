@@ -1,0 +1,52 @@
+//! # snap-core — the SNAP-1 machine
+//!
+//! The Semantic Network Array Processor executes marker-propagation
+//! programs on an array of processing clusters managed by a
+//! dual-processor controller. This crate is the paper's primary
+//! contribution reproduced in software:
+//!
+//! * [`Snap1`] — the machine facade: configure geometry
+//!   ([`MachineConfig`]), costs ([`CostModel`]), and engine
+//!   ([`EngineKind`]), then [`Snap1::run`] programs against a
+//!   [`snap_kb::SemanticNetwork`];
+//! * three execution engines over one instruction semantics —
+//!   a sequential reference, a deterministic discrete-event simulator
+//!   (used for every timing figure), and a threaded engine with one real
+//!   thread per cluster;
+//! * [`RunReport`] — the integrated measurement system: per-class
+//!   instruction profiles (Figs. 6, 18, 19), marker traffic per barrier
+//!   (Fig. 8), α per propagation (Fig. 16), and the four overhead
+//!   components (Fig. 21).
+//!
+//! The engine-shared semantics ([`Region`], [`propagate`]) are public so
+//! comparator engines (e.g. the CM-2 baseline) can reuse them.
+//!
+//! # Examples
+//!
+//! See [`Snap1`] for an end-to-end example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod controller;
+mod cost;
+mod engine;
+mod error;
+pub mod propagate;
+mod region;
+mod report;
+mod machine;
+
+/// Engine-shared instruction semantics, public so comparator engines
+/// (the CM-2 baseline) execute the exact same logic.
+pub mod exec {
+    pub use crate::engine::common::{exec_single, ClusterWork, SingleOutcome};
+}
+
+pub use config::{EngineKind, MachineConfig};
+pub use cost::CostModel;
+pub use error::CoreError;
+pub use machine::{Snap1, Snap1Builder};
+pub use region::{Arrival, Region, RegionMap, VALUE_EPSILON};
+pub use report::{CollectOutput, OverheadBreakdown, RunReport, TrafficStats};

@@ -1,0 +1,250 @@
+//! The machine facade: configure once, load a knowledge base, run
+//! programs.
+
+use crate::config::{EngineKind, MachineConfig};
+use crate::cost::CostModel;
+use crate::error::CoreError;
+use crate::report::RunReport;
+use snap_isa::Program;
+use snap_kb::{PartitionScheme, SemanticNetwork};
+
+/// A configured SNAP-1 machine.
+///
+/// # Examples
+///
+/// ```
+/// use snap_core::Snap1;
+/// use snap_isa::{Program, PropRule, StepFunc};
+/// use snap_kb::{Color, Marker, NetworkConfig, RelationType, SemanticNetwork};
+///
+/// let mut net = SemanticNetwork::new(NetworkConfig::default());
+/// let a = net.add_named_node("a", Color(1))?;
+/// let b = net.add_named_node("b", Color(2))?;
+/// net.add_link(a, RelationType(0), 1.0, b)?;
+///
+/// let program = Program::builder()
+///     .search_color(Color(1), Marker::binary(0), 0.0)
+///     .propagate(Marker::binary(0), Marker::binary(1),
+///                PropRule::Star(RelationType(0)), StepFunc::Identity)
+///     .collect_marker(Marker::binary(1))
+///     .build();
+///
+/// let machine = Snap1::builder().clusters(4).build();
+/// let report = machine.run(&mut net, &program)?;
+/// assert_eq!(report.collects[0].node_ids(), vec![b]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Snap1 {
+    config: MachineConfig,
+    cost: CostModel,
+    engine: EngineKind,
+}
+
+impl Snap1 {
+    /// A machine with the paper's evaluation configuration (16 clusters,
+    /// 72 PEs) on the discrete-event engine.
+    pub fn new() -> Self {
+        Snap1 {
+            config: MachineConfig::snap1_eval(),
+            cost: CostModel::snap1(),
+            engine: EngineKind::Des,
+        }
+    }
+
+    /// Starts a builder.
+    pub fn builder() -> Snap1Builder {
+        Snap1Builder::default()
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The machine's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The engine this machine executes on.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Executes `program` against `network`, returning the measured
+    /// report. The network is borrowed mutably because node-maintenance
+    /// instructions edit it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for invalid marker registers, unknown nodes,
+    /// or missing links referenced by the program.
+    pub fn run(
+        &self,
+        network: &mut SemanticNetwork,
+        program: &Program,
+    ) -> Result<RunReport, CoreError> {
+        match self.engine {
+            EngineKind::Sequential => {
+                crate::engine::sequential::run(&self.config, &self.cost, network, program)
+            }
+            EngineKind::Des => crate::engine::des::run(&self.config, &self.cost, network, program),
+            EngineKind::Threaded => crate::engine::threaded::run(&self.config, network, program),
+        }
+    }
+}
+
+impl Default for Snap1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builder for [`Snap1`] machines.
+#[derive(Debug, Clone)]
+pub struct Snap1Builder {
+    config: MachineConfig,
+    cost: CostModel,
+    engine: EngineKind,
+}
+
+impl Default for Snap1Builder {
+    fn default() -> Self {
+        Snap1Builder {
+            config: MachineConfig::snap1_eval(),
+            cost: CostModel::snap1(),
+            engine: EngineKind::Des,
+        }
+    }
+}
+
+impl Snap1Builder {
+    /// Uses a complete configuration.
+    pub fn config(mut self, config: MachineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the cluster count (keeps 3 MUs per cluster unless a full
+    /// config was given).
+    pub fn clusters(mut self, clusters: usize) -> Self {
+        self.config = MachineConfig {
+            clusters,
+            mus: vec![3; clusters],
+            ..self.config
+        };
+        self
+    }
+
+    /// Sets a uniform MU count per cluster.
+    pub fn mus_per_cluster(mut self, mus: usize) -> Self {
+        self.config.mus = vec![mus; self.config.clusters];
+        self
+    }
+
+    /// Sets the partitioning function.
+    pub fn partition(mut self, scheme: PartitionScheme) -> Self {
+        self.config.partition = scheme;
+        self
+    }
+
+    /// Sets the execution engine.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Forces a global synchronization after every propagation wave
+    /// (the SIMD-only ablation).
+    pub fn lockstep_waves(mut self, lockstep: bool) -> Self {
+        self.config.lockstep_waves = lockstep;
+        self
+    }
+
+    /// Sets the CU outgoing-buffer capacity (sender blocks on overflow).
+    pub fn cu_outbox_capacity(mut self, capacity: usize) -> Self {
+        self.config.cu_outbox_capacity = capacity;
+        self
+    }
+
+    /// Enables the performance-collection network instrumentation.
+    pub fn instrument(mut self, on: bool) -> Self {
+        self.config.instrument = on;
+        self
+    }
+
+    /// Finishes the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`MachineConfig::validate`]).
+    pub fn build(self) -> Snap1 {
+        self.config.validate();
+        Snap1 {
+            config: self.config,
+            cost: self.cost,
+            engine: self.engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_isa::{PropRule, StepFunc};
+    use snap_kb::{Color, Marker, NetworkConfig, RelationType};
+
+    fn tiny() -> (SemanticNetwork, Program) {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let a = net.add_named_node("a", Color(1)).unwrap();
+        let b = net.add_named_node("b", Color(2)).unwrap();
+        net.add_link(a, RelationType(0), 1.0, b).unwrap();
+        let program = Program::builder()
+            .search_color(Color(1), Marker::binary(0), 0.0)
+            .propagate(
+                Marker::binary(0),
+                Marker::binary(1),
+                PropRule::Star(RelationType(0)),
+                StepFunc::Identity,
+            )
+            .collect_marker(Marker::binary(1))
+            .build();
+        (net, program)
+    }
+
+    #[test]
+    fn all_engines_agree_on_tiny_example() {
+        let mut ids = Vec::new();
+        for engine in [EngineKind::Sequential, EngineKind::Des, EngineKind::Threaded] {
+            let (mut net, program) = tiny();
+            let machine = Snap1::builder().clusters(2).engine(engine).build();
+            let report = machine.run(&mut net, &program).unwrap();
+            ids.push(report.collects[0].node_ids());
+        }
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+    }
+
+    #[test]
+    fn builder_configures_geometry() {
+        let m = Snap1::builder().clusters(8).mus_per_cluster(2).build();
+        assert_eq!(m.config().clusters, 8);
+        assert_eq!(m.config().pe_count(), 8 * 4);
+        assert_eq!(m.engine(), EngineKind::Des);
+    }
+
+    #[test]
+    fn default_machine_is_the_eval_array() {
+        let m = Snap1::new();
+        assert_eq!(m.config().clusters, 16);
+        assert_eq!(m.config().pe_count(), 72);
+    }
+}

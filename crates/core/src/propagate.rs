@@ -1,0 +1,251 @@
+//! Shared propagation semantics: rule-driven expansion and visited
+//! tracking.
+//!
+//! Every engine executes `PROPAGATE` through these helpers, so the set of
+//! nodes reached, the rule states traversed, and the value-merge results
+//! are engine-independent. The contract (documented on
+//! [`snap_isa::Instruction::Propagate`]):
+//!
+//! * a marker instance at `(node, rule_state)` expands at most once per
+//!   distinct value improvement greater than
+//!   [`crate::region::VALUE_EPSILON`];
+//! * value merging at a node keeps the minimum (cost semantics), breaking
+//!   ties toward the smaller origin node ID;
+//! * propagation depth is capped by the machine's `max_hops`, which
+//!   bounds work on cyclic knowledge bases.
+
+use snap_isa::{RuleProgram, StepFunc};
+use snap_kb::{NodeId, SemanticNetwork};
+use std::collections::HashMap;
+
+/// One marker instance ready to expand from a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropTask {
+    /// Index of the `PROPAGATE` instruction within its overlap group.
+    pub prop: usize,
+    /// Node the instance sits at.
+    pub node: NodeId,
+    /// Current rule state.
+    pub state: u8,
+    /// Current accumulated value.
+    pub value: f32,
+    /// Origin node of the instance.
+    pub origin: NodeId,
+    /// Propagation tier (links traversed so far).
+    pub level: u8,
+}
+
+/// One outgoing arrival produced by an expansion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropArrival {
+    /// Destination node.
+    pub node: NodeId,
+    /// Rule state the instance continues in.
+    pub state: u8,
+    /// Value after the step function.
+    pub value: f32,
+}
+
+/// Result of expanding one task against the relation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expansion {
+    /// Arrivals at successor nodes.
+    pub arrivals: Vec<PropArrival>,
+    /// Relation-table segments fetched (cost unit).
+    pub segments: usize,
+    /// Relation slots examined (cost unit).
+    pub links_scanned: usize,
+}
+
+/// Expands `task` one step: for each arc live in the task's rule state,
+/// traverse the matching relation links and apply the step function.
+pub fn expand(
+    network: &SemanticNetwork,
+    rule: &RuleProgram,
+    func: StepFunc,
+    task: &PropTask,
+) -> Expansion {
+    let state = rule.state(task.state);
+    let segments = network.segments(task.node);
+    let mut arrivals = Vec::new();
+    let mut links_scanned = 0;
+    if state.is_terminal() {
+        return Expansion {
+            arrivals,
+            segments: 0,
+            links_scanned: 0,
+        };
+    }
+    for link in network.links(task.node) {
+        links_scanned += 1;
+        for arc in state.arcs() {
+            if link.relation == arc.relation {
+                arrivals.push(PropArrival {
+                    node: link.destination,
+                    state: arc.next,
+                    value: func.apply(task.value, link.weight),
+                });
+            }
+        }
+    }
+    Expansion {
+        arrivals,
+        segments,
+        links_scanned,
+    }
+}
+
+/// Per-propagation visited map controlling (re-)expansion.
+///
+/// Records the best `(value, origin)` expanded from each
+/// `(prop, state, node)`; a task is worth expanding only on the first
+/// visit or when it improves that pair lexicographically (smaller value
+/// beyond epsilon, or equal value with a smaller origin ID). Matching
+/// the [`crate::Region::arrive`] merge rule keeps the propagation fixed
+/// point independent of arrival order.
+#[derive(Debug, Default)]
+pub struct VisitedMap {
+    best: HashMap<(usize, u8, NodeId), (f32, NodeId)>,
+}
+
+impl VisitedMap {
+    /// Creates an empty map (one per propagation phase).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` — and records the pair — if `(prop, state, node)`
+    /// has not been expanded yet or `(value, origin)` improves on the
+    /// recorded pair.
+    pub fn should_expand(
+        &mut self,
+        prop: usize,
+        state: u8,
+        node: NodeId,
+        value: f32,
+        origin: NodeId,
+    ) -> bool {
+        const EPS: f32 = crate::region::VALUE_EPSILON;
+        match self.best.get_mut(&(prop, state, node)) {
+            None => {
+                self.best.insert((prop, state, node), (value, origin));
+                true
+            }
+            Some((best, best_origin)) => {
+                if value < *best - EPS
+                    || ((value - *best).abs() <= EPS && origin < *best_origin)
+                {
+                    *best = value.min(*best);
+                    *best_origin = origin;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Number of distinct `(prop, state, node)` sites expanded.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// `true` if nothing has been expanded.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_isa::PropRule;
+    use snap_kb::{Color, NetworkConfig, RelationType};
+
+    fn diamond() -> SemanticNetwork {
+        // 0 --a(1.0)--> 1 --a(2.0)--> 3
+        // 0 --a(5.0)--> 2 --a(1.0)--> 3
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        for _ in 0..4 {
+            net.add_node(Color(0)).unwrap();
+        }
+        let a = RelationType(1);
+        net.add_link(NodeId(0), a, 1.0, NodeId(1)).unwrap();
+        net.add_link(NodeId(0), a, 5.0, NodeId(2)).unwrap();
+        net.add_link(NodeId(1), a, 2.0, NodeId(3)).unwrap();
+        net.add_link(NodeId(2), a, 1.0, NodeId(3)).unwrap();
+        net
+    }
+
+    #[test]
+    fn expand_follows_rule_arcs() {
+        let net = diamond();
+        let rule = PropRule::Star(RelationType(1)).compile();
+        let task = PropTask {
+            prop: 0,
+            node: NodeId(0),
+            state: 0,
+            value: 0.0,
+            origin: NodeId(0),
+            level: 0,
+        };
+        let exp = expand(&net, &rule, StepFunc::AddWeight, &task);
+        assert_eq!(exp.arrivals.len(), 2);
+        assert_eq!(exp.arrivals[0].node, NodeId(1));
+        assert_eq!(exp.arrivals[0].value, 1.0);
+        assert_eq!(exp.arrivals[1].value, 5.0);
+        assert_eq!(exp.links_scanned, 2);
+        assert_eq!(exp.segments, 1);
+    }
+
+    #[test]
+    fn expand_ignores_nonmatching_relations() {
+        let mut net = diamond();
+        net.add_link(NodeId(0), RelationType(9), 1.0, NodeId(3)).unwrap();
+        let rule = PropRule::Star(RelationType(1)).compile();
+        let task = PropTask {
+            prop: 0,
+            node: NodeId(0),
+            state: 0,
+            value: 0.0,
+            origin: NodeId(0),
+            level: 0,
+        };
+        let exp = expand(&net, &rule, StepFunc::AddWeight, &task);
+        assert_eq!(exp.arrivals.len(), 2, "r9 link not traversed");
+        assert_eq!(exp.links_scanned, 3, "but it was scanned");
+    }
+
+    #[test]
+    fn terminal_state_stops() {
+        let net = diamond();
+        let rule = PropRule::Once(RelationType(1)).compile();
+        let task = PropTask {
+            prop: 0,
+            node: NodeId(1),
+            state: 1, // terminal state of once()
+            value: 0.0,
+            origin: NodeId(0),
+            level: 1,
+        };
+        let exp = expand(&net, &rule, StepFunc::AddWeight, &task);
+        assert!(exp.arrivals.is_empty());
+    }
+
+    #[test]
+    fn visited_map_permits_improvements_only() {
+        let mut v = VisitedMap::new();
+        let o = NodeId(7);
+        assert!(v.should_expand(0, 0, NodeId(3), 5.0, o));
+        assert!(!v.should_expand(0, 0, NodeId(3), 5.0, o));
+        assert!(!v.should_expand(0, 0, NodeId(3), 6.0, o));
+        assert!(v.should_expand(0, 0, NodeId(3), 3.0, o));
+        // Equal value with a smaller origin re-expands (binding update).
+        assert!(v.should_expand(0, 0, NodeId(3), 3.0, NodeId(2)));
+        assert!(!v.should_expand(0, 0, NodeId(3), 3.0, NodeId(5)));
+        // Distinct states and propagations are independent.
+        assert!(v.should_expand(0, 1, NodeId(3), 9.0, o));
+        assert!(v.should_expand(1, 0, NodeId(3), 9.0, o));
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,706 @@
+//! A cluster's region: the slice of the knowledge base one cluster owns.
+//!
+//! Each region holds the local marker state for its member nodes and
+//! implements the *local* part of every SNAP instruction. Engines differ
+//! in how they schedule regions (in sequence, by simulated events, or on
+//! real threads), but all of them execute instructions through these
+//! methods, which is what makes their logical results identical.
+
+use crate::error::CoreError;
+use snap_isa::{CombineFunc, ValueFunc};
+use snap_kb::{
+    Color, ClusterId, Marker, MarkerKind, MarkerState, MarkerValue, NodeId, Partition,
+    PartitionScheme, RelationType, SemanticNetwork, StatusRow,
+};
+use std::sync::Arc;
+
+/// Minimum improvement for a re-arrival to update a stored marker value
+/// (guards convergence on cyclic knowledge bases).
+pub const VALUE_EPSILON: f32 = 1e-6;
+
+/// Global node → (cluster, local index) mapping shared by all regions of
+/// one machine.
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    partition: Partition,
+    local_of: Vec<u32>,
+}
+
+impl RegionMap {
+    /// Builds the map for `network` over `clusters` clusters.
+    pub fn build(network: &SemanticNetwork, clusters: usize, scheme: PartitionScheme) -> Arc<Self> {
+        let partition = Partition::build(network, clusters, scheme);
+        let mut local_of = vec![0u32; network.node_count()];
+        for c in 0..clusters {
+            for (i, &node) in partition.members(ClusterId(c as u8)).iter().enumerate() {
+                local_of[node.index()] = i as u32;
+            }
+        }
+        Arc::new(RegionMap { partition, local_of })
+    }
+
+    /// Cluster owning `node`.
+    pub fn cluster_of(&self, node: NodeId) -> ClusterId {
+        self.partition.cluster_of(node)
+    }
+
+    /// Local index of `node` within its owning cluster.
+    pub fn local_of(&self, node: NodeId) -> u32 {
+        self.local_of[node.index()]
+    }
+
+    /// Members of `cluster`, ascending by node ID.
+    pub fn members(&self, cluster: ClusterId) -> &[NodeId] {
+        self.partition.members(cluster)
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.partition.cluster_count()
+    }
+}
+
+/// Outcome of a marker arrival at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// The marker was newly activated here — expand onward.
+    New,
+    /// The marker was active but the value improved — re-expand.
+    Improved,
+    /// Already active with an equal-or-better value — stop.
+    Ignored,
+}
+
+/// One cluster's marker state and local instruction implementations.
+#[derive(Debug)]
+pub struct Region {
+    cluster: ClusterId,
+    map: Arc<RegionMap>,
+    markers: MarkerState,
+}
+
+impl Region {
+    /// Creates the region for `cluster`.
+    pub fn new(cluster: ClusterId, map: Arc<RegionMap>, network: &SemanticNetwork) -> Self {
+        let nodes = map.members(cluster).len();
+        let cfg = network.config();
+        Region {
+            cluster,
+            map,
+            markers: MarkerState::new(nodes, cfg.complex_markers, cfg.binary_markers),
+        }
+    }
+
+    /// The cluster this region belongs to.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// Member nodes, ascending.
+    pub fn members(&self) -> &[NodeId] {
+        self.map.members(self.cluster)
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.members().len()
+    }
+
+    /// `true` for a region with no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.members().is_empty()
+    }
+
+    /// Status words per marker row in this region.
+    pub fn words(&self) -> usize {
+        self.len().div_ceil(snap_kb::WORD_BITS)
+    }
+
+    fn local(&self, node: NodeId) -> NodeId {
+        debug_assert_eq!(self.map.cluster_of(node), self.cluster);
+        NodeId(self.map.local_of(node))
+    }
+
+    fn global(&self, local: NodeId) -> NodeId {
+        self.members()[local.index()]
+    }
+
+    /// `true` if this region owns `node`.
+    pub fn owns(&self, node: NodeId) -> bool {
+        node.index() < self.map.local_of.len() && self.map.cluster_of(node) == self.cluster
+    }
+
+    /// Tests `marker` at a member node.
+    pub fn test(&self, marker: Marker, node: NodeId) -> bool {
+        self.markers.test(marker, self.local(node))
+    }
+
+    /// The complex-marker payload at a member node, if active.
+    pub fn value(&self, marker: Marker, node: NodeId) -> Option<MarkerValue> {
+        self.markers.value(marker, self.local(node))
+    }
+
+    /// The value a propagation starting at `node` begins with: the
+    /// stored value for complex markers, 0.0 for binary markers.
+    pub fn source_value(&self, marker: Marker, node: NodeId) -> f32 {
+        self.value(marker, node).map_or(0.0, |v| v.value)
+    }
+
+    /// Member nodes where `marker` is active, ascending by global ID.
+    pub fn active_nodes(&self, marker: Marker) -> Vec<NodeId> {
+        self.markers
+            .row(marker)
+            .map(|row| row.iter().map(|l| self.global(l)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of active instances of `marker` in this region.
+    pub fn count(&self, marker: Marker) -> usize {
+        self.markers.count(marker)
+    }
+
+    // ----- search phase -----
+
+    /// `SEARCH-NODE` local part: activates `marker` at `node` if owned
+    /// here. Returns `true` if this region performed the activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn search_node(&mut self, node: NodeId, marker: Marker, value: f32) -> Result<bool, CoreError> {
+        if !self.owns(node) {
+            return Ok(false);
+        }
+        self.activate(marker, node, value, node)?;
+        Ok(true)
+    }
+
+    /// `SEARCH-RELATION` local part: activates `marker` at member nodes
+    /// with an outgoing link of type `relation`. Returns the number of
+    /// activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn search_relation(
+        &mut self,
+        network: &SemanticNetwork,
+        relation: RelationType,
+        marker: Marker,
+        value: f32,
+    ) -> Result<usize, CoreError> {
+        let hits: Vec<NodeId> = self
+            .members()
+            .iter()
+            .copied()
+            .filter(|&n| network.links_by(n, relation).next().is_some())
+            .collect();
+        for &n in &hits {
+            self.activate(marker, n, value, n)?;
+        }
+        Ok(hits.len())
+    }
+
+    /// `SEARCH-COLOR` local part: activates `marker` at member nodes of
+    /// the given color. Returns the number of activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn search_color(
+        &mut self,
+        network: &SemanticNetwork,
+        color: Color,
+        marker: Marker,
+        value: f32,
+    ) -> Result<usize, CoreError> {
+        let hits: Vec<NodeId> = self
+            .members()
+            .iter()
+            .copied()
+            .filter(|&n| network.color(n).is_ok_and(|c| c == color))
+            .collect();
+        for &n in &hits {
+            self.activate(marker, n, value, n)?;
+        }
+        Ok(hits.len())
+    }
+
+    fn activate(&mut self, marker: Marker, node: NodeId, value: f32, origin: NodeId) -> Result<(), CoreError> {
+        let local = self.local(node);
+        match marker.kind() {
+            MarkerKind::Complex => {
+                self.markers
+                    .set_value(marker, local, MarkerValue { value, origin })?;
+            }
+            MarkerKind::Binary => {
+                self.markers.set(marker, local)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- propagation -----
+
+    /// Delivers a propagated marker instance at a member node,
+    /// implementing the value-merge contract: first arrival activates;
+    /// later arrivals only count if they improve a complex value by more
+    /// than [`VALUE_EPSILON`] (smaller values win; ties broken toward
+    /// the smaller origin ID).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn arrive(
+        &mut self,
+        marker: Marker,
+        node: NodeId,
+        value: f32,
+        origin: NodeId,
+    ) -> Result<Arrival, CoreError> {
+        let local = self.local(node);
+        if !self.markers.test(marker, local) {
+            self.activate(marker, node, value, origin)?;
+            return Ok(Arrival::New);
+        }
+        if marker.kind() == MarkerKind::Binary {
+            return Ok(Arrival::Ignored);
+        }
+        let current = self
+            .markers
+            .value(marker, local)
+            .unwrap_or(MarkerValue { value: 0.0, origin: node });
+        // Lexicographic (value, origin) minimum: a strictly smaller value
+        // wins; an equal value (within epsilon) with a smaller origin ID
+        // wins the binding. Both cases re-expand, so the fixed point is
+        // independent of arrival order.
+        let better = value < current.value - VALUE_EPSILON
+            || ((value - current.value).abs() <= VALUE_EPSILON && origin < current.origin);
+        if better {
+            self.markers.set_value(
+                marker,
+                local,
+                MarkerValue {
+                    value: value.min(current.value),
+                    origin,
+                },
+            )?;
+            Ok(Arrival::Improved)
+        } else {
+            Ok(Arrival::Ignored)
+        }
+    }
+
+    // ----- boolean phase (word-parallel) -----
+
+    /// `AND-MARKER` / `OR-MARKER` local part. Returns
+    /// `(words_touched, value_updates)` for the cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn bool_op(
+        &mut self,
+        and: bool,
+        a: Marker,
+        b: Marker,
+        target: Marker,
+        combine: CombineFunc,
+    ) -> Result<(usize, usize), CoreError> {
+        let empty = StatusRow::new(self.len());
+        let row_a = self.markers.row(a).cloned().unwrap_or_else(|| empty.clone());
+        let row_b = self.markers.row(b).cloned().unwrap_or(empty);
+        let mut result = StatusRow::new(self.len());
+        let words = if and {
+            result.assign_and(&row_a, &row_b)
+        } else {
+            result.assign_or(&row_a, &row_b)
+        };
+        // Values for complex targets: combine the source payloads where
+        // both are present, else take the one that is.
+        let mut value_updates = 0;
+        if target.kind() == MarkerKind::Complex {
+            for local in result.iter() {
+                let va = self.markers.value(a, local).map(|v| v.value);
+                let vb = self.markers.value(b, local).map(|v| v.value);
+                let value = match (va, vb) {
+                    (Some(x), Some(y)) => combine.apply(x, y),
+                    (Some(x), None) => x,
+                    (None, Some(y)) => y,
+                    (None, None) => 0.0,
+                };
+                let origin = self.global(local);
+                self.markers
+                    .set_value(target, local, MarkerValue { value, origin })?;
+                value_updates += 1;
+            }
+            // Clear stale target bits not in the result.
+            let current: Vec<NodeId> = self
+                .markers
+                .row(target)
+                .map(|r| r.iter().collect())
+                .unwrap_or_default();
+            for local in current {
+                if !result.test(local) {
+                    self.markers.clear(target, local)?;
+                }
+            }
+        } else {
+            let row = self.markers.row_mut(target)?;
+            row.assign(&result);
+        }
+        Ok((words * 3, value_updates))
+    }
+
+    /// `NOT-MARKER` local part: `target` set exactly where `source` is
+    /// clear. Returns words touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn not_op(&mut self, source: Marker, target: Marker) -> Result<usize, CoreError> {
+        let src = self
+            .markers
+            .row(source)
+            .cloned()
+            .unwrap_or_else(|| StatusRow::new(self.len()));
+        let mut result = StatusRow::new(self.len());
+        let words = result.assign_not(&src);
+        if target.kind() == MarkerKind::Complex {
+            for local in result.iter() {
+                let origin = self.global(local);
+                self.markers
+                    .set_value(target, local, MarkerValue { value: 0.0, origin })?;
+            }
+            let current: Vec<NodeId> = self
+                .markers
+                .row(target)
+                .map(|r| r.iter().collect())
+                .unwrap_or_default();
+            for local in current {
+                if !result.test(local) {
+                    self.markers.clear(target, local)?;
+                }
+            }
+        } else {
+            self.markers.row_mut(target)?.assign(&result);
+        }
+        Ok(words * 2)
+    }
+
+    // ----- set/clear phase -----
+
+    /// `SET-MARKER` local part: activate at every member node. Returns
+    /// words touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn set_marker(&mut self, marker: Marker, value: f32) -> Result<usize, CoreError> {
+        let words = self.markers.row_mut(marker)?.set_all();
+        if marker.kind() == MarkerKind::Complex {
+            for &node in &self.members().to_vec() {
+                self.activate(marker, node, value, node)?;
+            }
+        }
+        Ok(words)
+    }
+
+    /// `CLEAR-MARKER` local part. Returns words touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn clear_marker(&mut self, marker: Marker) -> Result<usize, CoreError> {
+        Ok(self.markers.clear_marker(marker)?)
+    }
+
+    /// `FUNC-MARKER` local part: applies `func` to the marker value at
+    /// every active member node. Returns `(active_nodes, cleared)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn func_marker(&mut self, marker: Marker, func: ValueFunc) -> Result<(usize, usize), CoreError> {
+        let active: Vec<NodeId> = self
+            .markers
+            .row(marker)
+            .map(|r| r.iter().collect())
+            .unwrap_or_default();
+        let mut cleared = 0;
+        for local in &active {
+            let current = self.markers.value(marker, *local).map_or(0.0, |v| v.value);
+            match func {
+                ValueFunc::Scale(k) => self.write_value(marker, *local, current * k)?,
+                ValueFunc::Offset(k) => self.write_value(marker, *local, current + k)?,
+                ValueFunc::Const(k) => self.write_value(marker, *local, k)?,
+                ValueFunc::ClearIf(cmp, t) => {
+                    if cmp.eval(current, t) {
+                        self.markers.clear(marker, *local)?;
+                        cleared += 1;
+                    }
+                }
+                ValueFunc::KeepIf(cmp, t) => {
+                    if !cmp.eval(current, t) {
+                        self.markers.clear(marker, *local)?;
+                        cleared += 1;
+                    }
+                }
+            }
+        }
+        Ok((active.len(), cleared))
+    }
+
+    fn write_value(&mut self, marker: Marker, local: NodeId, value: f32) -> Result<(), CoreError> {
+        if marker.kind() == MarkerKind::Complex {
+            let origin = self
+                .markers
+                .value(marker, local)
+                .map_or_else(|| self.global(local), |v| v.origin);
+            self.markers
+                .set_value(marker, local, MarkerValue { value, origin })?;
+        }
+        Ok(())
+    }
+
+    // ----- retrieval phase -----
+
+    /// `COLLECT-MARKER` local part: `(global node, payload)` pairs,
+    /// ascending by node ID.
+    pub fn collect_marker(&self, marker: Marker) -> Vec<(NodeId, Option<MarkerValue>)> {
+        self.markers
+            .row(marker)
+            .map(|row| {
+                row.iter()
+                    .map(|local| (self.global(local), self.markers.value(marker, local)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// `COLLECT-RELATION` local part: links of `relation` at marked
+    /// member nodes.
+    pub fn collect_relation(
+        &self,
+        network: &SemanticNetwork,
+        marker: Marker,
+        relation: RelationType,
+    ) -> Vec<(NodeId, snap_kb::Link)> {
+        let mut out = Vec::new();
+        for node in self.active_nodes(marker) {
+            for link in network.links_by(node, relation) {
+                out.push((node, *link));
+            }
+        }
+        out
+    }
+
+    /// `COLLECT-COLOR` local part: colors of marked member nodes.
+    pub fn collect_color(
+        &self,
+        network: &SemanticNetwork,
+        marker: Marker,
+    ) -> Vec<(NodeId, Color)> {
+        self.active_nodes(marker)
+            .into_iter()
+            .filter_map(|n| network.color(n).ok().map(|c| (n, c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_isa::Cmp;
+    use snap_kb::NetworkConfig;
+
+    fn setup(clusters: usize) -> (SemanticNetwork, Arc<RegionMap>, Vec<Region>) {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        for i in 0..8 {
+            net.add_named_node(format!("node{i}"), Color((i % 3) as u8)).unwrap();
+        }
+        let r = RelationType(1);
+        net.add_link(NodeId(0), r, 1.0, NodeId(1)).unwrap();
+        net.add_link(NodeId(1), r, 1.0, NodeId(4)).unwrap();
+        net.add_link(NodeId(4), r, 1.0, NodeId(7)).unwrap();
+        let map = RegionMap::build(&net, clusters, PartitionScheme::RoundRobin);
+        let regions = (0..clusters)
+            .map(|c| Region::new(ClusterId(c as u8), Arc::clone(&map), &net))
+            .collect();
+        (net, map, regions)
+    }
+
+    #[test]
+    fn ownership_and_mapping() {
+        let (_, map, regions) = setup(2);
+        // Round-robin: even nodes to cluster 0, odd to cluster 1.
+        assert!(regions[0].owns(NodeId(0)));
+        assert!(regions[0].owns(NodeId(6)));
+        assert!(!regions[0].owns(NodeId(1)));
+        assert_eq!(map.cluster_of(NodeId(5)), ClusterId(1));
+        assert_eq!(map.local_of(NodeId(6)), 3);
+        assert_eq!(regions[0].len(), 4);
+    }
+
+    #[test]
+    fn search_color_marks_only_local_matches() {
+        let (net, _, mut regions) = setup(2);
+        let m = Marker::binary(0);
+        // Color 0 nodes: 0, 3, 6 — cluster 0 owns 0 and 6.
+        let hits = regions[0].search_color(&net, Color(0), m, 0.0).unwrap();
+        assert_eq!(hits, 2);
+        assert_eq!(regions[0].active_nodes(m), vec![NodeId(0), NodeId(6)]);
+    }
+
+    #[test]
+    fn search_relation_finds_link_sources() {
+        let (net, _, mut regions) = setup(1);
+        let m = Marker::binary(1);
+        let hits = regions[0]
+            .search_relation(&net, RelationType(1), m, 0.0)
+            .unwrap();
+        assert_eq!(hits, 3); // nodes 0, 1, 4 have r1 links
+        assert_eq!(
+            regions[0].active_nodes(m),
+            vec![NodeId(0), NodeId(1), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn arrival_merge_prefers_smaller_values() {
+        let (_, _, mut regions) = setup(1);
+        let m = Marker::complex(0);
+        let r = &mut regions[0];
+        assert_eq!(r.arrive(m, NodeId(2), 5.0, NodeId(0)).unwrap(), Arrival::New);
+        assert_eq!(
+            r.arrive(m, NodeId(2), 6.0, NodeId(1)).unwrap(),
+            Arrival::Ignored
+        );
+        assert_eq!(
+            r.arrive(m, NodeId(2), 3.0, NodeId(1)).unwrap(),
+            Arrival::Improved
+        );
+        let v = r.value(m, NodeId(2)).unwrap();
+        assert_eq!(v.value, 3.0);
+        assert_eq!(v.origin, NodeId(1));
+        // Equal value, smaller origin wins the binding.
+        assert_eq!(
+            r.arrive(m, NodeId(2), 3.0, NodeId(0)).unwrap(),
+            Arrival::Improved
+        );
+        assert_eq!(r.value(m, NodeId(2)).unwrap().origin, NodeId(0));
+    }
+
+    #[test]
+    fn binary_arrivals_do_not_reactivate() {
+        let (_, _, mut regions) = setup(1);
+        let b = Marker::binary(2);
+        let r = &mut regions[0];
+        assert_eq!(r.arrive(b, NodeId(3), 0.0, NodeId(0)).unwrap(), Arrival::New);
+        assert_eq!(
+            r.arrive(b, NodeId(3), 0.0, NodeId(1)).unwrap(),
+            Arrival::Ignored
+        );
+    }
+
+    #[test]
+    fn and_or_not_semantics() {
+        let (_, _, mut regions) = setup(1);
+        let r = &mut regions[0];
+        let (a, b, t) = (Marker::binary(0), Marker::binary(1), Marker::binary(2));
+        for n in [0u32, 1, 2] {
+            r.arrive(a, NodeId(n), 0.0, NodeId(n)).unwrap();
+        }
+        for n in [1u32, 2, 3] {
+            r.arrive(b, NodeId(n), 0.0, NodeId(n)).unwrap();
+        }
+        r.bool_op(true, a, b, t, CombineFunc::Add).unwrap();
+        assert_eq!(r.active_nodes(t), vec![NodeId(1), NodeId(2)]);
+        r.bool_op(false, a, b, t, CombineFunc::Add).unwrap();
+        assert_eq!(
+            r.active_nodes(t),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        r.not_op(a, t).unwrap();
+        assert_eq!(
+            r.active_nodes(t),
+            vec![NodeId(3), NodeId(4), NodeId(5), NodeId(6), NodeId(7)]
+        );
+    }
+
+    #[test]
+    fn and_combines_complex_values() {
+        let (_, _, mut regions) = setup(1);
+        let r = &mut regions[0];
+        let (a, b, t) = (Marker::complex(0), Marker::complex(1), Marker::complex(2));
+        r.arrive(a, NodeId(1), 2.0, NodeId(0)).unwrap();
+        r.arrive(b, NodeId(1), 3.0, NodeId(0)).unwrap();
+        r.bool_op(true, a, b, t, CombineFunc::Add).unwrap();
+        assert_eq!(r.value(t, NodeId(1)).unwrap().value, 5.0);
+        r.bool_op(true, a, b, t, CombineFunc::Min).unwrap();
+        assert_eq!(r.value(t, NodeId(1)).unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn bool_op_clears_stale_target_bits() {
+        let (_, _, mut regions) = setup(1);
+        let r = &mut regions[0];
+        let (a, b, t) = (Marker::complex(0), Marker::complex(1), Marker::complex(2));
+        r.arrive(t, NodeId(5), 9.0, NodeId(5)).unwrap();
+        r.arrive(a, NodeId(1), 1.0, NodeId(1)).unwrap();
+        r.arrive(b, NodeId(1), 1.0, NodeId(1)).unwrap();
+        r.bool_op(true, a, b, t, CombineFunc::Add).unwrap();
+        assert_eq!(r.active_nodes(t), vec![NodeId(1)], "stale bit at n5 cleared");
+    }
+
+    #[test]
+    fn set_clear_and_func_marker() {
+        let (_, _, mut regions) = setup(1);
+        let r = &mut regions[0];
+        let m = Marker::complex(3);
+        r.set_marker(m, 2.0).unwrap();
+        assert_eq!(r.count(m), 8);
+        assert_eq!(r.value(m, NodeId(4)).unwrap().value, 2.0);
+        let (active, cleared) = r.func_marker(m, ValueFunc::Scale(3.0)).unwrap();
+        assert_eq!((active, cleared), (8, 0));
+        assert_eq!(r.value(m, NodeId(4)).unwrap().value, 6.0);
+        // Threshold away everything above 5.0 — all of them.
+        let (_, cleared) = r.func_marker(m, ValueFunc::ClearIf(Cmp::Gt, 5.0)).unwrap();
+        assert_eq!(cleared, 8);
+        assert_eq!(r.count(m), 0);
+        r.set_marker(m, 1.0).unwrap();
+        r.clear_marker(m).unwrap();
+        assert_eq!(r.count(m), 0);
+    }
+
+    #[test]
+    fn keep_if_retains_matching_values() {
+        let (_, _, mut regions) = setup(1);
+        let r = &mut regions[0];
+        let m = Marker::complex(0);
+        r.arrive(m, NodeId(0), 1.0, NodeId(0)).unwrap();
+        r.arrive(m, NodeId(1), 9.0, NodeId(1)).unwrap();
+        let (_, cleared) = r.func_marker(m, ValueFunc::KeepIf(Cmp::Lt, 5.0)).unwrap();
+        assert_eq!(cleared, 1);
+        assert_eq!(r.active_nodes(m), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn collects_report_global_ids_sorted() {
+        let (net, _, mut regions) = setup(2);
+        let m = Marker::complex(0);
+        regions[0].arrive(m, NodeId(6), 1.5, NodeId(0)).unwrap();
+        regions[0].arrive(m, NodeId(0), 0.5, NodeId(0)).unwrap();
+        let collected = regions[0].collect_marker(m);
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[0].0, NodeId(0));
+        assert_eq!(collected[0].1.unwrap().value, 0.5);
+        assert_eq!(collected[1].0, NodeId(6));
+        let colors = regions[0].collect_color(&net, m);
+        assert_eq!(colors, vec![(NodeId(0), Color(0)), (NodeId(6), Color(0))]);
+        regions[0].arrive(Marker::binary(0), NodeId(0), 0.0, NodeId(0)).unwrap();
+        let links = regions[0].collect_relation(&net, Marker::binary(0), RelationType(1));
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].1.destination, NodeId(1));
+    }
+}

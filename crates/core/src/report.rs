@@ -1,0 +1,253 @@
+//! Run results and measurements.
+//!
+//! A [`RunReport`] is what a machine returns after executing a program:
+//! the retrieval results the application asked for plus the integrated
+//! measurement data the paper's evaluation is built from — per-class
+//! instruction counts and times, marker-traffic statistics per barrier
+//! synchronization, and the four parallel-overhead components of Fig. 21.
+
+use serde::{Deserialize, Serialize};
+use snap_isa::InstrClass;
+use snap_kb::{Color, Link, MarkerValue, NodeId};
+use snap_mem::SimTime;
+use std::collections::BTreeMap;
+
+/// The output of one retrieval (`COLLECT-*`) instruction, in program
+/// order. Node lists are sorted by ID for engine-independent comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CollectOutput {
+    /// `COLLECT-MARKER`: marked nodes with their complex-marker payloads.
+    Nodes(Vec<(NodeId, Option<MarkerValue>)>),
+    /// `COLLECT-RELATION`: links of the requested type at marked nodes.
+    Links(Vec<(NodeId, Link)>),
+    /// `COLLECT-COLOR`: colors of marked nodes.
+    Colors(Vec<(NodeId, Color)>),
+}
+
+impl CollectOutput {
+    /// Number of collected items.
+    pub fn len(&self) -> usize {
+        match self {
+            CollectOutput::Nodes(v) => v.len(),
+            CollectOutput::Links(v) => v.len(),
+            CollectOutput::Colors(v) => v.len(),
+        }
+    }
+
+    /// `true` when nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node IDs in this output (for result comparison across
+    /// engines).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        match self {
+            CollectOutput::Nodes(v) => v.iter().map(|(n, _)| *n).collect(),
+            CollectOutput::Links(v) => v.iter().map(|(n, _)| *n).collect(),
+            CollectOutput::Colors(v) => v.iter().map(|(n, _)| *n).collect(),
+        }
+    }
+}
+
+/// The four components of parallel overhead (Fig. 21).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    /// Instruction broadcast time (configuration phase).
+    pub broadcast_ns: SimTime,
+    /// Inter-PE message communication time (propagation phase).
+    pub communication_ns: SimTime,
+    /// Barrier synchronization time (propagation → accumulation
+    /// transition).
+    pub sync_ns: SimTime,
+    /// Result collection time (accumulation phase).
+    pub collect_ns: SimTime,
+}
+
+impl OverheadBreakdown {
+    /// Sum of all four components.
+    pub fn total_ns(&self) -> SimTime {
+        self.broadcast_ns + self.communication_ns + self.sync_ns + self.collect_ns
+    }
+}
+
+/// Marker-traffic statistics (Fig. 8).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Inter-cluster marker activation messages sent between each pair
+    /// of consecutive barrier synchronizations, in barrier order.
+    pub messages_per_sync: Vec<u64>,
+    /// Total inter-cluster messages.
+    pub total_messages: u64,
+    /// Total hypercube hops crossed.
+    pub total_hops: u64,
+    /// Total intra-cluster marker activations (no network traversal).
+    pub local_activations: u64,
+    /// Sends that found the CU outbox full and had to wait for a
+    /// delivery to free a slot (burst overflow).
+    pub blocked_sends: u64,
+}
+
+impl TrafficStats {
+    /// Mean messages per synchronization point (the paper reports
+    /// 11.49 for parsing).
+    pub fn mean_messages_per_sync(&self) -> f64 {
+        if self.messages_per_sync.is_empty() {
+            0.0
+        } else {
+            self.messages_per_sync.iter().sum::<u64>() as f64
+                / self.messages_per_sync.len() as f64
+        }
+    }
+
+    /// Largest burst observed at any synchronization point.
+    pub fn max_burst(&self) -> u64 {
+        self.messages_per_sync.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Everything measured during one program execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total simulated execution time (ns). Zero for engines that only
+    /// measure wall-clock time.
+    pub total_ns: SimTime,
+    /// Wall-clock execution time (ns), where measured (threaded engine).
+    pub wall_ns: u128,
+    /// Instructions executed, per class.
+    pub class_counts: BTreeMap<InstrClass, u64>,
+    /// Simulated time attributed to each class (ns).
+    pub class_time_ns: BTreeMap<InstrClass, SimTime>,
+    /// Retrieval results, in program order.
+    pub collects: Vec<CollectOutput>,
+    /// Parallel-overhead components.
+    pub overhead: OverheadBreakdown,
+    /// Marker traffic statistics.
+    pub traffic: TrafficStats,
+    /// Number of barrier synchronizations performed.
+    pub barriers: u64,
+    /// Total node expansions performed during propagation (a measure of
+    /// propagation work).
+    pub expansions: u64,
+    /// Source activations (α) of each `PROPAGATE` executed, in issue
+    /// order.
+    pub alpha_per_propagate: Vec<u64>,
+    /// Deepest propagation tier reached (longest path traversed).
+    pub max_propagation_depth: u8,
+    /// Events recorded on the performance-collection network (when
+    /// instrumentation is enabled).
+    pub perf_events: u64,
+    /// Instrumentation records lost to collector FIFO overflow.
+    pub perf_dropped: u64,
+}
+
+impl RunReport {
+    /// Number of instructions executed in total.
+    pub fn instruction_count(&self) -> u64 {
+        self.class_counts.values().sum()
+    }
+
+    /// Count of instructions in `class`.
+    pub fn count_of(&self, class: InstrClass) -> u64 {
+        self.class_counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Simulated time attributed to `class`, ns.
+    pub fn time_of(&self, class: InstrClass) -> SimTime {
+        self.class_time_ns.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Fraction of total attributed time spent in `class` (0..=1).
+    pub fn time_fraction(&self, class: InstrClass) -> f64 {
+        let total: SimTime = self.class_time_ns.values().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.time_of(class) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of instructions in `class` (0..=1).
+    pub fn count_fraction(&self, class: InstrClass) -> f64 {
+        let total = self.instruction_count();
+        if total == 0 {
+            0.0
+        } else {
+            self.count_of(class) as f64 / total as f64
+        }
+    }
+
+    /// Mean α (source activations per propagate).
+    pub fn mean_alpha(&self) -> f64 {
+        if self.alpha_per_propagate.is_empty() {
+            0.0
+        } else {
+            self.alpha_per_propagate.iter().sum::<u64>() as f64
+                / self.alpha_per_propagate.len() as f64
+        }
+    }
+
+    /// Records an executed instruction of `class` taking `ns`.
+    pub fn record(&mut self, class: InstrClass, ns: SimTime) {
+        *self.class_counts.entry(class).or_insert(0) += 1;
+        *self.class_time_ns.entry(class).or_insert(0) += ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_counts_and_time() {
+        let mut r = RunReport::default();
+        r.record(InstrClass::Propagate, 100);
+        r.record(InstrClass::Propagate, 50);
+        r.record(InstrClass::Boolean, 50);
+        assert_eq!(r.instruction_count(), 3);
+        assert_eq!(r.count_of(InstrClass::Propagate), 2);
+        assert_eq!(r.time_of(InstrClass::Propagate), 150);
+        assert!((r.time_fraction(InstrClass::Propagate) - 0.75).abs() < 1e-12);
+        assert!((r.count_fraction(InstrClass::Boolean) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_summary() {
+        let t = TrafficStats {
+            messages_per_sync: vec![5, 30, 1],
+            total_messages: 36,
+            total_hops: 50,
+            local_activations: 100,
+            blocked_sends: 0,
+        };
+        assert_eq!(t.mean_messages_per_sync(), 12.0);
+        assert_eq!(t.max_burst(), 30);
+    }
+
+    #[test]
+    fn collect_output_accessors() {
+        let c = CollectOutput::Nodes(vec![(NodeId(3), None), (NodeId(5), None)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.node_ids(), vec![NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn overhead_total() {
+        let o = OverheadBreakdown {
+            broadcast_ns: 1,
+            communication_ns: 2,
+            sync_ns: 3,
+            collect_ns: 4,
+        };
+        assert_eq!(o.total_ns(), 10);
+    }
+
+    #[test]
+    fn empty_report_fractions_are_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.time_fraction(InstrClass::Propagate), 0.0);
+        assert_eq!(r.count_fraction(InstrClass::Propagate), 0.0);
+        assert_eq!(r.mean_alpha(), 0.0);
+    }
+}

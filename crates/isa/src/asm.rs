@@ -1,0 +1,743 @@
+//! Text assembler and disassembler for SNAP programs.
+//!
+//! Application programs for SNAP-1 were written on the Sun host in C with
+//! high-level SNAP instructions. This module provides the equivalent of
+//! the paper's Fig. 5 program listings as a small assembly dialect, which
+//! keeps examples and tests close to the paper's notation:
+//!
+//! ```text
+//! ; configuration phase (L1..L3)
+//! search-color NP m1 0.0
+//! search-color VP m2 0.0
+//! ; propagation phase (L4, L5)
+//! propagate m2 m3 spread(is-a,first) add-weight
+//! propagate m1 m4 spread(is-a,last) add-weight
+//! ; accumulation phase (L6, L7)
+//! and-marker m3 m4 m5 add
+//! collect-marker m5
+//! ```
+//!
+//! Markers are written `m<i>` (complex) or `b<i>` (binary). Relations,
+//! colors, and nodes may be symbolic names resolved through a
+//! [`SymbolTable`], or the numeric spellings `r<i>`, `color<i>`, `n<i>`.
+//! Custom (microcoded) propagation rules have no text form.
+
+use crate::func::{Cmp, CombineFunc, StepFunc, ValueFunc};
+use crate::instruction::Instruction;
+use crate::program::Program;
+use crate::rule::PropRule;
+use core::fmt;
+use snap_kb::{Color, Marker, MarkerKind, NodeId, RelationType};
+use std::collections::HashMap;
+
+/// Maps symbolic names to relations, colors, and nodes.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    relations: HashMap<String, RelationType>,
+    colors: HashMap<String, Color>,
+    nodes: HashMap<String, NodeId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines a relation name.
+    pub fn relation(&mut self, name: impl Into<String>, r: RelationType) -> &mut Self {
+        self.relations.insert(name.into(), r);
+        self
+    }
+
+    /// Defines a color name.
+    pub fn color(&mut self, name: impl Into<String>, c: Color) -> &mut Self {
+        self.colors.insert(name.into(), c);
+        self
+    }
+
+    /// Defines a node name.
+    pub fn node(&mut self, name: impl Into<String>, n: NodeId) -> &mut Self {
+        self.nodes.insert(name.into(), n);
+        self
+    }
+
+    fn rel_name(&self, r: RelationType) -> Option<&str> {
+        self.relations
+            .iter()
+            .find(|&(_, &v)| v == r)
+            .map(|(k, _)| k.as_str())
+    }
+
+    fn color_name(&self, c: Color) -> Option<&str> {
+        self.colors
+            .iter()
+            .find(|&(_, &v)| v == c)
+            .map(|(k, _)| k.as_str())
+    }
+
+    fn node_name(&self, n: NodeId) -> Option<&str> {
+        self.nodes
+            .iter()
+            .find(|&(_, &v)| v == n)
+            .map(|(k, _)| k.as_str())
+    }
+}
+
+/// An assembly parse error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending statement.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles `source` into a [`Program`], resolving names via `symbols`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] naming the first offending line for unknown
+/// mnemonics, malformed operands, or unresolved symbols.
+pub fn assemble(source: &str, symbols: &SymbolTable) -> Result<Program, AsmError> {
+    let mut program = Program::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty line has a first token");
+        let ops: Vec<&str> = parts.collect();
+        let instr = parse_instruction(mnemonic, &ops, symbols)
+            .map_err(|message| AsmError {
+                line: line_no,
+                message,
+            })?;
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+fn parse_instruction(
+    mnemonic: &str,
+    ops: &[&str],
+    sym: &SymbolTable,
+) -> Result<Instruction, String> {
+    let arity = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "`{mnemonic}` expects {n} operand(s), found {}",
+                ops.len()
+            ))
+        }
+    };
+    match mnemonic {
+        "create" => {
+            arity(4)?;
+            Ok(Instruction::Create {
+                source: parse_node(ops[0], sym)?,
+                relation: parse_relation(ops[1], sym)?,
+                weight: parse_f32(ops[2])?,
+                destination: parse_node(ops[3], sym)?,
+            })
+        }
+        "delete" => {
+            arity(3)?;
+            Ok(Instruction::Delete {
+                source: parse_node(ops[0], sym)?,
+                relation: parse_relation(ops[1], sym)?,
+                destination: parse_node(ops[2], sym)?,
+            })
+        }
+        "set-color" => {
+            arity(2)?;
+            Ok(Instruction::SetColor {
+                node: parse_node(ops[0], sym)?,
+                color: parse_color(ops[1], sym)?,
+            })
+        }
+        "search-node" => {
+            arity(3)?;
+            Ok(Instruction::SearchNode {
+                node: parse_node(ops[0], sym)?,
+                marker: parse_marker(ops[1])?,
+                value: parse_f32(ops[2])?,
+            })
+        }
+        "search-relation" => {
+            arity(3)?;
+            Ok(Instruction::SearchRelation {
+                relation: parse_relation(ops[0], sym)?,
+                marker: parse_marker(ops[1])?,
+                value: parse_f32(ops[2])?,
+            })
+        }
+        "search-color" => {
+            arity(3)?;
+            Ok(Instruction::SearchColor {
+                color: parse_color(ops[0], sym)?,
+                marker: parse_marker(ops[1])?,
+                value: parse_f32(ops[2])?,
+            })
+        }
+        "propagate" => {
+            arity(4)?;
+            Ok(Instruction::Propagate {
+                source: parse_marker(ops[0])?,
+                target: parse_marker(ops[1])?,
+                rule: parse_rule(ops[2], sym)?,
+                func: parse_step_func(ops[3])?,
+            })
+        }
+        "marker-create" | "marker-delete" => {
+            arity(4)?;
+            let marker = parse_marker(ops[0])?;
+            let forward = parse_relation(ops[1], sym)?;
+            let end = parse_node(ops[2], sym)?;
+            let reverse = parse_relation(ops[3], sym)?;
+            Ok(if mnemonic == "marker-create" {
+                Instruction::MarkerCreate {
+                    marker,
+                    forward,
+                    end,
+                    reverse,
+                }
+            } else {
+                Instruction::MarkerDelete {
+                    marker,
+                    forward,
+                    end,
+                    reverse,
+                }
+            })
+        }
+        "marker-set-color" => {
+            arity(2)?;
+            Ok(Instruction::MarkerSetColor {
+                marker: parse_marker(ops[0])?,
+                color: parse_color(ops[1], sym)?,
+            })
+        }
+        "and-marker" | "or-marker" => {
+            arity(4)?;
+            let a = parse_marker(ops[0])?;
+            let b = parse_marker(ops[1])?;
+            let target = parse_marker(ops[2])?;
+            let combine = parse_combine(ops[3])?;
+            Ok(if mnemonic == "and-marker" {
+                Instruction::AndMarker {
+                    a,
+                    b,
+                    target,
+                    combine,
+                }
+            } else {
+                Instruction::OrMarker {
+                    a,
+                    b,
+                    target,
+                    combine,
+                }
+            })
+        }
+        "not-marker" => {
+            arity(2)?;
+            Ok(Instruction::NotMarker {
+                source: parse_marker(ops[0])?,
+                target: parse_marker(ops[1])?,
+            })
+        }
+        "set-marker" => {
+            arity(2)?;
+            Ok(Instruction::SetMarker {
+                marker: parse_marker(ops[0])?,
+                value: parse_f32(ops[1])?,
+            })
+        }
+        "clear-marker" => {
+            arity(1)?;
+            Ok(Instruction::ClearMarker {
+                marker: parse_marker(ops[0])?,
+            })
+        }
+        "func-marker" => {
+            arity(2)?;
+            Ok(Instruction::FuncMarker {
+                marker: parse_marker(ops[0])?,
+                func: parse_value_func(ops[1])?,
+            })
+        }
+        "collect-marker" => {
+            arity(1)?;
+            Ok(Instruction::CollectMarker {
+                marker: parse_marker(ops[0])?,
+            })
+        }
+        "collect-relation" => {
+            arity(2)?;
+            Ok(Instruction::CollectRelation {
+                marker: parse_marker(ops[0])?,
+                relation: parse_relation(ops[1], sym)?,
+            })
+        }
+        "collect-color" => {
+            arity(1)?;
+            Ok(Instruction::CollectColor {
+                marker: parse_marker(ops[0])?,
+            })
+        }
+        "comm-end" => {
+            arity(0)?;
+            Ok(Instruction::Barrier)
+        }
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+fn parse_f32(s: &str) -> Result<f32, String> {
+    s.parse::<f32>().map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn parse_marker(s: &str) -> Result<Marker, String> {
+    let (kind, digits) = s.split_at(1);
+    let index: u8 = digits
+        .parse()
+        .map_err(|_| format!("invalid marker `{s}` (expected m<i> or b<i>)"))?;
+    match kind {
+        "m" => Ok(Marker::complex(index)),
+        "b" => Ok(Marker::binary(index)),
+        _ => Err(format!("invalid marker `{s}` (expected m<i> or b<i>)")),
+    }
+}
+
+fn parse_relation(s: &str, sym: &SymbolTable) -> Result<RelationType, String> {
+    if let Some(&r) = sym.relations.get(s) {
+        return Ok(r);
+    }
+    if let Some(d) = s.strip_prefix('r') {
+        if let Ok(v) = d.parse::<u16>() {
+            return Ok(RelationType(v));
+        }
+    }
+    Err(format!("unknown relation `{s}`"))
+}
+
+fn parse_color(s: &str, sym: &SymbolTable) -> Result<Color, String> {
+    if let Some(&c) = sym.colors.get(s) {
+        return Ok(c);
+    }
+    if let Some(d) = s.strip_prefix("color") {
+        if let Ok(v) = d.parse::<u8>() {
+            return Ok(Color(v));
+        }
+    }
+    Err(format!("unknown color `{s}`"))
+}
+
+fn parse_node(s: &str, sym: &SymbolTable) -> Result<NodeId, String> {
+    if let Some(&n) = sym.nodes.get(s) {
+        return Ok(n);
+    }
+    if let Some(d) = s.strip_prefix('n') {
+        if let Ok(v) = d.parse::<u32>() {
+            return Ok(NodeId(v));
+        }
+    }
+    Err(format!("unknown node `{s}`"))
+}
+
+fn parse_rule(s: &str, sym: &SymbolTable) -> Result<PropRule, String> {
+    let (name, rest) = s
+        .split_once('(')
+        .ok_or_else(|| format!("invalid rule `{s}` (expected name(r1[,r2]))"))?;
+    let inner = rest
+        .strip_suffix(')')
+        .ok_or_else(|| format!("invalid rule `{s}` (missing `)`)"))?;
+    let args: Vec<&str> = inner.split(',').map(str::trim).collect();
+    let one = |args: &[&str]| -> Result<RelationType, String> {
+        if args.len() == 1 {
+            parse_relation(args[0], sym)
+        } else {
+            Err(format!("rule `{name}` expects one relation"))
+        }
+    };
+    let two = |args: &[&str]| -> Result<(RelationType, RelationType), String> {
+        if args.len() == 2 {
+            Ok((parse_relation(args[0], sym)?, parse_relation(args[1], sym)?))
+        } else {
+            Err(format!("rule `{name}` expects two relations"))
+        }
+    };
+    match name {
+        "once" => Ok(PropRule::Once(one(&args)?)),
+        "star" => Ok(PropRule::Star(one(&args)?)),
+        "spread" => {
+            let (a, b) = two(&args)?;
+            Ok(PropRule::Spread(a, b))
+        }
+        "seq" => {
+            let (a, b) = two(&args)?;
+            Ok(PropRule::Seq(a, b))
+        }
+        "union" => {
+            let (a, b) = two(&args)?;
+            Ok(PropRule::Union(a, b))
+        }
+        other => Err(format!("unknown rule type `{other}`")),
+    }
+}
+
+fn parse_step_func(s: &str) -> Result<StepFunc, String> {
+    match s {
+        "identity" => Ok(StepFunc::Identity),
+        "add-weight" => Ok(StepFunc::AddWeight),
+        "mul-weight" => Ok(StepFunc::MulWeight),
+        "min-weight" => Ok(StepFunc::MinWeight),
+        "max-weight" => Ok(StepFunc::MaxWeight),
+        other => Err(format!("unknown step function `{other}`")),
+    }
+}
+
+fn parse_combine(s: &str) -> Result<CombineFunc, String> {
+    match s {
+        "add" => Ok(CombineFunc::Add),
+        "min" => Ok(CombineFunc::Min),
+        "max" => Ok(CombineFunc::Max),
+        "left" => Ok(CombineFunc::Left),
+        "right" => Ok(CombineFunc::Right),
+        other => Err(format!("unknown combine function `{other}`")),
+    }
+}
+
+fn parse_value_func(s: &str) -> Result<ValueFunc, String> {
+    let (name, rest) = s
+        .split_once('(')
+        .ok_or_else(|| format!("invalid value function `{s}`"))?;
+    let inner = rest
+        .strip_suffix(')')
+        .ok_or_else(|| format!("invalid value function `{s}` (missing `)`)"))?;
+    match name {
+        "scale" => Ok(ValueFunc::Scale(parse_f32(inner)?)),
+        "offset" => Ok(ValueFunc::Offset(parse_f32(inner)?)),
+        "const" => Ok(ValueFunc::Const(parse_f32(inner)?)),
+        "clear-if" | "keep-if" => {
+            let (cmp, threshold) = parse_condition(inner)?;
+            Ok(if name == "clear-if" {
+                ValueFunc::ClearIf(cmp, threshold)
+            } else {
+                ValueFunc::KeepIf(cmp, threshold)
+            })
+        }
+        other => Err(format!("unknown value function `{other}`")),
+    }
+}
+
+fn parse_condition(s: &str) -> Result<(Cmp, f32), String> {
+    for (txt, cmp) in [
+        ("<=", Cmp::Le),
+        (">=", Cmp::Ge),
+        ("==", Cmp::Eq),
+        ("<", Cmp::Lt),
+        (">", Cmp::Gt),
+    ] {
+        if let Some(rest) = s.strip_prefix(txt) {
+            return Ok((cmp, parse_f32(rest.trim())?));
+        }
+    }
+    Err(format!("invalid condition `{s}`"))
+}
+
+/// Renders `program` back to assembly text, preferring symbolic names
+/// from `symbols` and falling back to numeric spellings.
+pub fn disassemble(program: &Program, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    for instr in program {
+        out.push_str(&format_instruction(instr, symbols));
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_marker(m: Marker) -> String {
+    match m.kind() {
+        MarkerKind::Complex => format!("m{}", m.index()),
+        MarkerKind::Binary => format!("b{}", m.index()),
+    }
+}
+
+fn fmt_rel(r: RelationType, sym: &SymbolTable) -> String {
+    sym.rel_name(r)
+        .map_or_else(|| format!("r{}", r.0), str::to_owned)
+}
+
+fn fmt_color(c: Color, sym: &SymbolTable) -> String {
+    sym.color_name(c)
+        .map_or_else(|| format!("color{}", c.0), str::to_owned)
+}
+
+fn fmt_node(n: NodeId, sym: &SymbolTable) -> String {
+    sym.node_name(n)
+        .map_or_else(|| format!("n{}", n.0), str::to_owned)
+}
+
+fn fmt_rule(rule: &PropRule, sym: &SymbolTable) -> String {
+    match rule {
+        PropRule::Once(r) => format!("once({})", fmt_rel(*r, sym)),
+        PropRule::Star(r) => format!("star({})", fmt_rel(*r, sym)),
+        PropRule::Spread(a, b) => format!("spread({},{})", fmt_rel(*a, sym), fmt_rel(*b, sym)),
+        PropRule::Seq(a, b) => format!("seq({},{})", fmt_rel(*a, sym), fmt_rel(*b, sym)),
+        PropRule::Union(a, b) => format!("union({},{})", fmt_rel(*a, sym), fmt_rel(*b, sym)),
+        PropRule::Custom(p) => format!("custom[{}]", p.states().len()),
+    }
+}
+
+fn format_instruction(instr: &Instruction, sym: &SymbolTable) -> String {
+    use Instruction::*;
+    let m = instr.mnemonic();
+    match instr {
+        Create {
+            source,
+            relation,
+            weight,
+            destination,
+        } => format!(
+            "{m} {} {} {} {}",
+            fmt_node(*source, sym),
+            fmt_rel(*relation, sym),
+            weight,
+            fmt_node(*destination, sym)
+        ),
+        Delete {
+            source,
+            relation,
+            destination,
+        } => format!(
+            "{m} {} {} {}",
+            fmt_node(*source, sym),
+            fmt_rel(*relation, sym),
+            fmt_node(*destination, sym)
+        ),
+        SetColor { node, color } => {
+            format!("{m} {} {}", fmt_node(*node, sym), fmt_color(*color, sym))
+        }
+        SearchNode {
+            node,
+            marker,
+            value,
+        } => format!("{m} {} {} {}", fmt_node(*node, sym), fmt_marker(*marker), value),
+        SearchRelation {
+            relation,
+            marker,
+            value,
+        } => format!(
+            "{m} {} {} {}",
+            fmt_rel(*relation, sym),
+            fmt_marker(*marker),
+            value
+        ),
+        SearchColor {
+            color,
+            marker,
+            value,
+        } => format!(
+            "{m} {} {} {}",
+            fmt_color(*color, sym),
+            fmt_marker(*marker),
+            value
+        ),
+        Propagate {
+            source,
+            target,
+            rule,
+            func,
+        } => format!(
+            "{m} {} {} {} {func}",
+            fmt_marker(*source),
+            fmt_marker(*target),
+            fmt_rule(rule, sym)
+        ),
+        MarkerCreate {
+            marker,
+            forward,
+            end,
+            reverse,
+        }
+        | MarkerDelete {
+            marker,
+            forward,
+            end,
+            reverse,
+        } => format!(
+            "{m} {} {} {} {}",
+            fmt_marker(*marker),
+            fmt_rel(*forward, sym),
+            fmt_node(*end, sym),
+            fmt_rel(*reverse, sym)
+        ),
+        MarkerSetColor { marker, color } => {
+            format!("{m} {} {}", fmt_marker(*marker), fmt_color(*color, sym))
+        }
+        AndMarker {
+            a,
+            b,
+            target,
+            combine,
+        }
+        | OrMarker {
+            a,
+            b,
+            target,
+            combine,
+        } => format!(
+            "{m} {} {} {} {combine}",
+            fmt_marker(*a),
+            fmt_marker(*b),
+            fmt_marker(*target)
+        ),
+        NotMarker { source, target } => {
+            format!("{m} {} {}", fmt_marker(*source), fmt_marker(*target))
+        }
+        SetMarker { marker, value } => format!("{m} {} {}", fmt_marker(*marker), value),
+        ClearMarker { marker } => format!("{m} {}", fmt_marker(*marker)),
+        FuncMarker { marker, func } => format!("{m} {} {func}", fmt_marker(*marker)),
+        CollectMarker { marker } | CollectColor { marker } => {
+            format!("{m} {}", fmt_marker(*marker))
+        }
+        CollectRelation { marker, relation } => {
+            format!("{m} {} {}", fmt_marker(*marker), fmt_rel(*relation, sym))
+        }
+        Barrier => m.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbols() -> SymbolTable {
+        let mut sym = SymbolTable::new();
+        sym.relation("is-a", RelationType(0))
+            .relation("first", RelationType(1))
+            .relation("last", RelationType(2))
+            .color("NP", Color(1))
+            .color("VP", Color(2))
+            .node("seeing-event", NodeId(10));
+        sym
+    }
+
+    const FIG5: &str = "\
+; configuration phase
+search-color NP m1 0.0
+search-color VP m2 0.0
+; propagation phase
+propagate m2 m3 spread(is-a,first) add-weight
+propagate m1 m4 spread(is-a,last) add-weight
+; accumulation phase
+and-marker m3 m4 m5 add
+collect-marker m5
+";
+
+    #[test]
+    fn assembles_fig5_fragment() {
+        let p = assemble(FIG5, &symbols()).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(
+            p.instructions()[2],
+            Instruction::Propagate {
+                source: Marker::complex(2),
+                target: Marker::complex(3),
+                rule: PropRule::Spread(RelationType(0), RelationType(1)),
+                func: StepFunc::AddWeight,
+            }
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let sym = symbols();
+        let p = assemble(FIG5, &sym).unwrap();
+        let text = disassemble(&p, &sym);
+        let p2 = assemble(&text, &sym).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("comm-end\nbogus-op m1\n", &symbols()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus-op"));
+        assert_eq!(err.to_string(), "line 2: unknown mnemonic `bogus-op`");
+    }
+
+    #[test]
+    fn arity_checked() {
+        let err = assemble("set-marker m1", &symbols()).unwrap_err();
+        assert!(err.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn numeric_fallback_spellings() {
+        let p = assemble("create n1 r7 0.25 n2\nset-color n1 color9\n", &SymbolTable::new()).unwrap();
+        assert_eq!(
+            p.instructions()[0],
+            Instruction::Create {
+                source: NodeId(1),
+                relation: RelationType(7),
+                weight: 0.25,
+                destination: NodeId(2),
+            }
+        );
+    }
+
+    #[test]
+    fn func_marker_conditions() {
+        let p = assemble("func-marker m1 clear-if(>=2.5)\nfunc-marker m2 keep-if(<1)\n", &SymbolTable::new())
+            .unwrap();
+        assert_eq!(
+            p.instructions()[0],
+            Instruction::FuncMarker {
+                marker: Marker::complex(1),
+                func: ValueFunc::ClearIf(Cmp::Ge, 2.5),
+            }
+        );
+        assert_eq!(
+            p.instructions()[1],
+            Instruction::FuncMarker {
+                marker: Marker::complex(2),
+                func: ValueFunc::KeepIf(Cmp::Lt, 1.0),
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_symbols_rejected() {
+        let err = assemble("search-color Unknown m1 0.0", &symbols()).unwrap_err();
+        assert!(err.message.contains("unknown color"));
+        let err = assemble("propagate m1 m2 spread(nope,is-a) identity", &symbols()).unwrap_err();
+        assert!(err.message.contains("unknown relation"));
+    }
+
+    #[test]
+    fn marker_kinds_parse() {
+        let p = assemble("not-marker b3 m4", &SymbolTable::new()).unwrap();
+        assert_eq!(
+            p.instructions()[0],
+            Instruction::NotMarker {
+                source: Marker::binary(3),
+                target: Marker::complex(4),
+            }
+        );
+    }
+}

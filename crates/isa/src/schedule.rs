@@ -1,0 +1,217 @@
+//! β-maximizing instruction scheduling.
+//!
+//! The controller can only overlap `PROPAGATE` instructions that are
+//! **adjacent** in the instruction stream (it closes the overlap group
+//! at the first intervening instruction). β-parallelism is therefore a
+//! property of instruction *order*, not just of the data dependencies —
+//! and a compile-time pass can recover overlap that the programmer's
+//! ordering hides.
+//!
+//! [`schedule_beta`] performs a conservative, semantics-preserving
+//! list-scheduling pass: it walks the program, holding back ready
+//! `PROPAGATE` instructions and emitting them in batches at the point
+//! where the next dependent instruction forces them, so independent
+//! propagations end up adjacent. Two instructions are reordered only if
+//! they commute: their marker read/write sets do not conflict, and
+//! neither has controller-visible side effects that must stay ordered
+//! (retrievals, barriers, node maintenance).
+
+use crate::instruction::{InstrClass, Instruction};
+use crate::program::Program;
+use snap_kb::Marker;
+use std::collections::HashSet;
+
+/// Returns `true` when `a` and `b` touch conflicting marker sets
+/// (write/write or read/write overlap).
+fn conflicts(a: &Instruction, b: &Instruction) -> bool {
+    let ar: HashSet<Marker> = a.reads().into_iter().collect();
+    let aw: HashSet<Marker> = a.writes().into_iter().collect();
+    let br: HashSet<Marker> = b.reads().into_iter().collect();
+    let bw: HashSet<Marker> = b.writes().into_iter().collect();
+    aw.iter().any(|m| br.contains(m) || bw.contains(m))
+        || bw.iter().any(|m| ar.contains(m))
+}
+
+/// `true` if the instruction has controller-visible effects that pin
+/// its position (may not move relative to anything).
+fn is_pinned(instr: &Instruction) -> bool {
+    matches!(
+        instr.class(),
+        InstrClass::Collect | InstrClass::Barrier | InstrClass::Maintenance
+    )
+}
+
+/// Reorders `program` to maximize adjacent groups of independent
+/// `PROPAGATE` instructions while preserving semantics.
+///
+/// The result executes the same instruction multiset, with every
+/// reordering justified by commutativity; retrieval outputs appear in
+/// the original order.
+///
+/// # Examples
+///
+/// ```
+/// use snap_isa::{analyze_beta, schedule_beta, Program, PropRule, StepFunc};
+/// use snap_kb::{Marker, RelationType};
+///
+/// // Two independent propagations separated by an unrelated clear.
+/// let p = Program::builder()
+///     .propagate(Marker::binary(0), Marker::complex(1),
+///                PropRule::Star(RelationType(0)), StepFunc::Identity)
+///     .clear_marker(Marker::binary(9))
+///     .propagate(Marker::binary(2), Marker::complex(3),
+///                PropRule::Star(RelationType(0)), StepFunc::Identity)
+///     .build();
+/// assert_eq!(analyze_beta(&p).beta_max(), 2); // dependency-wise
+/// let scheduled = schedule_beta(&p);
+/// // The clear floats ahead; the two propagates become adjacent, so the
+/// // controller overlaps them.
+/// assert_eq!(scheduled.instructions()[1].class(), scheduled.instructions()[2].class());
+/// ```
+pub fn schedule_beta(program: &Program) -> Program {
+    let mut out = Program::new();
+    // Propagations whose emission is being delayed to batch with later
+    // ready propagations.
+    let mut held: Vec<Instruction> = Vec::new();
+
+    let flush = |held: &mut Vec<Instruction>, out: &mut Program| {
+        for p in held.drain(..) {
+            out.push(p);
+        }
+    };
+
+    for instr in program {
+        match instr.class() {
+            InstrClass::Propagate => {
+                // A propagate conflicting with a held one must not jump
+                // it: flush first, then start a new batch with it.
+                if held.iter().any(|h| conflicts(h, instr)) {
+                    flush(&mut held, &mut out);
+                }
+                held.push(instr.clone());
+            }
+            _ => {
+                let blocked =
+                    is_pinned(instr) || held.iter().any(|h| conflicts(h, instr));
+                if blocked {
+                    flush(&mut held, &mut out);
+                    out.push(instr.clone());
+                } else {
+                    // Commutes with every held propagate: emit it *before*
+                    // the batch so the propagates stay adjacent.
+                    out.push(instr.clone());
+                }
+            }
+        }
+    }
+    flush(&mut held, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_beta;
+    use crate::func::StepFunc;
+    use crate::rule::PropRule;
+    use snap_kb::{NodeId, RelationType};
+
+    fn prop(src: u8, dst: u8) -> Instruction {
+        Instruction::Propagate {
+            source: Marker::binary(src),
+            target: Marker::complex(dst),
+            rule: PropRule::Star(RelationType(0)),
+            func: StepFunc::Identity,
+        }
+    }
+
+    fn clear(m: u8) -> Instruction {
+        Instruction::ClearMarker {
+            marker: Marker::binary(m),
+        }
+    }
+
+    #[test]
+    fn groups_propagates_across_unrelated_instructions() {
+        let p: Program = vec![prop(0, 1), clear(9), prop(2, 3), clear(8), prop(4, 5)]
+            .into_iter()
+            .collect();
+        let s = schedule_beta(&p);
+        assert_eq!(s.len(), p.len(), "same instruction count");
+        // The clears moved ahead; the three propagates are adjacent.
+        let classes: Vec<InstrClass> = s.iter().map(Instruction::class).collect();
+        assert_eq!(
+            classes,
+            vec![
+                InstrClass::SetClear,
+                InstrClass::SetClear,
+                InstrClass::Propagate,
+                InstrClass::Propagate,
+                InstrClass::Propagate,
+            ]
+        );
+        assert_eq!(analyze_beta(&s).beta_max(), 3);
+    }
+
+    #[test]
+    fn dependent_instructions_are_not_reordered() {
+        // The clear touches a held propagate's target: must flush.
+        let p: Program = vec![prop(0, 1), clear(0), prop(2, 3)].into_iter().collect();
+        let s = schedule_beta(&p);
+        // clear(b0) conflicts with prop(0,1)'s read of b0 → order kept.
+        assert_eq!(s.instructions()[0], prop(0, 1));
+        assert_eq!(s.instructions()[1], clear(0));
+        assert_eq!(s.instructions()[2], prop(2, 3));
+    }
+
+    #[test]
+    fn collects_and_barriers_stay_put() {
+        let collect = Instruction::CollectMarker {
+            marker: Marker::binary(9),
+        };
+        let p: Program = vec![prop(0, 1), collect.clone(), prop(2, 3)]
+            .into_iter()
+            .collect();
+        let s = schedule_beta(&p);
+        assert_eq!(s.instructions()[1], collect, "retrieval order preserved");
+    }
+
+    #[test]
+    fn chained_propagates_keep_their_order() {
+        let chain = Instruction::Propagate {
+            source: Marker::complex(1),
+            target: Marker::complex(2),
+            rule: PropRule::Star(RelationType(0)),
+            func: StepFunc::Identity,
+        };
+        let p: Program = vec![prop(0, 1), chain.clone()].into_iter().collect();
+        let s = schedule_beta(&p);
+        assert_eq!(s.instructions()[0], prop(0, 1));
+        assert_eq!(s.instructions()[1], chain);
+    }
+
+    #[test]
+    fn maintenance_pins_the_stream() {
+        let create = Instruction::Create {
+            source: NodeId(0),
+            relation: RelationType(1),
+            weight: 0.0,
+            destination: NodeId(1),
+        };
+        let p: Program = vec![prop(0, 1), create.clone(), prop(2, 3)]
+            .into_iter()
+            .collect();
+        let s = schedule_beta(&p);
+        // Maintenance edits the network the held propagate may read:
+        // never reordered across it.
+        assert_eq!(s.instructions()[1], create);
+    }
+
+    #[test]
+    fn idempotent_on_already_scheduled_programs() {
+        let p: Program = vec![clear(8), prop(0, 1), prop(2, 3)].into_iter().collect();
+        let s1 = schedule_beta(&p);
+        let s2 = schedule_beta(&s1);
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property test: every assemblable instruction survives a
+//! disassemble → assemble round trip unchanged.
+
+use proptest::prelude::*;
+use snap_isa::{
+    assemble, disassemble, Cmp, CombineFunc, Instruction, Program, PropRule, StepFunc,
+    SymbolTable, ValueFunc,
+};
+use snap_kb::{Color, Marker, NodeId, RelationType};
+
+fn marker_strategy() -> impl Strategy<Value = Marker> {
+    (0u8..64, any::<bool>()).prop_map(|(i, complex)| {
+        if complex {
+            Marker::complex(i)
+        } else {
+            Marker::binary(i)
+        }
+    })
+}
+
+fn rule_strategy() -> impl Strategy<Value = PropRule> {
+    let rel = (0u16..100).prop_map(RelationType);
+    prop_oneof![
+        rel.clone().prop_map(PropRule::Once),
+        rel.clone().prop_map(PropRule::Star),
+        (rel.clone(), rel.clone()).prop_map(|(a, b)| PropRule::Spread(a, b)),
+        (rel.clone(), rel.clone()).prop_map(|(a, b)| PropRule::Seq(a, b)),
+        (rel.clone(), rel).prop_map(|(a, b)| PropRule::Union(a, b)),
+    ]
+}
+
+fn step_strategy() -> impl Strategy<Value = StepFunc> {
+    prop_oneof![
+        Just(StepFunc::Identity),
+        Just(StepFunc::AddWeight),
+        Just(StepFunc::MulWeight),
+        Just(StepFunc::MinWeight),
+        Just(StepFunc::MaxWeight),
+    ]
+}
+
+fn combine_strategy() -> impl Strategy<Value = CombineFunc> {
+    prop_oneof![
+        Just(CombineFunc::Add),
+        Just(CombineFunc::Min),
+        Just(CombineFunc::Max),
+        Just(CombineFunc::Left),
+        Just(CombineFunc::Right),
+    ]
+}
+
+fn value_func_strategy() -> impl Strategy<Value = ValueFunc> {
+    let cmp = prop_oneof![
+        Just(Cmp::Lt),
+        Just(Cmp::Le),
+        Just(Cmp::Gt),
+        Just(Cmp::Ge),
+        Just(Cmp::Eq)
+    ];
+    prop_oneof![
+        (0u32..100).prop_map(|k| ValueFunc::Scale(k as f32 / 4.0)),
+        (0u32..100).prop_map(|k| ValueFunc::Offset(k as f32 / 4.0)),
+        (0u32..100).prop_map(|k| ValueFunc::Const(k as f32 / 4.0)),
+        (cmp.clone(), 0u32..100).prop_map(|(c, k)| ValueFunc::ClearIf(c, k as f32 / 4.0)),
+        (cmp, 0u32..100).prop_map(|(c, k)| ValueFunc::KeepIf(c, k as f32 / 4.0)),
+    ]
+}
+
+fn instruction_strategy() -> impl Strategy<Value = Instruction> {
+    let node = (0u32..1000).prop_map(NodeId);
+    let rel = (0u16..100).prop_map(RelationType);
+    let color = (0u8..=255).prop_map(Color);
+    let value = (0i32..4000).prop_map(|v| v as f32 / 8.0);
+    prop_oneof![
+        (node.clone(), rel.clone(), value.clone(), node.clone()).prop_map(
+            |(source, relation, weight, destination)| Instruction::Create {
+                source,
+                relation,
+                weight,
+                destination
+            }
+        ),
+        (node.clone(), rel.clone(), node.clone()).prop_map(|(source, relation, destination)| {
+            Instruction::Delete {
+                source,
+                relation,
+                destination,
+            }
+        }),
+        (node.clone(), color.clone()).prop_map(|(node, color)| Instruction::SetColor {
+            node,
+            color
+        }),
+        (node.clone(), marker_strategy(), value.clone()).prop_map(|(node, marker, value)| {
+            Instruction::SearchNode {
+                node,
+                marker,
+                value,
+            }
+        }),
+        (rel.clone(), marker_strategy(), value.clone()).prop_map(|(relation, marker, value)| {
+            Instruction::SearchRelation {
+                relation,
+                marker,
+                value,
+            }
+        }),
+        (color.clone(), marker_strategy(), value.clone()).prop_map(|(color, marker, value)| {
+            Instruction::SearchColor {
+                color,
+                marker,
+                value,
+            }
+        }),
+        (marker_strategy(), marker_strategy(), rule_strategy(), step_strategy()).prop_map(
+            |(source, target, rule, func)| Instruction::Propagate {
+                source,
+                target,
+                rule,
+                func
+            }
+        ),
+        (marker_strategy(), rel.clone(), node.clone(), rel.clone()).prop_map(
+            |(marker, forward, end, reverse)| Instruction::MarkerCreate {
+                marker,
+                forward,
+                end,
+                reverse
+            }
+        ),
+        (marker_strategy(), color.clone()).prop_map(|(marker, color)| {
+            Instruction::MarkerSetColor { marker, color }
+        }),
+        (
+            marker_strategy(),
+            marker_strategy(),
+            marker_strategy(),
+            combine_strategy()
+        )
+            .prop_map(|(a, b, target, combine)| Instruction::AndMarker {
+                a,
+                b,
+                target,
+                combine
+            }),
+        (
+            marker_strategy(),
+            marker_strategy(),
+            marker_strategy(),
+            combine_strategy()
+        )
+            .prop_map(|(a, b, target, combine)| Instruction::OrMarker {
+                a,
+                b,
+                target,
+                combine
+            }),
+        (marker_strategy(), marker_strategy())
+            .prop_map(|(source, target)| Instruction::NotMarker { source, target }),
+        (marker_strategy(), value).prop_map(|(marker, value)| Instruction::SetMarker {
+            marker,
+            value
+        }),
+        marker_strategy().prop_map(|marker| Instruction::ClearMarker { marker }),
+        (marker_strategy(), value_func_strategy())
+            .prop_map(|(marker, func)| Instruction::FuncMarker { marker, func }),
+        marker_strategy().prop_map(|marker| Instruction::CollectMarker { marker }),
+        (marker_strategy(), rel).prop_map(|(marker, relation)| Instruction::CollectRelation {
+            marker,
+            relation
+        }),
+        marker_strategy().prop_map(|marker| Instruction::CollectColor { marker }),
+        Just(Instruction::Barrier),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn prop_disassemble_assemble_roundtrip(
+        instrs in proptest::collection::vec(instruction_strategy(), 1..24)
+    ) {
+        let program: Program = instrs.into_iter().collect();
+        let symbols = SymbolTable::new();
+        let text = disassemble(&program, &symbols);
+        let parsed = assemble(&text, &symbols).expect("own output assembles");
+        prop_assert_eq!(program, parsed);
+    }
+}

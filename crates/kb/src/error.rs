@@ -1,0 +1,96 @@
+//! Error types for knowledge-base construction and access.
+
+use crate::ids::{NodeId, RelationType};
+use core::fmt;
+
+/// Errors raised by knowledge-base operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KbError {
+    /// The configured node capacity (`N`, 32K in the prototype) is exhausted.
+    NodeCapacityExceeded {
+        /// Configured maximum number of nodes.
+        capacity: usize,
+    },
+    /// A referenced node does not exist.
+    UnknownNode(NodeId),
+    /// A referenced node name is not defined.
+    UnknownName(String),
+    /// A node name was defined twice.
+    DuplicateName(String),
+    /// A marker index is outside the configured register file
+    /// (64 complex + 64 binary markers per node in the prototype).
+    MarkerOutOfRange {
+        /// The offending marker index.
+        index: u8,
+        /// Number of markers of that kind provided by the configuration.
+        capacity: usize,
+    },
+    /// The reserved subnode relation was used as an ordinary link type.
+    ReservedRelation(RelationType),
+    /// A link to delete was not present.
+    LinkNotFound {
+        /// Source node of the missing link.
+        source: NodeId,
+        /// Relation type of the missing link.
+        relation: RelationType,
+        /// Destination node of the missing link.
+        destination: NodeId,
+    },
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::NodeCapacityExceeded { capacity } => {
+                write!(f, "node capacity of {capacity} exceeded")
+            }
+            KbError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            KbError::UnknownName(name) => write!(f, "unknown node name `{name}`"),
+            KbError::DuplicateName(name) => write!(f, "node name `{name}` already defined"),
+            KbError::MarkerOutOfRange { index, capacity } => {
+                write!(f, "marker index {index} outside register file of {capacity}")
+            }
+            KbError::ReservedRelation(r) => {
+                write!(f, "relation {r} is reserved for internal use")
+            }
+            KbError::LinkNotFound {
+                source,
+                relation,
+                destination,
+            } => write!(f, "link {source} -{relation}-> {destination} not found"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = KbError::NodeCapacityExceeded { capacity: 32768 };
+        assert_eq!(e.to_string(), "node capacity of 32768 exceeded");
+        let e = KbError::UnknownNode(NodeId(3));
+        assert_eq!(e.to_string(), "unknown node n3");
+        let e = KbError::MarkerOutOfRange {
+            index: 99,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("99"));
+        let e = KbError::LinkNotFound {
+            source: NodeId(1),
+            relation: RelationType(2),
+            destination: NodeId(3),
+        };
+        assert_eq!(e.to_string(), "link n1 -r2-> n3 not found");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KbError>();
+    }
+}

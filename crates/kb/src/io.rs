@@ -1,0 +1,256 @@
+//! Knowledge-base serialization: a line-oriented text format.
+//!
+//! The host toolchain loads knowledge bases onto the machine at startup
+//! (the paper's preprocessor emits `CREATE` streams). This module
+//! provides the equivalent developer-facing format: one `node` or
+//! `link` declaration per line, suitable for versioning knowledge bases
+//! alongside programs.
+//!
+//! ```text
+//! # comment
+//! node 0 color=1 name=we
+//! node 1 color=2
+//! link 0 -r0/0.1-> 1
+//! ```
+
+use crate::error::KbError;
+use crate::ids::{Color, NodeId, RelationType};
+use crate::network::{NetworkConfig, SemanticNetwork};
+use core::fmt;
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseNetworkError {
+    /// 1-based line number of the offending declaration.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetworkError {}
+
+impl From<(usize, KbError)> for ParseNetworkError {
+    fn from((line, e): (usize, KbError)) -> Self {
+        ParseNetworkError {
+            line,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl SemanticNetwork {
+    /// Renders the network in the line-oriented text format. Node IDs
+    /// are stable, so `parse_text` reconstructs an identical network.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# snap-kb network: {} nodes, {} links\n",
+            self.node_count(),
+            self.link_count()
+        ));
+        for node in self.nodes() {
+            let color = self.color(node).expect("iterating own nodes");
+            match self.name(node) {
+                Some(name) => out.push_str(&format!(
+                    "node {} color={} name={}\n",
+                    node.0, color.0, name
+                )),
+                None => out.push_str(&format!("node {} color={}\n", node.0, color.0)),
+            }
+        }
+        for node in self.nodes() {
+            for link in self.links(node) {
+                out.push_str(&format!(
+                    "link {} -r{}/{}-> {}\n",
+                    node.0, link.relation.0, link.weight, link.destination.0
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`SemanticNetwork::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNetworkError`] naming the first malformed line.
+    /// Node declarations must appear in ID order before any link that
+    /// uses them.
+    pub fn parse_text(text: &str, config: NetworkConfig) -> Result<Self, ParseNetworkError> {
+        let mut net = SemanticNetwork::new(config);
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| ParseNetworkError {
+                line: line_no,
+                message,
+            };
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("node") => {
+                    let id: u32 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("missing node id".into()))?;
+                    if id as usize != net.node_count() {
+                        return Err(err(format!(
+                            "node {} out of order (expected {})",
+                            id,
+                            net.node_count()
+                        )));
+                    }
+                    let mut color = Color(0);
+                    let mut name: Option<&str> = None;
+                    for attr in parts {
+                        if let Some(v) = attr.strip_prefix("color=") {
+                            color = Color(
+                                v.parse()
+                                    .map_err(|_| err(format!("bad color `{v}`")))?,
+                            );
+                        } else if let Some(v) = attr.strip_prefix("name=") {
+                            name = Some(v);
+                        } else {
+                            return Err(err(format!("unknown attribute `{attr}`")));
+                        }
+                    }
+                    let added = match name {
+                        Some(n) => net.add_named_node(n, color),
+                        None => net.add_node(color),
+                    };
+                    added.map_err(|e| ParseNetworkError::from((line_no, e)))?;
+                }
+                Some("link") => {
+                    // link <src> -r<rel>/<weight>-> <dst>
+                    let src: u32 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("missing link source".into()))?;
+                    let arrow = parts
+                        .next()
+                        .ok_or_else(|| err("missing link arrow".into()))?;
+                    let body = arrow
+                        .strip_prefix("-r")
+                        .and_then(|s| s.strip_suffix("->"))
+                        .ok_or_else(|| err(format!("malformed arrow `{arrow}`")))?;
+                    let (rel, weight) = body
+                        .split_once('/')
+                        .ok_or_else(|| err(format!("malformed arrow `{arrow}`")))?;
+                    let rel: u16 = rel
+                        .parse()
+                        .map_err(|_| err(format!("bad relation `{rel}`")))?;
+                    let weight: f32 = weight
+                        .parse()
+                        .map_err(|_| err(format!("bad weight `{weight}`")))?;
+                    let dst: u32 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("missing link destination".into()))?;
+                    net.add_link(NodeId(src), RelationType(rel), weight, NodeId(dst))
+                        .map_err(|e| ParseNetworkError::from((line_no, e)))?;
+                }
+                Some(other) => return Err(err(format!("unknown declaration `{other}`"))),
+                None => unreachable!("blank lines skipped"),
+            }
+        }
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> SemanticNetwork {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let a = net.add_named_node("we", Color(1)).unwrap();
+        let b = net.add_node(Color(2)).unwrap();
+        net.add_link(a, RelationType(3), 0.25, b).unwrap();
+        net.add_link(b, RelationType(4), 1.5, a).unwrap();
+        net
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let net = sample();
+        let text = net.to_text();
+        let parsed = SemanticNetwork::parse_text(&text, NetworkConfig::default()).unwrap();
+        assert_eq!(parsed.node_count(), net.node_count());
+        assert_eq!(parsed.link_count(), net.link_count());
+        assert_eq!(parsed.lookup("we"), net.lookup("we"));
+        assert_eq!(parsed.color(NodeId(1)).unwrap(), Color(2));
+        let link = parsed.links(NodeId(0)).next().unwrap();
+        assert_eq!(link.relation, RelationType(3));
+        assert_eq!(link.weight, 0.25);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = SemanticNetwork::parse_text("node 0 color=1\nbogus x\n", NetworkConfig::default())
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = SemanticNetwork::parse_text("node 5 color=1\n", NetworkConfig::default())
+            .unwrap_err();
+        assert!(e.message.contains("out of order"));
+        let e = SemanticNetwork::parse_text(
+            "node 0 color=1\nlink 0 -r1/x-> 0\n",
+            NetworkConfig::default(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("bad weight"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let net = SemanticNetwork::parse_text(
+            "# header\n\nnode 0 color=7\n   \n# trailing\n",
+            NetworkConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(net.node_count(), 1);
+        assert_eq!(net.color(NodeId(0)).unwrap(), Color(7));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_random_networks(
+            n in 1usize..40,
+            links in proptest::collection::vec((0u32..40, 0u16..10, 0u32..1000, 0u32..40), 0..80),
+        ) {
+            let mut net = SemanticNetwork::new(NetworkConfig::default());
+            for i in 0..n {
+                if i % 3 == 0 {
+                    net.add_named_node(format!("w{i}"), Color((i % 7) as u8)).unwrap();
+                } else {
+                    net.add_node(Color((i % 7) as u8)).unwrap();
+                }
+            }
+            for (s, r, w, d) in links {
+                if (s as usize) < n && (d as usize) < n {
+                    net.add_link(NodeId(s), RelationType(r), w as f32 / 8.0, NodeId(d)).unwrap();
+                }
+            }
+            let parsed =
+                SemanticNetwork::parse_text(&net.to_text(), NetworkConfig::default()).unwrap();
+            prop_assert_eq!(parsed.node_count(), net.node_count());
+            prop_assert_eq!(parsed.link_count(), net.link_count());
+            for node in net.nodes() {
+                prop_assert_eq!(parsed.color(node).unwrap(), net.color(node).unwrap());
+                prop_assert_eq!(parsed.name(node), net.name(node));
+                let a: Vec<_> = parsed.links(node).collect();
+                let b: Vec<_> = net.links(node).collect();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The relation table: typed, weighted links between nodes.
+//!
+//! SNAP-1's relation table provides **16 outgoing relation slots per
+//! node** (adequate for most linguistic concepts). Nodes with fanout
+//! greater than 16 are divided into *subnodes* by a preprocessor when the
+//! knowledge base is created. This module reproduces that design as a
+//! chain of 16-slot *segments* per node: the first segment is the node's
+//! own relation-table row and each additional segment models one overflow
+//! subnode reached through the reserved subnode link. Marker state is
+//! never attached to subnodes; propagation engines charge one extra table
+//! lookup per segment traversed (see `segments`).
+
+use crate::error::KbError;
+use crate::ids::{NodeId, RelationType};
+use serde::{Deserialize, Serialize};
+
+/// Number of outgoing relation slots in one relation-table row.
+pub const SLOTS_PER_NODE: usize = 16;
+
+/// One outgoing link: relation type, destination, and floating-point
+/// weight (the cost added to a complex marker's value when traversed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Relation (link) type.
+    pub relation: RelationType,
+    /// Destination node.
+    pub destination: NodeId,
+    /// Link weight added along propagation.
+    pub weight: f32,
+}
+
+/// The relation table of a semantic network.
+///
+/// # Examples
+///
+/// ```
+/// use snap_kb::{Link, NodeId, RelationTable, RelationType};
+/// let mut table = RelationTable::new();
+/// table.ensure_node(NodeId(1));
+/// table.add_link(NodeId(0), RelationType(3), 0.5, NodeId(1))?;
+/// assert_eq!(table.links(NodeId(0)).count(), 1);
+/// # Ok::<(), snap_kb::KbError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RelationTable {
+    /// Per node: chain of 16-slot segments. `rows[n][0]` is node `n`'s own
+    /// relation row; later segments are overflow subnodes.
+    rows: Vec<Vec<Vec<Link>>>,
+}
+
+impl RelationTable {
+    /// Creates an empty relation table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of node rows currently allocated.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no node rows are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Extends the table so that `node` has a row.
+    pub fn ensure_node(&mut self, node: NodeId) {
+        if node.index() >= self.rows.len() {
+            self.rows.resize(node.index() + 1, vec![Vec::new()]);
+        }
+    }
+
+    /// Adds an outgoing link from `source`. Overflowing the 16-slot row
+    /// transparently allocates an overflow subnode segment, exactly like
+    /// the paper's preprocessor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::ReservedRelation`] if `relation` is the internal
+    /// subnode relation.
+    pub fn add_link(
+        &mut self,
+        source: NodeId,
+        relation: RelationType,
+        weight: f32,
+        destination: NodeId,
+    ) -> Result<(), KbError> {
+        if relation.is_subnode() {
+            return Err(KbError::ReservedRelation(relation));
+        }
+        self.ensure_node(source);
+        self.ensure_node(destination);
+        let segments = &mut self.rows[source.index()];
+        let last = segments.last_mut().expect("node row always has a segment");
+        if last.len() < SLOTS_PER_NODE {
+            last.push(Link {
+                relation,
+                destination,
+                weight,
+            });
+        } else {
+            segments.push(vec![Link {
+                relation,
+                destination,
+                weight,
+            }]);
+        }
+        Ok(())
+    }
+
+    /// Removes the first link matching `(source, relation, destination)`.
+    /// Later links shift down so segment chains stay dense.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::LinkNotFound`] if no such link exists.
+    pub fn remove_link(
+        &mut self,
+        source: NodeId,
+        relation: RelationType,
+        destination: NodeId,
+    ) -> Result<(), KbError> {
+        let row = self
+            .rows
+            .get_mut(source.index())
+            .ok_or(KbError::UnknownNode(source))?;
+        let mut flat: Vec<Link> = row.iter().flatten().copied().collect();
+        let pos = flat
+            .iter()
+            .position(|l| l.relation == relation && l.destination == destination)
+            .ok_or(KbError::LinkNotFound {
+                source,
+                relation,
+                destination,
+            })?;
+        flat.remove(pos);
+        *row = repack(flat);
+        Ok(())
+    }
+
+    /// Iterates every outgoing link of `node`, in insertion order,
+    /// transparently crossing subnode segments.
+    pub fn links(&self, node: NodeId) -> impl Iterator<Item = &Link> {
+        self.rows
+            .get(node.index())
+            .into_iter()
+            .flat_map(|segments| segments.iter().flatten())
+    }
+
+    /// Iterates the outgoing links of `node` with the given relation type.
+    pub fn links_by(&self, node: NodeId, relation: RelationType) -> impl Iterator<Item = &Link> {
+        self.links(node).filter(move |l| l.relation == relation)
+    }
+
+    /// Number of relation-table segments (1 + overflow subnodes) backing
+    /// `node`. Each segment beyond the first costs one extra lookup during
+    /// propagation.
+    pub fn segments(&self, node: NodeId) -> usize {
+        self.rows.get(node.index()).map_or(0, |s| s.len())
+    }
+
+    /// Total outgoing fanout of `node`.
+    pub fn fanout(&self, node: NodeId) -> usize {
+        self.rows
+            .get(node.index())
+            .map_or(0, |s| s.iter().map(Vec::len).sum())
+    }
+
+    /// Total number of links in the table.
+    pub fn link_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|s| s.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Packs a flat link list back into dense 16-slot segments.
+fn repack(flat: Vec<Link>) -> Vec<Vec<Link>> {
+    if flat.is_empty() {
+        return vec![Vec::new()];
+    }
+    flat.chunks(SLOTS_PER_NODE).map(<[Link]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rel(r: u16) -> RelationType {
+        RelationType(r)
+    }
+
+    #[test]
+    fn add_and_iterate_links() {
+        let mut t = RelationTable::new();
+        t.add_link(NodeId(0), rel(1), 0.5, NodeId(1)).unwrap();
+        t.add_link(NodeId(0), rel(2), 1.0, NodeId(2)).unwrap();
+        let links: Vec<_> = t.links(NodeId(0)).collect();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].destination, NodeId(1));
+        assert_eq!(links[1].weight, 1.0);
+        assert_eq!(t.fanout(NodeId(0)), 2);
+        assert_eq!(t.segments(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn fanout_over_16_spills_into_subnode_segments() {
+        let mut t = RelationTable::new();
+        for i in 0..40u32 {
+            t.add_link(NodeId(0), rel(7), 1.0, NodeId(i + 1)).unwrap();
+        }
+        assert_eq!(t.fanout(NodeId(0)), 40);
+        assert_eq!(t.segments(NodeId(0)), 3); // 16 + 16 + 8
+        // Iteration is still flat and ordered.
+        let dests: Vec<u32> = t.links(NodeId(0)).map(|l| l.destination.0).collect();
+        assert_eq!(dests, (1..=40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn links_by_filters_relation() {
+        let mut t = RelationTable::new();
+        t.add_link(NodeId(0), rel(1), 0.0, NodeId(1)).unwrap();
+        t.add_link(NodeId(0), rel(2), 0.0, NodeId(2)).unwrap();
+        t.add_link(NodeId(0), rel(1), 0.0, NodeId(3)).unwrap();
+        let dests: Vec<u32> = t.links_by(NodeId(0), rel(1)).map(|l| l.destination.0).collect();
+        assert_eq!(dests, vec![1, 3]);
+    }
+
+    #[test]
+    fn subnode_relation_rejected() {
+        let mut t = RelationTable::new();
+        let err = t
+            .add_link(NodeId(0), RelationType::SUBNODE, 0.0, NodeId(1))
+            .unwrap_err();
+        assert_eq!(err, KbError::ReservedRelation(RelationType::SUBNODE));
+    }
+
+    #[test]
+    fn remove_link_repacks_segments() {
+        let mut t = RelationTable::new();
+        for i in 0..17u32 {
+            t.add_link(NodeId(0), rel(1), 0.0, NodeId(i + 1)).unwrap();
+        }
+        assert_eq!(t.segments(NodeId(0)), 2);
+        t.remove_link(NodeId(0), rel(1), NodeId(1)).unwrap();
+        assert_eq!(t.fanout(NodeId(0)), 16);
+        assert_eq!(t.segments(NodeId(0)), 1, "removal repacks into one segment");
+        let err = t.remove_link(NodeId(0), rel(1), NodeId(1)).unwrap_err();
+        assert!(matches!(err, KbError::LinkNotFound { .. }));
+    }
+
+    #[test]
+    fn ensure_node_allocates_destination_rows() {
+        let mut t = RelationTable::new();
+        t.add_link(NodeId(2), rel(0), 0.0, NodeId(9)).unwrap();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.fanout(NodeId(9)), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_segments_match_ceiling_of_fanout(fanout in 0usize..100) {
+            let mut t = RelationTable::new();
+            t.ensure_node(NodeId(0));
+            for i in 0..fanout {
+                t.add_link(NodeId(0), rel(1), 0.0, NodeId(i as u32 + 1)).unwrap();
+            }
+            let expect = if fanout == 0 { 1 } else { fanout.div_ceil(SLOTS_PER_NODE) };
+            prop_assert_eq!(t.segments(NodeId(0)), expect);
+            prop_assert_eq!(t.fanout(NodeId(0)), fanout);
+        }
+
+        #[test]
+        fn prop_remove_preserves_other_links(
+            n in 1usize..60,
+            victim in 0usize..60,
+        ) {
+            prop_assume!(victim < n);
+            let mut t = RelationTable::new();
+            for i in 0..n {
+                t.add_link(NodeId(0), rel(1), i as f32, NodeId(i as u32 + 1)).unwrap();
+            }
+            t.remove_link(NodeId(0), rel(1), NodeId(victim as u32 + 1)).unwrap();
+            let dests: Vec<u32> = t.links(NodeId(0)).map(|l| l.destination.0).collect();
+            let expect: Vec<u32> =
+                (1..=n as u32).filter(|&d| d != victim as u32 + 1).collect();
+            prop_assert_eq!(dests, expect);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Markers: the dynamic agents of inference.
+//!
+//! Markers are data patterns associated with nodes. SNAP-1 provides two
+//! register files per node, sized to balance expressiveness against
+//! storage:
+//!
+//! * **complex markers** (`M_C = 64`) carry a 32-bit floating-point value
+//!   used as a measure of belief (e.g. the cost of accepting a concept
+//!   sequence) plus the address of the origin node for variable binding;
+//! * **binary markers** (`M_B = 64`) indicate bare set membership or
+//!   hypothesis state.
+//!
+//! [`MarkerState`] is the runtime marker storage for one region of the
+//! semantic network (a cluster's partition, or the whole network on a
+//! sequential engine). All execution engines share it so their logical
+//! results can be compared bit-for-bit.
+
+use crate::error::KbError;
+use crate::ids::NodeId;
+use crate::status::StatusRow;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a marker register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MarkerKind {
+    /// Carries a floating-point value and an origin-node binding.
+    Complex,
+    /// Carries only an active/inactive bit.
+    Binary,
+}
+
+/// A marker register name: kind plus index into that kind's register file.
+///
+/// # Examples
+///
+/// ```
+/// use snap_kb::Marker;
+/// let m1 = Marker::complex(1);
+/// let b0 = Marker::binary(0);
+/// assert_ne!(m1, b0);
+/// assert_eq!(m1.to_string(), "m1");
+/// assert_eq!(b0.to_string(), "b0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Marker {
+    kind: MarkerKind,
+    index: u8,
+}
+
+impl Marker {
+    /// Names complex marker `index`.
+    pub const fn complex(index: u8) -> Self {
+        Marker {
+            kind: MarkerKind::Complex,
+            index,
+        }
+    }
+
+    /// Names binary marker `index`.
+    pub const fn binary(index: u8) -> Self {
+        Marker {
+            kind: MarkerKind::Binary,
+            index,
+        }
+    }
+
+    /// The marker's kind.
+    #[inline]
+    pub fn kind(self) -> MarkerKind {
+        self.kind
+    }
+
+    /// The marker's index within its kind's register file.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.index
+    }
+}
+
+impl core::fmt::Display for Marker {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.kind {
+            MarkerKind::Complex => write!(f, "m{}", self.index),
+            MarkerKind::Binary => write!(f, "b{}", self.index),
+        }
+    }
+}
+
+/// The value payload carried by a complex marker at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkerValue {
+    /// Accumulated belief/cost value.
+    pub value: f32,
+    /// Node at which this marker instance originated (for binding).
+    pub origin: NodeId,
+}
+
+impl Default for MarkerValue {
+    fn default() -> Self {
+        MarkerValue {
+            value: 0.0,
+            origin: NodeId(0),
+        }
+    }
+}
+
+/// Runtime marker storage for one region of the semantic network.
+///
+/// Rows of the status table are allocated lazily: a marker that is never
+/// touched costs nothing, which keeps 12K-node experiments with the full
+/// 64+64 register file cheap.
+#[derive(Debug, Clone)]
+pub struct MarkerState {
+    nodes: usize,
+    max_complex: usize,
+    max_binary: usize,
+    complex_status: Vec<Option<StatusRow>>,
+    binary_status: Vec<Option<StatusRow>>,
+    /// Value/origin payloads for complex markers, row per marker.
+    values: Vec<Option<Vec<MarkerValue>>>,
+}
+
+impl MarkerState {
+    /// Creates empty marker storage covering `nodes` node slots with the
+    /// given register-file sizes (the prototype uses 64 and 64).
+    pub fn new(nodes: usize, max_complex: usize, max_binary: usize) -> Self {
+        MarkerState {
+            nodes,
+            max_complex,
+            max_binary,
+            complex_status: vec![None; max_complex],
+            binary_status: vec![None; max_binary],
+            values: vec![None; max_complex],
+        }
+    }
+
+    /// Number of node slots covered.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Grows the storage to cover `nodes` node slots (used when runtime
+    /// `CREATE` instructions add nodes). Existing marker bits are kept.
+    pub fn grow(&mut self, nodes: usize) {
+        if nodes <= self.nodes {
+            return;
+        }
+        for r in self
+            .complex_status
+            .iter_mut()
+            .chain(&mut self.binary_status)
+            .flatten()
+        {
+            let mut bigger = StatusRow::new(nodes);
+            for n in r.iter() {
+                bigger.set(n);
+            }
+            *r = bigger;
+        }
+        for vals in self.values.iter_mut().flatten() {
+            vals.resize(nodes, MarkerValue::default());
+        }
+        self.nodes = nodes;
+    }
+
+    fn check(&self, marker: Marker) -> Result<(), KbError> {
+        let cap = match marker.kind() {
+            MarkerKind::Complex => self.max_complex,
+            MarkerKind::Binary => self.max_binary,
+        };
+        if (marker.index() as usize) < cap {
+            Ok(())
+        } else {
+            Err(KbError::MarkerOutOfRange {
+                index: marker.index(),
+                capacity: cap,
+            })
+        }
+    }
+
+    /// Read-only view of a marker's status row, if it was ever touched.
+    pub fn row(&self, marker: Marker) -> Option<&StatusRow> {
+        let slot = match marker.kind() {
+            MarkerKind::Complex => &self.complex_status[marker.index() as usize],
+            MarkerKind::Binary => &self.binary_status[marker.index() as usize],
+        };
+        slot.as_ref()
+    }
+
+    /// Mutable view of a marker's status row, allocating it if untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::MarkerOutOfRange`] if the index exceeds the
+    /// register file.
+    pub fn row_mut(&mut self, marker: Marker) -> Result<&mut StatusRow, KbError> {
+        self.check(marker)?;
+        let nodes = self.nodes;
+        let slot = match marker.kind() {
+            MarkerKind::Complex => &mut self.complex_status[marker.index() as usize],
+            MarkerKind::Binary => &mut self.binary_status[marker.index() as usize],
+        };
+        Ok(slot.get_or_insert_with(|| StatusRow::new(nodes)))
+    }
+
+    /// Tests whether `marker` is active at `node`.
+    pub fn test(&self, marker: Marker, node: NodeId) -> bool {
+        self.row(marker).is_some_and(|r| r.test(node))
+    }
+
+    /// Activates `marker` at `node`. Returns `true` if newly activated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::MarkerOutOfRange`] for an invalid register index.
+    pub fn set(&mut self, marker: Marker, node: NodeId) -> Result<bool, KbError> {
+        Ok(self.row_mut(marker)?.set(node))
+    }
+
+    /// Deactivates `marker` at `node`. Returns `true` if it was active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::MarkerOutOfRange`] for an invalid register index.
+    pub fn clear(&mut self, marker: Marker, node: NodeId) -> Result<bool, KbError> {
+        Ok(self.row_mut(marker)?.clear(node))
+    }
+
+    /// The value payload of a complex marker at `node`, if the marker is a
+    /// complex marker that has been written there. Binary markers have no
+    /// payload and always return `None`.
+    pub fn value(&self, marker: Marker, node: NodeId) -> Option<MarkerValue> {
+        if marker.kind() != MarkerKind::Complex {
+            return None;
+        }
+        if !self.test(marker, node) {
+            return None;
+        }
+        self.values[marker.index() as usize]
+            .as_ref()
+            .map(|vals| vals[node.index()])
+    }
+
+    /// Writes the value payload of a complex marker at `node` and activates
+    /// the marker there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::MarkerOutOfRange`] if the index is invalid, and
+    /// [`KbError::UnknownNode`] if `node` is outside the region. Writing a
+    /// payload on a binary marker is a programming error and also yields
+    /// [`KbError::MarkerOutOfRange`].
+    pub fn set_value(
+        &mut self,
+        marker: Marker,
+        node: NodeId,
+        value: MarkerValue,
+    ) -> Result<(), KbError> {
+        if marker.kind() != MarkerKind::Complex {
+            return Err(KbError::MarkerOutOfRange {
+                index: marker.index(),
+                capacity: 0,
+            });
+        }
+        self.check(marker)?;
+        if node.index() >= self.nodes {
+            return Err(KbError::UnknownNode(node));
+        }
+        self.row_mut(marker)?.set(node);
+        let nodes = self.nodes;
+        let vals = self.values[marker.index() as usize]
+            .get_or_insert_with(|| vec![MarkerValue::default(); nodes]);
+        vals[node.index()] = value;
+        Ok(())
+    }
+
+    /// Clears every instance of `marker` across the region. Returns the
+    /// number of status words touched (cost-model unit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::MarkerOutOfRange`] for an invalid register index.
+    pub fn clear_marker(&mut self, marker: Marker) -> Result<usize, KbError> {
+        self.check(marker)?;
+        match self.row_mut(marker) {
+            Ok(row) => Ok(row.clear_all()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Iterates the nodes where `marker` is active, ascending.
+    pub fn active_nodes(&self, marker: Marker) -> Vec<NodeId> {
+        self.row(marker).map(|r| r.iter().collect()).unwrap_or_default()
+    }
+
+    /// Number of nodes where `marker` is active.
+    pub fn count(&self, marker: Marker) -> usize {
+        self.row(marker).map_or(0, |r| r.count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_test_binary_marker() {
+        let mut st = MarkerState::new(50, 4, 4);
+        let b = Marker::binary(2);
+        assert!(!st.test(b, NodeId(10)));
+        assert!(st.set(b, NodeId(10)).unwrap());
+        assert!(st.test(b, NodeId(10)));
+        assert_eq!(st.count(b), 1);
+        assert!(st.clear(b, NodeId(10)).unwrap());
+        assert_eq!(st.count(b), 0);
+    }
+
+    #[test]
+    fn complex_marker_carries_value_and_origin() {
+        let mut st = MarkerState::new(20, 2, 2);
+        let m = Marker::complex(0);
+        st.set_value(
+            m,
+            NodeId(5),
+            MarkerValue {
+                value: 3.5,
+                origin: NodeId(1),
+            },
+        )
+        .unwrap();
+        let v = st.value(m, NodeId(5)).unwrap();
+        assert_eq!(v.value, 3.5);
+        assert_eq!(v.origin, NodeId(1));
+        // Inactive node has no payload even though the row is allocated.
+        assert!(st.value(m, NodeId(6)).is_none());
+    }
+
+    #[test]
+    fn binary_marker_rejects_value_write() {
+        let mut st = MarkerState::new(20, 2, 2);
+        let err = st
+            .set_value(Marker::binary(0), NodeId(1), MarkerValue::default())
+            .unwrap_err();
+        assert!(matches!(err, KbError::MarkerOutOfRange { .. }));
+        assert!(st.value(Marker::binary(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn out_of_range_register_is_rejected() {
+        let mut st = MarkerState::new(20, 2, 2);
+        let err = st.set(Marker::complex(2), NodeId(0)).unwrap_err();
+        assert_eq!(
+            err,
+            KbError::MarkerOutOfRange {
+                index: 2,
+                capacity: 2
+            }
+        );
+    }
+
+    #[test]
+    fn grow_preserves_bits_and_values() {
+        let mut st = MarkerState::new(10, 2, 2);
+        let m = Marker::complex(1);
+        st.set_value(
+            m,
+            NodeId(9),
+            MarkerValue {
+                value: 7.0,
+                origin: NodeId(2),
+            },
+        )
+        .unwrap();
+        st.set(Marker::binary(0), NodeId(3)).unwrap();
+        st.grow(100);
+        assert_eq!(st.nodes(), 100);
+        assert!(st.test(m, NodeId(9)));
+        assert_eq!(st.value(m, NodeId(9)).unwrap().value, 7.0);
+        assert!(st.test(Marker::binary(0), NodeId(3)));
+        st.set(Marker::binary(0), NodeId(99)).unwrap();
+        assert_eq!(st.count(Marker::binary(0)), 2);
+    }
+
+    #[test]
+    fn clear_marker_reports_words_touched() {
+        let mut st = MarkerState::new(64, 2, 2);
+        let b = Marker::binary(1);
+        st.set(b, NodeId(0)).unwrap();
+        let words = st.clear_marker(b).unwrap();
+        assert_eq!(words, 2); // 64 nodes / 32-bit words
+        assert_eq!(st.count(b), 0);
+    }
+
+    #[test]
+    fn active_nodes_sorted() {
+        let mut st = MarkerState::new(40, 1, 1);
+        for &i in &[33u32, 2, 17] {
+            st.set(Marker::binary(0), NodeId(i)).unwrap();
+        }
+        assert_eq!(
+            st.active_nodes(Marker::binary(0)),
+            vec![NodeId(2), NodeId(17), NodeId(33)]
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! The semantic network: nodes, colors, names, and the relation table.
+//!
+//! A semantic network is the static infrastructure of a SNAP knowledge
+//! base: nodes represent concepts, links show relationships, and every
+//! node carries a *color* naming the type of concept it belongs to.
+//! Dynamic state (markers) lives in [`crate::MarkerState`], owned by the
+//! execution engines, so that one network can be loaded into several
+//! machines.
+
+use crate::error::KbError;
+use crate::ids::{Color, NodeId, RelationType};
+use crate::links::{Link, RelationTable};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sizing parameters of a knowledge base, defaulting to the SNAP-1
+/// prototype design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Maximum number of semantic-network nodes (`N`, 32K in SNAP-1).
+    pub node_capacity: usize,
+    /// Complex markers per node (`M_C`, 64 in SNAP-1).
+    pub complex_markers: usize,
+    /// Binary markers per node (`M_B`, 64 in SNAP-1).
+    pub binary_markers: usize,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            node_capacity: 32 * 1024,
+            complex_markers: 64,
+            binary_markers: 64,
+        }
+    }
+}
+
+/// A mutable semantic network.
+///
+/// Nodes are created with [`SemanticNetwork::add_node`] (optionally named)
+/// and connected with [`SemanticNetwork::add_link`]. The network supports
+/// the runtime node-maintenance instructions (`CREATE`, `DELETE`,
+/// `SET-COLOR`), so it stays mutable after initial construction.
+///
+/// # Examples
+///
+/// ```
+/// use snap_kb::{Color, NetworkConfig, RelationType, SemanticNetwork};
+///
+/// let mut net = SemanticNetwork::new(NetworkConfig::default());
+/// let isa = RelationType(0);
+/// let we = net.add_named_node("we", Color(1))?;
+/// let animate = net.add_named_node("animate", Color(2))?;
+/// net.add_link(we, isa, 0.0, animate)?;
+/// assert_eq!(net.node_count(), 2);
+/// assert_eq!(net.lookup("animate"), Some(animate));
+/// # Ok::<(), snap_kb::KbError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SemanticNetwork {
+    config: NetworkConfig,
+    colors: Vec<Color>,
+    names: Vec<Option<String>>,
+    name_index: HashMap<String, NodeId>,
+    relations: RelationTable,
+}
+
+impl SemanticNetwork {
+    /// Creates an empty network with the given configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        SemanticNetwork {
+            config,
+            colors: Vec::new(),
+            names: Vec::new(),
+            name_index: HashMap::new(),
+            relations: RelationTable::new(),
+        }
+    }
+
+    /// The sizing configuration this network was created with.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Number of nodes currently defined.
+    pub fn node_count(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Total number of links currently defined.
+    pub fn link_count(&self) -> usize {
+        self.relations.link_count()
+    }
+
+    /// Adds an anonymous node with the given color.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::NodeCapacityExceeded`] if the configured node
+    /// capacity is full.
+    pub fn add_node(&mut self, color: Color) -> Result<NodeId, KbError> {
+        if self.colors.len() >= self.config.node_capacity {
+            return Err(KbError::NodeCapacityExceeded {
+                capacity: self.config.node_capacity,
+            });
+        }
+        let id = NodeId(self.colors.len() as u32);
+        self.colors.push(color);
+        self.names.push(None);
+        self.relations.ensure_node(id);
+        Ok(id)
+    }
+
+    /// Adds a named node; names must be unique within the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::DuplicateName`] for a reused name and
+    /// [`KbError::NodeCapacityExceeded`] when full.
+    pub fn add_named_node(&mut self, name: impl Into<String>, color: Color) -> Result<NodeId, KbError> {
+        let name = name.into();
+        if self.name_index.contains_key(&name) {
+            return Err(KbError::DuplicateName(name));
+        }
+        let id = self.add_node(color)?;
+        self.names[id.index()] = Some(name.clone());
+        self.name_index.insert(name, id);
+        Ok(id)
+    }
+
+    /// Looks up a node by name.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The name of `node`, if it has one.
+    pub fn name(&self, node: NodeId) -> Option<&str> {
+        self.names.get(node.index()).and_then(|n| n.as_deref())
+    }
+
+    /// The color of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::UnknownNode`] if the node does not exist.
+    pub fn color(&self, node: NodeId) -> Result<Color, KbError> {
+        self.colors
+            .get(node.index())
+            .copied()
+            .ok_or(KbError::UnknownNode(node))
+    }
+
+    /// Re-colors `node` (the `SET-COLOR` node-maintenance instruction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::UnknownNode`] if the node does not exist.
+    pub fn set_color(&mut self, node: NodeId, color: Color) -> Result<(), KbError> {
+        let slot = self
+            .colors
+            .get_mut(node.index())
+            .ok_or(KbError::UnknownNode(node))?;
+        *slot = color;
+        Ok(())
+    }
+
+    /// Returns `true` if `node` exists.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < self.colors.len()
+    }
+
+    /// Adds a weighted, typed link (the `CREATE` instruction body).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::UnknownNode`] for missing endpoints and
+    /// [`KbError::ReservedRelation`] for the internal subnode relation.
+    pub fn add_link(
+        &mut self,
+        source: NodeId,
+        relation: RelationType,
+        weight: f32,
+        destination: NodeId,
+    ) -> Result<(), KbError> {
+        if !self.contains(source) {
+            return Err(KbError::UnknownNode(source));
+        }
+        if !self.contains(destination) {
+            return Err(KbError::UnknownNode(destination));
+        }
+        self.relations.add_link(source, relation, weight, destination)
+    }
+
+    /// Removes a link (the `DELETE` instruction body).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::LinkNotFound`] if no matching link exists.
+    pub fn remove_link(
+        &mut self,
+        source: NodeId,
+        relation: RelationType,
+        destination: NodeId,
+    ) -> Result<(), KbError> {
+        self.relations.remove_link(source, relation, destination)
+    }
+
+    /// All outgoing links of `node`.
+    pub fn links(&self, node: NodeId) -> impl Iterator<Item = &Link> {
+        self.relations.links(node)
+    }
+
+    /// Outgoing links of `node` with relation type `relation`.
+    pub fn links_by(&self, node: NodeId, relation: RelationType) -> impl Iterator<Item = &Link> {
+        self.relations.links_by(node, relation)
+    }
+
+    /// Relation-table segments backing `node` (1 + overflow subnodes);
+    /// used by cost models.
+    pub fn segments(&self, node: NodeId) -> usize {
+        self.relations.segments(node)
+    }
+
+    /// Outgoing fanout of `node`.
+    pub fn fanout(&self, node: NodeId) -> usize {
+        self.relations.fanout(node)
+    }
+
+    /// Iterates all node IDs.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.colors.len() as u32).map(NodeId)
+    }
+
+    /// Nodes with the given color (a distributed search in hardware).
+    pub fn nodes_with_color(&self, color: Color) -> impl Iterator<Item = NodeId> + '_ {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(move |(_, &c)| c == color)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SemanticNetwork {
+        SemanticNetwork::new(NetworkConfig {
+            node_capacity: 8,
+            complex_markers: 4,
+            binary_markers: 4,
+        })
+    }
+
+    #[test]
+    fn add_nodes_until_capacity() {
+        let mut net = small();
+        for _ in 0..8 {
+            net.add_node(Color(0)).unwrap();
+        }
+        let err = net.add_node(Color(0)).unwrap_err();
+        assert_eq!(err, KbError::NodeCapacityExceeded { capacity: 8 });
+    }
+
+    #[test]
+    fn named_nodes_resolve_and_reject_duplicates() {
+        let mut net = small();
+        let a = net.add_named_node("seeing-event", Color(3)).unwrap();
+        assert_eq!(net.lookup("seeing-event"), Some(a));
+        assert_eq!(net.name(a), Some("seeing-event"));
+        let err = net.add_named_node("seeing-event", Color(3)).unwrap_err();
+        assert_eq!(err, KbError::DuplicateName("seeing-event".into()));
+    }
+
+    #[test]
+    fn link_endpoints_validated() {
+        let mut net = small();
+        let a = net.add_node(Color(0)).unwrap();
+        let err = net.add_link(a, RelationType(1), 0.0, NodeId(99)).unwrap_err();
+        assert_eq!(err, KbError::UnknownNode(NodeId(99)));
+        let err = net.add_link(NodeId(99), RelationType(1), 0.0, a).unwrap_err();
+        assert_eq!(err, KbError::UnknownNode(NodeId(99)));
+    }
+
+    #[test]
+    fn set_color_and_color_search() {
+        let mut net = small();
+        let a = net.add_node(Color(1)).unwrap();
+        let b = net.add_node(Color(2)).unwrap();
+        let c = net.add_node(Color(1)).unwrap();
+        assert_eq!(
+            net.nodes_with_color(Color(1)).collect::<Vec<_>>(),
+            vec![a, c]
+        );
+        net.set_color(b, Color(1)).unwrap();
+        assert_eq!(net.nodes_with_color(Color(1)).count(), 3);
+        assert_eq!(net.color(b).unwrap(), Color(1));
+    }
+
+    #[test]
+    fn link_lifecycle() {
+        let mut net = small();
+        let a = net.add_node(Color(0)).unwrap();
+        let b = net.add_node(Color(0)).unwrap();
+        net.add_link(a, RelationType(5), 1.5, b).unwrap();
+        assert_eq!(net.link_count(), 1);
+        assert_eq!(net.links_by(a, RelationType(5)).count(), 1);
+        net.remove_link(a, RelationType(5), b).unwrap();
+        assert_eq!(net.link_count(), 0);
+    }
+}

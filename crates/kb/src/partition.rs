@@ -1,0 +1,269 @@
+//! Knowledge-base partitioning across clusters.
+//!
+//! The semantic network is stored as a distributed knowledge base: a
+//! partitioning function divides it into regions and each region is
+//! allocated to one cluster, which processes all of its concepts,
+//! relations, and markers. SNAP-1's mapping function is variable, with up
+//! to 1024 nodes per cluster, using **sequential**, **round-robin**, or
+//! **semantically-based** allocation.
+
+use crate::ids::{ClusterId, NodeId};
+use crate::network::SemanticNetwork;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Nodes-per-cluster granularity of the SNAP-1 prototype.
+pub const MAX_NODES_PER_CLUSTER: usize = 1024;
+
+/// Which partitioning function to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// Contiguous blocks of node IDs per cluster.
+    #[default]
+    Sequential,
+    /// Node `i` goes to cluster `i mod p`.
+    RoundRobin,
+    /// Breadth-first traversal fills clusters with connected regions, so
+    /// semantically-related concepts land together and propagation stays
+    /// mostly intra-cluster.
+    Semantic,
+}
+
+/// A mapping from nodes to clusters plus its inverse.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    scheme: PartitionScheme,
+    cluster_of: Vec<ClusterId>,
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Partitions `network` over `clusters` clusters with the given scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    pub fn build(network: &SemanticNetwork, clusters: usize, scheme: PartitionScheme) -> Self {
+        assert!(clusters > 0, "at least one cluster is required");
+        let n = network.node_count();
+        let mut cluster_of = vec![ClusterId(0); n];
+        match scheme {
+            PartitionScheme::Sequential => {
+                let per = n.div_ceil(clusters).max(1);
+                for (i, slot) in cluster_of.iter_mut().enumerate() {
+                    *slot = ClusterId(((i / per).min(clusters - 1)) as u8);
+                }
+            }
+            PartitionScheme::RoundRobin => {
+                for (i, slot) in cluster_of.iter_mut().enumerate() {
+                    *slot = ClusterId((i % clusters) as u8);
+                }
+            }
+            PartitionScheme::Semantic => {
+                let per = n.div_ceil(clusters).max(1);
+                let mut assigned = vec![false; n];
+                let mut order = Vec::with_capacity(n);
+                // BFS from each unvisited node so disconnected components
+                // still get laid out contiguously.
+                for start in 0..n {
+                    if assigned[start] {
+                        continue;
+                    }
+                    let mut queue = VecDeque::new();
+                    queue.push_back(NodeId(start as u32));
+                    assigned[start] = true;
+                    while let Some(node) = queue.pop_front() {
+                        order.push(node);
+                        for link in network.links(node) {
+                            let d = link.destination.index();
+                            if !assigned[d] {
+                                assigned[d] = true;
+                                queue.push_back(link.destination);
+                            }
+                        }
+                    }
+                }
+                for (pos, node) in order.into_iter().enumerate() {
+                    cluster_of[node.index()] =
+                        ClusterId(((pos / per).min(clusters - 1)) as u8);
+                }
+            }
+        }
+        let mut members = vec![Vec::new(); clusters];
+        for (i, c) in cluster_of.iter().enumerate() {
+            members[c.index()].push(NodeId(i as u32));
+        }
+        Partition {
+            scheme,
+            cluster_of,
+            members,
+        }
+    }
+
+    /// The scheme used to build this partition.
+    pub fn scheme(&self) -> PartitionScheme {
+        self.scheme
+    }
+
+    /// Number of clusters in the partition.
+    pub fn cluster_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Cluster owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not covered by the partition. Newly created
+    /// runtime nodes must be registered with [`Partition::assign_new_node`].
+    pub fn cluster_of(&self, node: NodeId) -> ClusterId {
+        self.cluster_of[node.index()]
+    }
+
+    /// Nodes owned by `cluster`, ascending.
+    pub fn members(&self, cluster: ClusterId) -> &[NodeId] {
+        &self.members[cluster.index()]
+    }
+
+    /// Registers a node created at runtime (`CREATE` / `MARKER-CREATE`),
+    /// assigning it to the least-loaded cluster.
+    pub fn assign_new_node(&mut self, node: NodeId) -> ClusterId {
+        assert_eq!(
+            node.index(),
+            self.cluster_of.len(),
+            "runtime nodes must be registered in creation order"
+        );
+        let (best, _) = self
+            .members
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| m.len())
+            .expect("partition has at least one cluster");
+        let c = ClusterId(best as u8);
+        self.cluster_of.push(c);
+        self.members[best].push(node);
+        c
+    }
+
+    /// The heaviest cluster's node count (checked against the 1024-node
+    /// granularity of the prototype by callers that model capacity).
+    pub fn max_cluster_load(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Fraction of links whose endpoints live in different clusters —
+    /// lower is better for a partitioning function.
+    pub fn cut_fraction(&self, network: &SemanticNetwork) -> f64 {
+        let mut total = 0usize;
+        let mut cut = 0usize;
+        for node in network.nodes() {
+            for link in network.links(node) {
+                total += 1;
+                if self.cluster_of(node) != self.cluster_of(link.destination) {
+                    cut += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            cut as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Color, RelationType};
+    use crate::network::NetworkConfig;
+    use proptest::prelude::*;
+
+    fn line_network(n: usize) -> SemanticNetwork {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let mut prev = None;
+        for _ in 0..n {
+            let id = net.add_node(Color(0)).unwrap();
+            if let Some(p) = prev {
+                net.add_link(p, RelationType(0), 0.0, id).unwrap();
+            }
+            prev = Some(id);
+        }
+        net
+    }
+
+    #[test]
+    fn sequential_partition_is_contiguous() {
+        let net = line_network(10);
+        let p = Partition::build(&net, 3, PartitionScheme::Sequential);
+        assert_eq!(p.cluster_count(), 3);
+        assert_eq!(p.cluster_of(NodeId(0)), ClusterId(0));
+        assert_eq!(p.cluster_of(NodeId(9)), ClusterId(2));
+        // Cluster assignment is monotone in node ID.
+        let mut last = 0;
+        for i in 0..10u32 {
+            let c = p.cluster_of(NodeId(i)).index();
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn round_robin_distributes_evenly() {
+        let net = line_network(12);
+        let p = Partition::build(&net, 4, PartitionScheme::RoundRobin);
+        for c in 0..4 {
+            assert_eq!(p.members(ClusterId(c)).len(), 3);
+        }
+        assert_eq!(p.cluster_of(NodeId(5)), ClusterId(1));
+    }
+
+    #[test]
+    fn semantic_beats_round_robin_on_cut_fraction() {
+        // A line graph: semantic (BFS) packing keeps neighbours together;
+        // round-robin cuts every link.
+        let net = line_network(64);
+        let semantic = Partition::build(&net, 4, PartitionScheme::Semantic);
+        let rr = Partition::build(&net, 4, PartitionScheme::RoundRobin);
+        assert!(semantic.cut_fraction(&net) < rr.cut_fraction(&net));
+        assert!(rr.cut_fraction(&net) > 0.9);
+    }
+
+    #[test]
+    fn assign_new_node_balances_load() {
+        let net = line_network(4);
+        let mut p = Partition::build(&net, 4, PartitionScheme::RoundRobin);
+        let c = p.assign_new_node(NodeId(4));
+        assert_eq!(p.cluster_of(NodeId(4)), c);
+        assert_eq!(p.max_cluster_load(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_node_assigned_exactly_once(
+            n in 1usize..200,
+            clusters in 1usize..32,
+            scheme_pick in 0u8..3,
+        ) {
+            let scheme = match scheme_pick {
+                0 => PartitionScheme::Sequential,
+                1 => PartitionScheme::RoundRobin,
+                _ => PartitionScheme::Semantic,
+            };
+            let net = line_network(n);
+            let p = Partition::build(&net, clusters, scheme);
+            // Inverse mapping is consistent and total.
+            let mut seen = vec![false; n];
+            for c in 0..clusters {
+                for &node in p.members(ClusterId(c as u8)) {
+                    prop_assert!(!seen[node.index()]);
+                    seen[node.index()] = true;
+                    prop_assert_eq!(p.cluster_of(node), ClusterId(c as u8));
+                }
+            }
+            prop_assert!(seen.into_iter().all(|s| s));
+            // No cluster exceeds the ceiling-balanced load.
+            prop_assert!(p.max_cluster_load() <= n.div_ceil(clusters).max(1));
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Bit-packed marker status table.
+//!
+//! SNAP-1 stores the active/inactive state of every marker in a *marker
+//! status table*: one row per marker, each row holding `N / W` status
+//! words, where `W` is the CPU word length (32 bits on the TMS320C30).
+//! A set bit means the marker is active at the corresponding node. Global
+//! boolean and set/clear instructions are executed **word-at-a-time**, so a
+//! marker unit updates the status of 32 nodes per memory access — this is
+//! what makes `AND-MARKER` and friends cheap relative to `PROPAGATE`.
+
+use crate::ids::NodeId;
+
+/// Word length of the marker units, in bits (the TMS320C30 is a 32-bit CPU).
+pub const WORD_BITS: usize = 32;
+
+/// One row of the marker status table: the activation bitmap of a single
+/// marker across all nodes of a region.
+///
+/// # Examples
+///
+/// ```
+/// use snap_kb::{NodeId, StatusRow};
+/// let mut row = StatusRow::new(100);
+/// row.set(NodeId(42));
+/// assert!(row.test(NodeId(42)));
+/// assert_eq!(row.count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusRow {
+    words: Vec<u32>,
+    nodes: usize,
+}
+
+impl StatusRow {
+    /// Creates an all-clear row covering `nodes` node slots.
+    pub fn new(nodes: usize) -> Self {
+        StatusRow {
+            words: vec![0; nodes.div_ceil(WORD_BITS)],
+            nodes,
+        }
+    }
+
+    /// Number of node slots covered by this row.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of status words in the row (`ceil(N / W)`).
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Sets the marker bit for `node`. Returns `true` if the bit was
+    /// previously clear (i.e. the marker was newly activated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the row.
+    #[inline]
+    pub fn set(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.nodes, "node {i} outside status row of {}", self.nodes);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Clears the marker bit for `node`. Returns `true` if the bit was set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the row.
+    #[inline]
+    pub fn clear(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.nodes, "node {i} outside status row of {}", self.nodes);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Tests the marker bit for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the row.
+    #[inline]
+    pub fn test(&self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.nodes, "node {i} outside status row of {}", self.nodes);
+        self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+    }
+
+    /// Clears every bit in the row. Returns the number of words touched,
+    /// which is the unit the cost model charges for set/clear instructions.
+    pub fn clear_all(&mut self) -> usize {
+        for w in &mut self.words {
+            *w = 0;
+        }
+        self.words.len()
+    }
+
+    /// Sets the bit for every node slot in the row, respecting the tail.
+    /// Returns the number of words touched.
+    pub fn set_all(&mut self) -> usize {
+        let n = self.words.len();
+        for w in &mut self.words {
+            *w = u32::MAX;
+        }
+        self.mask_tail();
+        n
+    }
+
+    /// Number of active bits in the row.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Word-parallel `self = a AND b`. All three rows must be the same
+    /// length. Returns the number of words processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different node counts.
+    pub fn assign_and(&mut self, a: &StatusRow, b: &StatusRow) -> usize {
+        self.zip_assign(a, b, |x, y| x & y)
+    }
+
+    /// Word-parallel `self = a OR b`. Returns the number of words processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different node counts.
+    pub fn assign_or(&mut self, a: &StatusRow, b: &StatusRow) -> usize {
+        self.zip_assign(a, b, |x, y| x | y)
+    }
+
+    /// Word-parallel `self = a AND NOT b` (set difference). Returns the
+    /// number of words processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different node counts.
+    pub fn assign_and_not(&mut self, a: &StatusRow, b: &StatusRow) -> usize {
+        self.zip_assign(a, b, |x, y| x & !y)
+    }
+
+    /// Word-parallel `self = NOT a`, masked to the valid node slots.
+    /// Returns the number of words processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different node counts.
+    pub fn assign_not(&mut self, a: &StatusRow) -> usize {
+        assert_eq!(self.nodes, a.nodes, "status rows cover different node counts");
+        for (d, s) in self.words.iter_mut().zip(&a.words) {
+            *d = !s;
+        }
+        self.mask_tail();
+        self.words.len()
+    }
+
+    /// Copies `a` into `self`. Returns the number of words processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different node counts.
+    pub fn assign(&mut self, a: &StatusRow) -> usize {
+        assert_eq!(self.nodes, a.nodes, "status rows cover different node counts");
+        self.words.copy_from_slice(&a.words);
+        self.words.len()
+    }
+
+    fn zip_assign(&mut self, a: &StatusRow, b: &StatusRow, f: impl Fn(u32, u32) -> u32) -> usize {
+        assert_eq!(a.nodes, b.nodes, "status rows cover different node counts");
+        assert_eq!(self.nodes, a.nodes, "status rows cover different node counts");
+        for (d, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *d = f(*x, *y);
+        }
+        self.words.len()
+    }
+
+    /// Iterates over the nodes whose bit is set, in ascending order.
+    ///
+    /// This mirrors the MU's `PROPAGATE` scan: fetch each status word, skip
+    /// zero words, and decode node IDs from the set bits of non-zero words.
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            nodes: self.nodes,
+        }
+    }
+
+    /// Zeroes the bits beyond `self.nodes` in the final partial word.
+    fn mask_tail(&mut self) {
+        let rem = self.nodes % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u32 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over the set bits of a [`StatusRow`], yielding [`NodeId`]s.
+#[derive(Debug, Clone)]
+pub struct SetBits<'a> {
+    words: &'a [u32],
+    word_idx: usize,
+    current: u32,
+    nodes: usize,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * WORD_BITS + bit;
+                if idx < self.nodes {
+                    return Some(NodeId(idx as u32));
+                }
+            } else {
+                self.word_idx += 1;
+                if self.word_idx >= self.words.len() {
+                    return None;
+                }
+                self.current = self.words[self.word_idx];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_test_clear_roundtrip() {
+        let mut row = StatusRow::new(70);
+        assert!(!row.test(NodeId(69)));
+        assert!(row.set(NodeId(69)));
+        assert!(!row.set(NodeId(69)), "second set reports already-active");
+        assert!(row.test(NodeId(69)));
+        assert!(row.clear(NodeId(69)));
+        assert!(!row.clear(NodeId(69)));
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn word_count_matches_ceiling_division() {
+        assert_eq!(StatusRow::new(0).word_count(), 0);
+        assert_eq!(StatusRow::new(1).word_count(), 1);
+        assert_eq!(StatusRow::new(32).word_count(), 1);
+        assert_eq!(StatusRow::new(33).word_count(), 2);
+        assert_eq!(StatusRow::new(32768).word_count(), 1024);
+    }
+
+    #[test]
+    fn set_all_respects_tail() {
+        let mut row = StatusRow::new(40);
+        row.set_all();
+        assert_eq!(row.count(), 40);
+        assert_eq!(row.iter().count(), 40);
+    }
+
+    #[test]
+    fn boolean_ops_match_set_semantics() {
+        let n = 100;
+        let mut a = StatusRow::new(n);
+        let mut b = StatusRow::new(n);
+        for i in (0..n).step_by(2) {
+            a.set(NodeId(i as u32));
+        }
+        for i in (0..n).step_by(3) {
+            b.set(NodeId(i as u32));
+        }
+        let mut and = StatusRow::new(n);
+        let mut or = StatusRow::new(n);
+        let mut diff = StatusRow::new(n);
+        let mut not = StatusRow::new(n);
+        and.assign_and(&a, &b);
+        or.assign_or(&a, &b);
+        diff.assign_and_not(&a, &b);
+        not.assign_not(&a);
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            assert_eq!(and.test(node), i % 2 == 0 && i % 3 == 0);
+            assert_eq!(or.test(node), i % 2 == 0 || i % 3 == 0);
+            assert_eq!(diff.test(node), i % 2 == 0 && i % 3 != 0);
+            assert_eq!(not.test(node), i % 2 != 0);
+        }
+    }
+
+    #[test]
+    fn iter_yields_ascending_node_ids() {
+        let mut row = StatusRow::new(200);
+        for &i in &[0u32, 31, 32, 63, 64, 150, 199] {
+            row.set(NodeId(i));
+        }
+        let got: Vec<u32> = row.iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![0, 31, 32, 63, 64, 150, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside status row")]
+    fn out_of_range_set_panics() {
+        StatusRow::new(10).set(NodeId(10));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_count_matches_inserted_set(
+            nodes in 1usize..512,
+            picks in proptest::collection::btree_set(0u32..512, 0..64),
+        ) {
+            let mut row = StatusRow::new(nodes);
+            let valid: Vec<u32> =
+                picks.iter().copied().filter(|&p| (p as usize) < nodes).collect();
+            for &p in &valid {
+                row.set(NodeId(p));
+            }
+            prop_assert_eq!(row.count(), valid.len());
+            let iterated: Vec<u32> = row.iter().map(|n| n.0).collect();
+            prop_assert_eq!(iterated, valid);
+        }
+
+        #[test]
+        fn prop_demorgan(
+            nodes in 1usize..300,
+            xs in proptest::collection::vec(0u32..300, 0..40),
+            ys in proptest::collection::vec(0u32..300, 0..40),
+        ) {
+            let mut a = StatusRow::new(nodes);
+            let mut b = StatusRow::new(nodes);
+            for x in xs.iter().filter(|&&x| (x as usize) < nodes) {
+                a.set(NodeId(*x));
+            }
+            for y in ys.iter().filter(|&&y| (y as usize) < nodes) {
+                b.set(NodeId(*y));
+            }
+            // NOT (a OR b) == (NOT a) AND (NOT b)
+            let mut or = StatusRow::new(nodes);
+            or.assign_or(&a, &b);
+            let mut lhs = StatusRow::new(nodes);
+            lhs.assign_not(&or);
+            let mut na = StatusRow::new(nodes);
+            let mut nb = StatusRow::new(nodes);
+            na.assign_not(&a);
+            nb.assign_not(&b);
+            let mut rhs = StatusRow::new(nodes);
+            rhs.assign_and(&na, &nb);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # snap-mem — multiport memory substrate of the SNAP-1 cluster
+//!
+//! SNAP-1 interconnects the functional units of a cluster (PU, MUs, CU)
+//! with four-port memories rather than buses: concurrent-read /
+//! exclusive-write access eliminates bus contention at low design cost,
+//! while a hardware *cluster arbiter* provides mutual exclusion for the
+//! semaphore table guarding type-1 (shared variable) traffic. Type-2
+//! (PU↔MU microinstruction) and type-3 (MU→CU inter-cluster) traffic use
+//! single-writer/single-reader queue areas and bypass the arbiter.
+//!
+//! Two families of types are provided:
+//!
+//! * **models** ([`MultiportModel`], [`ArbiterModel`], [`MailboxModel`]) —
+//!   deterministic timing models used by the discrete-event engine;
+//! * **threaded** ([`SharedRegion`], [`Arbiter`], [`TaskQueue`]) — real
+//!   concurrent structures used by the threaded engine, carrying the same
+//!   statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod threaded;
+
+pub use model::{ArbiterModel, MailboxModel, MultiportModel, SimTime};
+pub use threaded::{Arbiter, SharedRegion, TaskQueue};

@@ -1,0 +1,266 @@
+//! Timing models of the cluster's multiport memories, used by the
+//! discrete-event engine.
+//!
+//! Within a cluster, functional units communicate through four-port
+//! memories that implement concurrent-read-exclusive-write (CREW) access:
+//! each port is dedicated to one unit, so there is no bus contention, but
+//! a port serializes its own accesses and critical sections must go
+//! through the cluster arbiter. These models track *when* an access
+//! completes and gather the occupancy/arbitration statistics reported in
+//! the paper's overhead analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated time in nanoseconds.
+pub type SimTime = u64;
+
+/// Timing model of one multiport memory region.
+///
+/// Each port belongs to a single functional unit. Accesses on different
+/// ports proceed concurrently (the four-port parts allow simultaneous
+/// access "from four independent ports without read contention"); accesses
+/// on the same port queue behind each other.
+///
+/// # Examples
+///
+/// ```
+/// use snap_mem::MultiportModel;
+/// let mut mem = MultiportModel::new(4);
+/// let t1 = mem.access(0, 0, 80);
+/// let t2 = mem.access(1, 0, 80); // different port: concurrent
+/// assert_eq!(t1, 80);
+/// assert_eq!(t2, 80);
+/// let t3 = mem.access(0, 0, 80); // same port: queued
+/// assert_eq!(t3, 160);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiportModel {
+    busy_until: Vec<SimTime>,
+    accesses: Vec<u64>,
+}
+
+impl MultiportModel {
+    /// Creates a region with `ports` dedicated ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0, "a memory region needs at least one port");
+        MultiportModel {
+            busy_until: vec![0; ports],
+            accesses: vec![0; ports],
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Performs an access of `duration` ns on `port` starting no earlier
+    /// than `now`; returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn access(&mut self, port: usize, now: SimTime, duration: SimTime) -> SimTime {
+        let start = now.max(self.busy_until[port]);
+        let done = start + duration;
+        self.busy_until[port] = done;
+        self.accesses[port] += 1;
+        done
+    }
+
+    /// Total accesses performed on `port`.
+    pub fn access_count(&self, port: usize) -> u64 {
+        self.accesses[port]
+    }
+
+    /// Earliest time `port` is free.
+    pub fn free_at(&self, port: usize) -> SimTime {
+        self.busy_until[port]
+    }
+}
+
+/// Timing model of the cluster arbiter guarding the semaphore table.
+///
+/// The arbiter serves asynchronous requests from each port, assigning one
+/// grant at a time on a first-come-first-served basis. Memory references
+/// outside a critical section do not involve the arbiter.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbiterModel {
+    busy_until: SimTime,
+    grants: u64,
+    conflicts: u64,
+    total_wait: SimTime,
+}
+
+impl ArbiterModel {
+    /// Creates an idle arbiter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests the arbiter at `now` for a critical section of
+    /// `duration` ns. Returns `(grant_time, completion_time)`.
+    pub fn acquire(&mut self, now: SimTime, duration: SimTime) -> (SimTime, SimTime) {
+        let grant = now.max(self.busy_until);
+        if grant > now {
+            self.conflicts += 1;
+            self.total_wait += grant - now;
+        }
+        let done = grant + duration;
+        self.busy_until = done;
+        self.grants += 1;
+        (grant, done)
+    }
+
+    /// Number of grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Number of requests that had to wait for an earlier grant.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Total nanoseconds requesters spent waiting.
+    pub fn total_wait(&self) -> SimTime {
+        self.total_wait
+    }
+}
+
+/// Bounded FIFO mailbox model with burst statistics.
+///
+/// Marker-activation messages are buffered in the marker activation
+/// memory and the ICN four-port mailboxes. When a traffic burst exceeds
+/// the buffering capacity, the sending processor blocks — the model
+/// reports those events so the network-capacity analysis of Fig. 8 can be
+/// reproduced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MailboxModel<T> {
+    queue: std::collections::VecDeque<T>,
+    capacity: usize,
+    max_depth: usize,
+    enqueued: u64,
+    rejected: u64,
+}
+
+impl<T> MailboxModel<T> {
+    /// Creates a mailbox holding at most `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be positive");
+        MailboxModel {
+            queue: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            max_depth: 0,
+            enqueued: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Attempts to enqueue; on a full mailbox returns `Err(message)` so
+    /// the caller can model sender blocking.
+    pub fn push(&mut self, message: T) -> Result<(), T> {
+        if self.queue.len() == self.capacity {
+            self.rejected += 1;
+            return Err(message);
+        }
+        self.queue.push_back(message);
+        self.enqueued += 1;
+        self.max_depth = self.max_depth.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest message.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Deepest the queue has ever been — burst absorption high-water mark.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Total messages accepted.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Push attempts rejected because the mailbox was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_are_independent_but_serialized_individually() {
+        let mut mem = MultiportModel::new(4);
+        assert_eq!(mem.access(0, 100, 50), 150);
+        assert_eq!(mem.access(1, 100, 50), 150, "distinct ports overlap");
+        assert_eq!(mem.access(0, 100, 50), 200, "same port queues");
+        assert_eq!(mem.access_count(0), 2);
+        assert_eq!(mem.access_count(1), 1);
+        assert_eq!(mem.free_at(0), 200);
+    }
+
+    #[test]
+    fn arbiter_serializes_critical_sections_fcfs() {
+        let mut arb = ArbiterModel::new();
+        let (g1, d1) = arb.acquire(0, 100);
+        assert_eq!((g1, d1), (0, 100));
+        // Second request arrives while the first holds the grant.
+        let (g2, d2) = arb.acquire(40, 100);
+        assert_eq!((g2, d2), (100, 200));
+        assert_eq!(arb.grants(), 2);
+        assert_eq!(arb.conflicts(), 1);
+        assert_eq!(arb.total_wait(), 60);
+        // A request after the section is free proceeds immediately.
+        let (g3, _) = arb.acquire(500, 10);
+        assert_eq!(g3, 500);
+        assert_eq!(arb.conflicts(), 1);
+    }
+
+    #[test]
+    fn mailbox_tracks_bursts_and_rejections() {
+        let mut mb = MailboxModel::new(2);
+        assert!(mb.push(1).is_ok());
+        assert!(mb.push(2).is_ok());
+        assert_eq!(mb.push(3), Err(3));
+        assert_eq!(mb.max_depth(), 2);
+        assert_eq!(mb.rejected(), 1);
+        assert_eq!(mb.pop(), Some(1));
+        assert!(mb.push(3).is_ok());
+        assert_eq!(mb.enqueued(), 3);
+        assert_eq!(mb.pop(), Some(2));
+        assert_eq!(mb.pop(), Some(3));
+        assert!(mb.pop().is_none());
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        MultiportModel::new(0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Real concurrent counterparts of the multiport-memory hardware, used by
+//! the threaded execution engine.
+//!
+//! * [`SharedRegion`] — a CREW region: concurrent readers, one writer,
+//!   like the four-port marker-processing memory;
+//! * [`Arbiter`] — first-come-first-served mutual exclusion over the
+//!   cluster's semaphore table (the hardware interlock unit);
+//! * [`TaskQueue`] — a bounded MPMC queue for PU→MU task hand-off and
+//!   CU mailboxes, with the same burst statistics as the DES model.
+
+use crossbeam::queue::ArrayQueue;
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A concurrent-read-exclusive-write shared memory region with access
+/// counters.
+///
+/// # Examples
+///
+/// ```
+/// use snap_mem::SharedRegion;
+/// let region = SharedRegion::new(vec![0u32; 8]);
+/// *region.write() = vec![1; 8];
+/// assert_eq!(region.read()[0], 1);
+/// assert_eq!(region.reads(), 1);
+/// assert_eq!(region.writes(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedRegion<T> {
+    data: RwLock<T>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl<T> SharedRegion<T> {
+    /// Wraps `value` in a CREW region.
+    pub fn new(value: T) -> Self {
+        SharedRegion {
+            data: RwLock::new(value),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires shared read access (concurrent with other readers).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.data.read()
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.data.write()
+    }
+
+    /// Number of read acquisitions so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of write acquisitions so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Unwraps the region, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+/// First-come-first-served arbiter guarding a semaphore table.
+///
+/// Ordinary test-and-set is insufficient on a multiport memory because
+/// concurrent readers of a semaphore would all claim ownership; the
+/// hardware interlock delays each requester until a grant is returned.
+/// This implementation hands out FIFO tickets; `lock` blocks until the
+/// caller's ticket is served.
+#[derive(Debug)]
+pub struct Arbiter {
+    queue: Mutex<VecDeque<usize>>,
+    served: Condvar,
+    next_ticket: AtomicUsize,
+    grants: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl Default for Arbiter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Arbiter {
+    /// Creates an idle arbiter.
+    pub fn new() -> Self {
+        Arbiter {
+            queue: Mutex::new(VecDeque::new()),
+            served: Condvar::new(),
+            next_ticket: AtomicUsize::new(0),
+            grants: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until the arbiter grants exclusive access, then runs `f`
+    /// inside the critical section and releases the grant.
+    pub fn with_grant<R>(&self, f: impl FnOnce() -> R) -> R {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+        let mut queue = self.queue.lock();
+        queue.push_back(ticket);
+        if queue.front() != Some(&ticket) {
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+        }
+        while queue.front() != Some(&ticket) {
+            self.served.wait(&mut queue);
+        }
+        drop(queue);
+        self.grants.fetch_add(1, Ordering::Relaxed);
+        let result = f();
+        let mut queue = self.queue.lock();
+        let front = queue.pop_front();
+        debug_assert_eq!(front, Some(ticket), "grants release in FIFO order");
+        self.served.notify_all();
+        result
+    }
+
+    /// Number of grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests that arrived while another grant was pending.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+}
+
+/// Bounded multi-producer multi-consumer task queue with burst statistics.
+///
+/// Mirrors the marker-processing / marker-activation memories: the PU
+/// enqueues decoded tasks, the MUs dequeue and execute them; the CU's
+/// mailboxes buffer inter-cluster messages. `push` spins (yielding) when
+/// full, modelling the blocked sender of an overflowing burst.
+#[derive(Debug)]
+pub struct TaskQueue<T> {
+    queue: ArrayQueue<T>,
+    enqueued: AtomicU64,
+    blocked: AtomicU64,
+    max_depth: AtomicUsize,
+}
+
+impl<T> TaskQueue<T> {
+    /// Creates a queue holding at most `capacity` tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(TaskQueue {
+            queue: ArrayQueue::new(capacity),
+            enqueued: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+            max_depth: AtomicUsize::new(0),
+        })
+    }
+
+    /// Enqueues `task`, blocking (with yields) while the queue is full.
+    pub fn push(&self, task: T) {
+        let mut task = task;
+        let mut first = true;
+        loop {
+            match self.queue.push(task) {
+                Ok(()) => break,
+                Err(t) => {
+                    if first {
+                        self.blocked.fetch_add(1, Ordering::Relaxed);
+                        first = false;
+                    }
+                    task = t;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.max_depth.fetch_max(self.queue.len(), Ordering::Relaxed);
+    }
+
+    /// Attempts to enqueue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the task back if the queue is full.
+    pub fn try_push(&self, task: T) -> Result<(), T> {
+        match self.queue.push(task) {
+            Ok(()) => {
+                self.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.max_depth.fetch_max(self.queue.len(), Ordering::Relaxed);
+                Ok(())
+            }
+            Err(t) => {
+                self.blocked.fetch_add(1, Ordering::Relaxed);
+                Err(t)
+            }
+        }
+    }
+
+    /// Dequeues a task if one is available.
+    pub fn pop(&self) -> Option<T> {
+        self.queue.pop()
+    }
+
+    /// Tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total tasks accepted.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Number of times a producer found the queue full.
+    pub fn blocked(&self) -> u64 {
+        self.blocked.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the queue has been.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn shared_region_counts_accesses() {
+        let r = SharedRegion::new(5u32);
+        assert_eq!(*r.read(), 5);
+        *r.write() += 1;
+        assert_eq!(*r.read(), 6);
+        assert_eq!(r.reads(), 2);
+        assert_eq!(r.writes(), 1);
+        assert_eq!(r.into_inner(), 6);
+    }
+
+    #[test]
+    fn arbiter_provides_mutual_exclusion() {
+        let arb = Arc::new(Arbiter::new());
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let arb = Arc::clone(&arb);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    arb.with_grant(|| {
+                        // Non-atomic read-modify-write protected by grant.
+                        let v = *counter.lock();
+                        std::hint::black_box(v);
+                        *counter.lock() = v + 1;
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 800);
+        assert_eq!(arb.grants(), 800);
+    }
+
+    #[test]
+    fn task_queue_is_fifo_for_single_producer() {
+        let q = TaskQueue::new(16);
+        for i in 0..10 {
+            q.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.enqueued(), 10);
+        assert_eq!(q.max_depth(), 10);
+    }
+
+    #[test]
+    fn task_queue_try_push_reports_full() {
+        let q = TaskQueue::new(1);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(2));
+        assert_eq!(q.blocked(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn task_queue_concurrent_producers_consumers_lose_nothing() {
+        let q = TaskQueue::new(8);
+        let total = 4 * 500;
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let q = Arc::clone(&q);
+            producers.push(thread::spawn(move || {
+                for i in 0..500 {
+                    q.push(p * 1000 + i);
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let seen = Arc::clone(&seen);
+            consumers.push(thread::spawn(move || loop {
+                if let Some(v) = q.pop() {
+                    let mut s = seen.lock();
+                    s.push(v);
+                    if s.len() == total {
+                        return;
+                    }
+                } else {
+                    let s = seen.lock();
+                    if s.len() == total {
+                        return;
+                    }
+                    drop(s);
+                    thread::yield_now();
+                }
+            }));
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        for h in consumers {
+            h.join().unwrap();
+        }
+        let mut s = seen.lock();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), total, "every task delivered exactly once");
+    }
+}

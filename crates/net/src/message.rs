@@ -1,0 +1,61 @@
+//! Marker activation messages.
+//!
+//! Inter-cluster marker traffic uses **fixed 64-bit messages** regardless
+//! of propagation-rule complexity: the microcode table of rules is
+//! downloaded at compile time, so a message carries only single-byte
+//! tokens for the rule and function plus the marker, value, destination
+//! and origin addresses. This struct is the logical form of that message;
+//! [`MarkerMessage::WIRE_BYTES`] is the size the timing models charge.
+
+use serde::{Deserialize, Serialize};
+use snap_kb::{Marker, NodeId};
+
+/// One marker activation message travelling between clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkerMessage {
+    /// Marker being propagated (`marker-2` of the `PROPAGATE`).
+    pub marker: Marker,
+    /// Current accumulated value.
+    pub value: f32,
+    /// Origin node of this marker instance (for binding).
+    pub origin: NodeId,
+    /// Destination node (the cluster is derived from the partition).
+    pub destination: NodeId,
+    /// Token naming the propagation rule in the downloaded microcode
+    /// table.
+    pub rule_token: u8,
+    /// Current state within the rule's state machine.
+    pub rule_state: u8,
+    /// Token naming the per-step arithmetic/logic function.
+    pub func_token: u8,
+    /// Propagation tier (wave depth) for the tiered synchronization
+    /// protocol.
+    pub level: u8,
+}
+
+impl MarkerMessage {
+    /// Wire size of a marker message: 64 bits.
+    pub const WIRE_BYTES: u64 = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_fixed_size_and_copyable() {
+        let m = MarkerMessage {
+            marker: Marker::complex(4),
+            value: 1.5,
+            origin: NodeId(7),
+            destination: NodeId(99),
+            rule_token: 2,
+            rule_state: 1,
+            func_token: 0,
+            level: 3,
+        };
+        let n = m; // Copy
+        assert_eq!(m, n);
+        assert_eq!(MarkerMessage::WIRE_BYTES, 8);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property inheritance: the Fig. 15 workload.
+//!
+//! Inheritance of attributes from concepts in the knowledge-base
+//! hierarchy is a basic inferencing operation: a property marked at the
+//! hierarchy root is propagated down the subsumption links until every
+//! leaf inherits it. The paper measures this root-to-leaf inheritance on
+//! SNAP-1 versus the CM-2 for knowledge bases up to 6.4K nodes.
+
+use crate::kb::{color, rel};
+use snap_isa::{CombineFunc, Program, PropRule, StepFunc};
+use snap_kb::{KbError, Marker, NetworkConfig, NodeId, SemanticNetwork};
+
+/// A generated inheritance hierarchy.
+#[derive(Debug, Clone)]
+pub struct InheritanceWorkload {
+    /// The hierarchy network (categories with `is-a`/`subsumes` links).
+    pub network: SemanticNetwork,
+    /// The root concept.
+    pub root: NodeId,
+    /// The leaf concepts.
+    pub leaves: Vec<NodeId>,
+    /// Tree depth (root-to-leaf path length).
+    pub depth: usize,
+}
+
+/// Builds a balanced concept hierarchy with `nodes` nodes and the given
+/// branching factor.
+///
+/// # Errors
+///
+/// Returns [`KbError`] if `nodes` exceeds the network capacity.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or `branching` is less than two.
+pub fn hierarchy(nodes: usize, branching: usize) -> Result<InheritanceWorkload, KbError> {
+    assert!(nodes > 0, "hierarchy needs at least one node");
+    assert!(branching >= 2, "branching must be at least two");
+    let mut net = SemanticNetwork::new(NetworkConfig::default());
+    let root = net.add_named_node("concept-0", color::CATEGORY)?;
+    let mut all = vec![root];
+    let mut depth_of = vec![0usize];
+    let mut next_parent = 0usize;
+    while all.len() < nodes {
+        let parent = all[next_parent];
+        let mut filled = true;
+        for _ in 0..branching {
+            if all.len() >= nodes {
+                filled = false;
+                break;
+            }
+            let idx = all.len();
+            let child = net.add_named_node(format!("concept-{idx}"), color::CATEGORY)?;
+            net.add_link(child, rel::IS_A, 0.1, parent)?;
+            net.add_link(parent, rel::SUBSUMES, 0.1, child)?;
+            all.push(child);
+            depth_of.push(depth_of[next_parent] + 1);
+        }
+        if filled {
+            next_parent += 1;
+        } else {
+            break;
+        }
+    }
+    // Leaves: nodes with no subsumes links.
+    let leaves: Vec<NodeId> = all
+        .iter()
+        .copied()
+        .filter(|&n| net.links_by(n, rel::SUBSUMES).next().is_none())
+        .collect();
+    for &leaf in &leaves {
+        net.set_color(leaf, color::LEAF_CATEGORY)?;
+    }
+    let depth = depth_of.iter().copied().max().unwrap_or(0);
+    Ok(InheritanceWorkload {
+        network: net,
+        root,
+        leaves,
+        depth,
+    })
+}
+
+/// The root-to-leaf inheritance program: mark the property at `root`,
+/// propagate it down every subsumption chain, and collect the leaves
+/// that inherited it.
+pub fn inheritance_program(root: NodeId) -> Program {
+    let property = Marker::binary(0);
+    let inherited = Marker::complex(1);
+    let leaf = Marker::binary(2);
+    let result = Marker::complex(3);
+    Program::builder()
+        .clear_marker(property)
+        .clear_marker(inherited)
+        .clear_marker(leaf)
+        .clear_marker(result)
+        .search_node(root, property, 0.0)
+        .propagate(property, inherited, PropRule::Star(rel::SUBSUMES), StepFunc::AddWeight)
+        .search_color(color::LEAF_CATEGORY, leaf, 0.0)
+        .and_marker(inherited, leaf, result, CombineFunc::Left)
+        .collect_marker(result)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_core::{EngineKind, Snap1};
+
+    #[test]
+    fn hierarchy_shape() {
+        let w = hierarchy(100, 4).unwrap();
+        assert_eq!(w.network.node_count(), 100);
+        assert!(!w.leaves.is_empty());
+        assert!(w.depth >= 3, "100 nodes at branching 4 → depth ≥ 3");
+        // Link count: every non-root node has is-a + subsumes.
+        assert_eq!(w.network.link_count(), 2 * 99);
+    }
+
+    #[test]
+    fn every_leaf_inherits_the_property() {
+        let mut w = hierarchy(200, 4).unwrap();
+        let program = inheritance_program(w.root);
+        let machine = Snap1::builder().clusters(4).engine(EngineKind::Des).build();
+        let report = machine.run(&mut w.network, &program).unwrap();
+        let collected = report.collects[0].node_ids();
+        assert_eq!(collected, w.leaves, "all leaves inherit");
+    }
+
+    #[test]
+    fn inheritance_cost_tracks_depth() {
+        let mut w = hierarchy(85, 4).unwrap(); // perfect-ish tree of depth 3
+        let program = inheritance_program(w.root);
+        let machine = Snap1::builder().clusters(2).engine(EngineKind::Sequential).build();
+        let report = machine.run(&mut w.network, &program).unwrap();
+        assert_eq!(report.max_propagation_depth as usize, w.depth);
+        // Inherited cost = 0.1 per level.
+        let snap_core::CollectOutput::Nodes(nodes) = &report.collects[0] else {
+            panic!("expected nodes");
+        };
+        for (node, value) in nodes {
+            let v = value.unwrap();
+            assert!(
+                (v.value - 0.1 * w.depth as f32).abs() < 1e-4,
+                "leaf {node} cost {}",
+                v.value
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Question answering over parsed events.
+//!
+//! The point of the MUC-4 task is information extraction: after the
+//! memory-based parser accepts an event's concept sequence, downstream
+//! components query the knowledge base about it ("who was the agent?",
+//! "what kind of target?"). This module compiles such role queries to
+//! marker programs — the same inferencing machinery the paper's
+//! applications are built from — and interprets the collected results.
+
+use crate::kb::{color, rel};
+use crate::parser::EventTemplate;
+use snap_core::{CollectOutput, CoreError, Snap1};
+use snap_isa::{CombineFunc, Program, PropRule, StepFunc};
+use snap_kb::{Marker, NodeId, SemanticNetwork};
+
+/// A role query: which concepts can fill element `element_index` of the
+/// accepted sequence, optionally restricted to concepts mentioned in
+/// the sentence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleQuery {
+    /// Root of the accepted concept sequence.
+    pub root: NodeId,
+    /// Element position within the sequence (0-based).
+    pub element_index: usize,
+    /// Restrict answers to these mentioned concepts (e.g. the sentence's
+    /// word nodes). Empty = no restriction.
+    pub mentioned: Vec<NodeId>,
+}
+
+/// Compiles a role query to a SNAP program:
+///
+/// 1. mark the sequence root and walk `has-elem → filler → subsumes*`
+///    to reach every concept that can fill the role (restricted to the
+///    queried element by seeding it directly);
+/// 2. mark the mentioned concepts;
+/// 3. intersect and collect.
+///
+/// # Panics
+///
+/// Panics if the query's mentioned set exceeds 32 concepts (marker
+/// budget for the seed phase).
+pub fn role_query_program(network: &SemanticNetwork, query: &RoleQuery) -> Option<Program> {
+    assert!(query.mentioned.len() <= 32, "too many mentioned concepts");
+    // Resolve the element node at the queried position.
+    let element = network
+        .links_by(query.root, rel::HAS_ELEM)
+        .nth(query.element_index)?
+        .destination;
+    let seed = Marker::binary(0);
+    let reach = Marker::complex(1);
+    let mention = Marker::binary(2);
+    let answer = Marker::complex(3);
+    let mut b = Program::builder()
+        .clear_marker(seed)
+        .clear_marker(reach)
+        .clear_marker(mention)
+        .clear_marker(answer)
+        .search_node(element, seed, 0.0)
+        // filler → category, then the subsumption closure downward.
+        .propagate(
+            seed,
+            reach,
+            PropRule::Spread(rel::FILLER, rel::SUBSUMES),
+            StepFunc::AddWeight,
+        );
+    if query.mentioned.is_empty() {
+        b = b.or_marker(reach, reach, answer, CombineFunc::Left);
+    } else {
+        for &node in &query.mentioned {
+            b = b.search_node(node, mention, 0.0);
+        }
+        b = b.and_marker(reach, mention, answer, CombineFunc::Left);
+    }
+    Some(b.collect_marker(answer).build())
+}
+
+/// The interpreted answer to a role query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleAnswer {
+    /// The element node queried.
+    pub element: NodeId,
+    /// Word-level answers (mentioned concepts or vocabulary), with the
+    /// subsumption cost from the role's category, cheapest first.
+    pub answers: Vec<(NodeId, f32)>,
+}
+
+/// Runs a role query on `machine` and interprets the result.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the compiled query fails. Returns
+/// `Ok(None)` when the sequence has no element at the queried position.
+pub fn ask_role(
+    network: &mut SemanticNetwork,
+    machine: &Snap1,
+    query: &RoleQuery,
+) -> Result<Option<RoleAnswer>, CoreError> {
+    let Some(program) = role_query_program(network, query) else {
+        return Ok(None);
+    };
+    let element = network
+        .links_by(query.root, rel::HAS_ELEM)
+        .nth(query.element_index)
+        .expect("checked by role_query_program")
+        .destination;
+    let report = machine.run(network, &program)?;
+    let CollectOutput::Nodes(nodes) = &report.collects[0] else {
+        unreachable!("collect-marker returns nodes");
+    };
+    let mut answers: Vec<(NodeId, f32)> = nodes
+        .iter()
+        .filter(|(n, _)| network.color(*n).is_ok_and(|c| c == color::WORD))
+        .map(|(n, v)| (*n, v.map_or(0.0, |v| v.value)))
+        .collect();
+    answers.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    Ok(Some(RoleAnswer { element, answers }))
+}
+
+/// Answers every role of an extracted [`EventTemplate`], restricted to
+/// the given mentioned concepts.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if a query program fails.
+pub fn answer_template(
+    network: &mut SemanticNetwork,
+    machine: &Snap1,
+    template: &EventTemplate,
+    mentioned: &[NodeId],
+) -> Result<Vec<RoleAnswer>, CoreError> {
+    let mut out = Vec::new();
+    for i in 0..template.roles.len() {
+        let query = RoleQuery {
+            root: template.root,
+            element_index: i,
+            mentioned: mentioned.to_vec(),
+        };
+        if let Some(answer) = ask_role(network, machine, &query)? {
+            out.push(answer);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::DomainSpec;
+    use crate::parser::MemoryBasedParser;
+    use crate::sentence::SentenceGenerator;
+    use snap_core::EngineKind;
+
+    fn machine() -> Snap1 {
+        Snap1::builder().clusters(4).engine(EngineKind::Des).build()
+    }
+
+    #[test]
+    fn role_query_finds_fillers() {
+        let mut kb = DomainSpec::sized(1_500).build().unwrap();
+        let seq = kb.sequences[0].clone();
+        let query = RoleQuery {
+            root: seq.root,
+            element_index: 0,
+            mentioned: Vec::new(),
+        };
+        let answer = ask_role(&mut kb.network, &machine(), &query)
+            .unwrap()
+            .expect("element 0 exists");
+        assert!(!answer.answers.is_empty(), "role has vocabulary fillers");
+        // Every answer is a word subsumed (transitively) by the element's
+        // constraining category.
+        for (node, _) in &answer.answers {
+            assert_eq!(kb.network.color(*node).unwrap(), color::WORD);
+        }
+    }
+
+    #[test]
+    fn mentioned_restriction_filters_answers() {
+        let mut kb = DomainSpec::sized(1_500).build().unwrap();
+        let kb_ro = kb.clone();
+        let mut generator = SentenceGenerator::new(&kb_ro, 31);
+        let sentence = generator.generate(9);
+        let parser = MemoryBasedParser::new(&kb_ro);
+        let result = parser.parse(&mut kb.network, &machine(), &sentence).unwrap();
+        let template = result.templates[0].as_ref().expect("winning template");
+        let mentioned: Vec<NodeId> = sentence
+            .words
+            .iter()
+            .filter_map(|w| kb_ro.word(w))
+            .collect();
+        let answers =
+            answer_template(&mut kb.network, &machine(), template, &mentioned).unwrap();
+        assert_eq!(answers.len(), template.roles.len());
+        // Restricted answers only contain mentioned concepts, and at
+        // least one role is answered by a sentence word.
+        let total: usize = answers.iter().map(|a| a.answers.len()).sum();
+        assert!(total > 0, "some role answered from the sentence");
+        for a in &answers {
+            for (node, _) in &a.answers {
+                assert!(mentioned.contains(node));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_element_is_none() {
+        let mut kb = DomainSpec::sized(1_000).build().unwrap();
+        let seq = kb.sequences[0].clone();
+        let query = RoleQuery {
+            root: seq.root,
+            element_index: 99,
+            mentioned: Vec::new(),
+        };
+        assert!(ask_role(&mut kb.network, &machine(), &query).unwrap().is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Deterministic sentence generation for the MUC-4-like workload.
+//!
+//! The original evaluation parsed newswire sentences about terrorism in
+//! Latin America. The corpus is unavailable, so sentences are generated
+//! from clause templates over the synthetic domain vocabulary, each
+//! clause targeted at a concept sequence in the knowledge base so that a
+//! correct parse exists. Sentence length scales by appending clauses and
+//! prepositional attachments, which is what drives the paper's "time
+//! roughly proportional to sentence length" behaviour.
+
+use crate::kb::{rel, LinguisticKb, PartOfSpeech};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snap_kb::NodeId;
+
+/// A generated sentence with its intended interpretations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// The words, in order. Every content word is in the lexicon.
+    pub words: Vec<String>,
+    /// Indices (into [`LinguisticKb::sequences`]) of the concept
+    /// sequences each clause was generated from.
+    pub target_sequences: Vec<usize>,
+}
+
+impl Sentence {
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` for an empty sentence.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The sentence as a display string.
+    pub fn text(&self) -> String {
+        self.words.join(" ")
+    }
+}
+
+/// Deterministic sentence generator over a knowledge base.
+#[derive(Debug)]
+pub struct SentenceGenerator<'kb> {
+    kb: &'kb LinguisticKb,
+    rng: StdRng,
+}
+
+impl<'kb> SentenceGenerator<'kb> {
+    /// Creates a generator with the given seed.
+    pub fn new(kb: &'kb LinguisticKb, seed: u64) -> Self {
+        SentenceGenerator {
+            kb,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A word of the given part of speech subsumed by `category`, or any
+    /// word of that part of speech when the category has no vocabulary.
+    fn word_in(&mut self, category: NodeId, pos: PartOfSpeech) -> String {
+        let candidates: Vec<&str> = self
+            .kb
+            .network
+            .links_by(category, rel::SUBSUMES)
+            .filter_map(|l| self.kb.network.name(l.destination))
+            .filter(|name| {
+                self.kb.words(pos).iter().any(|w| w == name)
+            })
+            .collect();
+        if candidates.is_empty() {
+            let pool = self.kb.words(pos);
+            pool[self.rng.gen_range(0..pool.len())].to_string()
+        } else {
+            candidates[self.rng.gen_range(0..candidates.len())].to_string()
+        }
+    }
+
+    fn any(&mut self, pos: PartOfSpeech) -> String {
+        let pool = self.kb.words(pos);
+        pool[self.rng.gen_range(0..pool.len())].to_string()
+    }
+
+    /// Generates one clause targeted at concept sequence `seq_idx`:
+    /// `det [adj] noun verb det noun prep det noun`.
+    fn clause(&mut self, seq_idx: usize, with_adjective: bool) -> Vec<String> {
+        let seq = &self.kb.sequences[seq_idx];
+        let cats = &seq.element_categories;
+        let mut words = Vec::new();
+        words.push(self.any(PartOfSpeech::Determiner));
+        if with_adjective {
+            words.push(self.any(PartOfSpeech::Adjective));
+        }
+        words.push(self.word_in(cats[0], PartOfSpeech::Noun));
+        words.push(self.word_in(cats[1 % cats.len()], PartOfSpeech::Verb));
+        words.push(self.any(PartOfSpeech::Determiner));
+        words.push(self.word_in(cats[2 % cats.len()], PartOfSpeech::Noun));
+        words.push(self.any(PartOfSpeech::Preposition));
+        words.push(self.any(PartOfSpeech::Determiner));
+        words.push(self.word_in(cats[3 % cats.len()], PartOfSpeech::Noun));
+        words
+    }
+
+    /// Generates a sentence of at least `min_words` words by appending
+    /// clauses.
+    pub fn generate(&mut self, min_words: usize) -> Sentence {
+        let mut words = Vec::new();
+        let mut targets = Vec::new();
+        while words.len() < min_words {
+            let seq_idx = self.rng.gen_range(0..self.kb.sequences.len());
+            targets.push(seq_idx);
+            let with_adj = words.len() + 9 < min_words;
+            words.extend(self.clause(seq_idx, with_adj));
+        }
+        Sentence {
+            words,
+            target_sequences: targets,
+        }
+    }
+
+    /// The four evaluation sentences S1–S4 of increasing length (the
+    /// shape of Table IV).
+    pub fn evaluation_set(&mut self) -> Vec<Sentence> {
+        [8, 14, 20, 27].iter().map(|&n| self.generate(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::DomainSpec;
+
+    #[test]
+    fn sentences_use_lexicon_words_only() {
+        let kb = DomainSpec::sized(2000).build().unwrap();
+        let mut generator = SentenceGenerator::new(&kb, 7);
+        let s = generator.generate(12);
+        assert!(s.len() >= 12);
+        for w in &s.words {
+            assert!(kb.word(w).is_some(), "word `{w}` missing from lexicon");
+        }
+        assert!(!s.target_sequences.is_empty());
+        assert!(!s.text().is_empty());
+    }
+
+    #[test]
+    fn evaluation_set_has_increasing_lengths() {
+        let kb = DomainSpec::sized(2000).build().unwrap();
+        let mut generator = SentenceGenerator::new(&kb, 7);
+        let set = generator.evaluation_set();
+        assert_eq!(set.len(), 4);
+        for pair in set.windows(2) {
+            assert!(pair[1].len() > pair[0].len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let kb = DomainSpec::sized(2000).build().unwrap();
+        let a = SentenceGenerator::new(&kb, 42).generate(15);
+        let b = SentenceGenerator::new(&kb, 42).generate(15);
+        assert_eq!(a, b);
+        let c = SentenceGenerator::new(&kb, 43).generate(15);
+        assert_ne!(a, c, "different seeds vary");
+    }
+}

@@ -1,0 +1,15 @@
+//! # snap-stats — measurement utilities for the SNAP-1 reproduction
+//!
+//! Small, dependency-light helpers shared by the execution engines and
+//! the benchmark harness: summary statistics, histograms, labelled time
+//! series, and fixed-width ASCII table rendering for the regenerated
+//! tables and figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod summary;
+mod table;
+
+pub use summary::{Histogram, Series, Summary};
+pub use table::Table;

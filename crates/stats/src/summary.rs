@@ -1,0 +1,250 @@
+//! Summary statistics, histograms, and labelled series.
+
+use serde::{Deserialize, Serialize};
+
+/// Running summary of a sample set.
+///
+/// # Examples
+///
+/// ```
+/// use snap_stats::Summary;
+/// let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population standard deviation; 0 for fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let var = (self.sum_sq - self.sum * self.sum / n) / n;
+        var.max(0.0).sqrt()
+    }
+
+    /// Smallest sample; 0 for an empty summary.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; 0 for an empty summary.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let w = (self.hi - self.lo) / n as f64;
+            let idx = (((x - self.lo) / w) as usize).min(n - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// A labelled (x, y) series — one line of a paper figure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label (legend entry).
+    pub label: String,
+    /// The points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Renders the series as tab-separated `x<TAB>y` lines, suitable for
+    /// redirecting into a plotting tool.
+    pub fn to_tsv(&self) -> String {
+        let mut out = format!("# {}\n", self.label);
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x}\t{y}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99, 10.0, -0.1] {
+            h.add(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn series_tsv_format() {
+        let mut s = Series::new("snap-1");
+        s.push(1.0, 2.0);
+        s.push(2.0, 4.0);
+        assert_eq!(s.to_tsv(), "# snap-1\n1\t2\n2\t4\n");
+    }
+}

@@ -1,0 +1,180 @@
+//! Threaded implementation of the tiered barrier for the parallel engine.
+//!
+//! The hardware reports per-PE idle state through an AND-tree of general
+//! purpose I/O lines (the SIGI interlock signal) and per-level marker
+//! counters through the counter network. The logical equivalent here is a
+//! set of shared atomics: a busy-PE count (the AND-tree) and one signed
+//! counter per propagation level. The protocol invariant that prevents
+//! false detection carries over directly: a creation is counted **before**
+//! the message becomes visible to any other thread, so whenever a message
+//! is in flight some counter is positive.
+
+use crate::model::MAX_LEVELS;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared tiered-barrier state for one array run.
+#[derive(Debug)]
+pub struct TieredBarrier {
+    levels: Vec<AtomicI64>,
+    busy_pes: AtomicUsize,
+}
+
+impl TieredBarrier {
+    /// Creates the barrier; all PEs start idle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TieredBarrier {
+            levels: (0..MAX_LEVELS).map(|_| AtomicI64::new(0)).collect(),
+            busy_pes: AtomicUsize::new(0),
+        })
+    }
+
+    /// Records a marker/process creation at `level`. Call **before**
+    /// publishing the message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the tier table.
+    pub fn created(&self, level: u8) {
+        self.levels[level as usize].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a termination at `level`. Call **after** fully processing
+    /// the message (including counting any children it created).
+    pub fn consumed(&self, level: u8) {
+        let prev = self.levels[level as usize].fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "level {level} terminated more than created");
+    }
+
+    /// Marks one PE busy (clears its AND-tree input).
+    pub fn enter_busy(&self) {
+        self.busy_pes.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Marks one PE idle again.
+    pub fn exit_busy(&self) {
+        let prev = self.busy_pes.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "exit_busy without matching enter_busy");
+    }
+
+    /// Snapshot check: all PEs idle and every level drained.
+    ///
+    /// Reads the busy count first and re-checks it after scanning the
+    /// counters, so a PE that went busy mid-scan cannot slip through.
+    pub fn is_complete(&self) -> bool {
+        if self.busy_pes.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        if self.levels.iter().any(|l| l.load(Ordering::SeqCst) != 0) {
+            return false;
+        }
+        self.busy_pes.load(Ordering::SeqCst) == 0
+    }
+
+    /// Controller-side blocking wait (spin with yields) until the
+    /// barrier condition holds.
+    pub fn wait_complete(&self) {
+        while !self.is_complete() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Total messages currently accounted as in flight.
+    pub fn in_flight(&self) -> i64 {
+        self.levels.iter().map(|l| l.load(Ordering::SeqCst)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use std::thread;
+
+    #[test]
+    fn starts_complete() {
+        let b = TieredBarrier::new();
+        assert!(b.is_complete());
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn busy_pe_blocks_completion() {
+        let b = TieredBarrier::new();
+        b.enter_busy();
+        assert!(!b.is_complete());
+        b.exit_busy();
+        assert!(b.is_complete());
+    }
+
+    #[test]
+    fn in_flight_message_blocks_completion() {
+        let b = TieredBarrier::new();
+        b.created(3);
+        assert!(!b.is_complete());
+        assert_eq!(b.in_flight(), 1);
+        b.consumed(3);
+        assert!(b.is_complete());
+    }
+
+    /// End-to-end: worker threads forward messages in random-ish chains;
+    /// the controller's wait_complete must not return until every message
+    /// has been fully processed.
+    #[test]
+    fn wait_complete_never_fires_early() {
+        const WORKERS: usize = 4;
+        const SEEDS: u32 = 200;
+        let barrier = TieredBarrier::new();
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..WORKERS).map(|_| unbounded::<(u8, u32)>()).unzip();
+        let processed = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for (w, rx) in rxs.into_iter().enumerate() {
+            let barrier = Arc::clone(&barrier);
+            let txs = txs.clone();
+            let processed = Arc::clone(&processed);
+            let done = Arc::clone(&done);
+            handles.push(thread::spawn(move || {
+                loop {
+                    match rx.try_recv() {
+                        Ok((level, hop)) => {
+                            barrier.enter_busy();
+                            // Forward a child message for a few hops.
+                            if hop > 0 {
+                                let next = (w + 1) % WORKERS;
+                                barrier.created(level + 1);
+                                txs[next].send((level + 1, hop - 1)).unwrap();
+                            }
+                            processed.fetch_add(1, Ordering::SeqCst);
+                            barrier.consumed(level);
+                            barrier.exit_busy();
+                        }
+                        Err(_) => {
+                            if done.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            thread::yield_now();
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Seed the system: SEEDS level-0 messages, each forwarding 3 hops.
+        let mut expected = 0usize;
+        for i in 0..SEEDS {
+            barrier.created(0);
+            txs[(i % WORKERS as u32) as usize].send((0, 3)).unwrap();
+            expected += 4; // each seed is processed once per hop level 0..=3
+        }
+        barrier.wait_complete();
+        // At completion every created message must have been processed.
+        assert_eq!(processed.load(Ordering::SeqCst), expected);
+        assert_eq!(barrier.in_flight(), 0);
+        done.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

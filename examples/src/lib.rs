@@ -1,0 +1,1 @@
+//! Examples package: see the example binaries (`quickstart`, `nlu_parse`, `inheritance`, `speech_lattice`).

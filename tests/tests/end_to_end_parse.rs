@@ -1,0 +1,94 @@
+//! End-to-end NLU parsing across engines and machine geometries: the
+//! linguistic results must not depend on how the array is configured.
+
+use snap_core::{EngineKind, Snap1};
+use snap_kb::{NodeId, PartitionScheme};
+use snap_nlu::{DomainSpec, MemoryBasedParser, SentenceGenerator};
+
+fn parse_winners(
+    engine: EngineKind,
+    clusters: usize,
+    scheme: PartitionScheme,
+) -> Vec<Vec<(NodeId, f32)>> {
+    let mut kb = DomainSpec::sized(1_500).build().unwrap();
+    let parser = MemoryBasedParser::new(&kb);
+    let kb_ro = kb.clone();
+    let mut generator = SentenceGenerator::new(&kb_ro, 77);
+    let machine = Snap1::builder()
+        .clusters(clusters)
+        .partition(scheme)
+        .engine(engine)
+        .build();
+    let mut winners = Vec::new();
+    for len in [9, 18] {
+        let sentence = generator.generate(len);
+        let result = parser.parse(&mut kb.network, &machine, &sentence).unwrap();
+        for clause in result.clauses {
+            winners.push(clause.winners);
+        }
+    }
+    winners
+}
+
+#[test]
+fn winners_are_engine_independent() {
+    let reference = parse_winners(EngineKind::Sequential, 1, PartitionScheme::Sequential);
+    assert!(!reference.is_empty());
+    for engine in [EngineKind::Des, EngineKind::Threaded] {
+        let got = parse_winners(engine, 4, PartitionScheme::RoundRobin);
+        assert_eq!(reference.len(), got.len(), "{engine:?}");
+        for (a, b) in reference.iter().zip(&got) {
+            let ids_a: Vec<NodeId> = a.iter().map(|w| w.0).collect();
+            let ids_b: Vec<NodeId> = b.iter().map(|w| w.0).collect();
+            assert_eq!(ids_a, ids_b, "{engine:?} winner sets differ");
+            for ((_, ca), (_, cb)) in a.iter().zip(b) {
+                assert!((ca - cb).abs() < 1e-3, "{engine:?} costs differ");
+            }
+        }
+    }
+}
+
+#[test]
+fn winners_are_geometry_independent() {
+    let reference = parse_winners(EngineKind::Des, 1, PartitionScheme::Sequential);
+    for clusters in [2, 8, 16] {
+        for scheme in [
+            PartitionScheme::Sequential,
+            PartitionScheme::RoundRobin,
+            PartitionScheme::Semantic,
+        ] {
+            let got = parse_winners(EngineKind::Des, clusters, scheme);
+            assert_eq!(
+                reference.len(),
+                got.len(),
+                "{clusters} clusters / {scheme:?}"
+            );
+            for (a, b) in reference.iter().zip(&got) {
+                let ids_a: Vec<NodeId> = a.iter().map(|w| w.0).collect();
+                let ids_b: Vec<NodeId> = b.iter().map(|w| w.0).collect();
+                assert_eq!(ids_a, ids_b, "{clusters} clusters / {scheme:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_generated_clause_accepts_its_target() {
+    let mut kb = DomainSpec::sized(2_500).build().unwrap();
+    let parser = MemoryBasedParser::new(&kb);
+    let kb_ro = kb.clone();
+    let mut generator = SentenceGenerator::new(&kb_ro, 123);
+    let machine = Snap1::builder().clusters(8).build();
+    for trial in 0..5 {
+        let sentence = generator.generate(9);
+        let target = kb_ro.sequences[sentence.target_sequences[0]].root;
+        let result = parser.parse(&mut kb.network, &machine, &sentence).unwrap();
+        let winners: Vec<NodeId> = result.clauses[0].winners.iter().map(|w| w.0).collect();
+        assert!(
+            winners.contains(&target),
+            "trial {trial}: target {target} missing from {winners:?} \
+             for \"{}\"",
+            sentence.text()
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Scaling sanity on the discrete-event machine: the qualitative
+//! relations the paper's evaluation depends on must hold for the
+//! simulated timings.
+
+use snap_core::{EngineKind, MachineConfig, Snap1};
+use snap_isa::{InstrClass, Program, PropRule, StepFunc};
+use snap_kb::{Color, Marker, NetworkConfig, NodeId, RelationType, SemanticNetwork};
+
+const REL: RelationType = RelationType(1);
+const SRC: Color = Color(9);
+
+/// `alpha` parallel chains of `depth` hops.
+fn chains(alpha: usize, depth: usize) -> SemanticNetwork {
+    let mut net = SemanticNetwork::new(NetworkConfig::default());
+    for level in 0..=depth {
+        for _ in 0..alpha {
+            net.add_node(if level == 0 { SRC } else { Color(0) }).unwrap();
+        }
+    }
+    for level in 0..depth {
+        for c in 0..alpha {
+            net.add_link(
+                NodeId((level * alpha + c) as u32),
+                REL,
+                1.0,
+                NodeId(((level + 1) * alpha + c) as u32),
+            )
+            .unwrap();
+        }
+    }
+    net
+}
+
+fn walk() -> Program {
+    Program::builder()
+        .search_color(SRC, Marker::binary(0), 0.0)
+        .propagate(
+            Marker::binary(0),
+            Marker::complex(1),
+            PropRule::Star(REL),
+            StepFunc::AddWeight,
+        )
+        .collect_marker(Marker::complex(1))
+        .build()
+}
+
+/// Propagation-phase time — the paper measures speedup "during
+/// propagation" (Section IV, Processor Speedup).
+fn time_with(clusters: usize, mus: usize, alpha: usize) -> u64 {
+    let mut net = chains(alpha, 10);
+    let machine = Snap1::builder()
+        .config(MachineConfig::uniform(clusters, mus))
+        .build();
+    machine
+        .run(&mut net, &walk())
+        .unwrap()
+        .time_of(InstrClass::Propagate)
+}
+
+#[test]
+fn more_clusters_reduce_wide_propagation_time() {
+    let t1 = time_with(1, 1, 256);
+    let t4 = time_with(4, 2, 256);
+    let t16 = time_with(16, 3, 256);
+    assert!(t4 < t1, "4 clusters beat 1: {t4} vs {t1}");
+    assert!(t16 < t4, "16 clusters beat 4: {t16} vs {t4}");
+    assert!(t1 as f64 / t16 as f64 > 4.0, "substantial speedup");
+}
+
+#[test]
+fn wider_alpha_yields_more_speedup() {
+    let speedup = |alpha: usize| time_with(1, 1, alpha) as f64 / time_with(16, 3, alpha) as f64;
+    let s10 = speedup(10);
+    let s100 = speedup(100);
+    let s1000 = speedup(1000);
+    assert!(s100 > s10, "α=100 speedup {s100:.1} > α=10 {s10:.1}");
+    assert!(s1000 > s100, "α=1000 speedup {s1000:.1} > α=100 {s100:.1}");
+}
+
+#[test]
+fn narrow_propagation_does_not_benefit_from_clusters() {
+    // α = 1: a single serial chain cannot use the array.
+    let t1 = time_with(1, 1, 1);
+    let t16 = time_with(16, 3, 1);
+    assert!(
+        (t16 as f64) > (t1 as f64) * 0.5,
+        "no magic speedup on serial work: {t1} vs {t16}"
+    );
+}
+
+#[test]
+fn sequential_engine_matches_des_instruction_counts() {
+    let program = walk();
+    let mut n1 = chains(32, 6);
+    let seq = Snap1::builder()
+        .clusters(1)
+        .engine(EngineKind::Sequential)
+        .build()
+        .run(&mut n1, &program)
+        .unwrap();
+    let mut n2 = chains(32, 6);
+    let des = Snap1::builder()
+        .clusters(8)
+        .engine(EngineKind::Des)
+        .build()
+        .run(&mut n2, &program)
+        .unwrap();
+    assert_eq!(seq.instruction_count(), des.instruction_count());
+    assert_eq!(
+        seq.count_of(InstrClass::Propagate),
+        des.count_of(InstrClass::Propagate)
+    );
+    assert_eq!(seq.alpha_per_propagate, des.alpha_per_propagate);
+}
+
+#[test]
+fn broadcast_overhead_is_constant_in_cluster_count() {
+    let overhead = |clusters: usize| {
+        let mut net = chains(64, 6);
+        let machine = Snap1::builder()
+            .config(MachineConfig::uniform(clusters, 2))
+            .build();
+        machine.run(&mut net, &walk()).unwrap().overhead
+    };
+    let o2 = overhead(2);
+    let o16 = overhead(16);
+    assert_eq!(o2.broadcast_ns, o16.broadcast_ns, "dedicated global bus");
+    assert!(o16.sync_ns > o2.sync_ns, "barrier grows with PEs");
+    assert!(o16.collect_ns > o2.collect_ns, "collect grows with clusters");
+}

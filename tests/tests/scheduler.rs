@@ -1,0 +1,132 @@
+//! The β scheduler must preserve program semantics exactly, and must
+//! actually recover overlap the discrete-event machine can use.
+
+use proptest::prelude::*;
+use snap_core::{EngineKind, Snap1};
+use snap_isa::{
+    analyze_beta, schedule_beta, CombineFunc, InstrClass, Program, PropRule, StepFunc,
+};
+use snap_kb::{Color, Marker, NetworkConfig, NodeId, RelationType, SemanticNetwork};
+
+fn mesh(nodes: usize) -> SemanticNetwork {
+    let mut net = SemanticNetwork::new(NetworkConfig::default());
+    for i in 0..nodes {
+        net.add_node(Color((i % 6) as u8)).unwrap();
+    }
+    for i in 0..nodes {
+        let a = NodeId(i as u32);
+        let b = NodeId(((i * 7 + 3) % nodes) as u32);
+        let c = NodeId(((i * 5 + 11) % nodes) as u32);
+        net.add_link(a, RelationType(1), 0.5, b).unwrap();
+        net.add_link(a, RelationType(2), 1.0, c).unwrap();
+    }
+    net
+}
+
+/// An interleaved program: independent propagations separated by
+/// unrelated set/clear work, as a straightforwardly written application
+/// would issue them.
+fn interleaved(k: usize) -> Program {
+    let mut b = Program::builder();
+    for i in 0..k {
+        b = b.search_color(Color((i % 6) as u8), Marker::binary(i as u8), 0.0);
+    }
+    for i in 0..k {
+        b = b
+            .propagate(
+                Marker::binary(i as u8),
+                Marker::complex(i as u8),
+                PropRule::Star(RelationType(1 + (i % 2) as u16)),
+                StepFunc::AddWeight,
+            )
+            // Unrelated housekeeping between the propagates.
+            .set_marker(Marker::binary((40 + i) as u8), 0.0)
+            .clear_marker(Marker::binary((40 + i) as u8));
+    }
+    for i in 0..k {
+        b = b.collect_marker(Marker::complex(i as u8));
+    }
+    b.build()
+}
+
+#[test]
+fn scheduling_recovers_beta() {
+    let p = interleaved(6);
+    assert_eq!(analyze_beta(&p).beta_max(), 6, "dependency-wise independent");
+    let s = schedule_beta(&p);
+    // After scheduling, the six propagations are adjacent.
+    let classes: Vec<InstrClass> = s.iter().map(|i| i.class()).collect();
+    let first_prop = classes
+        .iter()
+        .position(|&c| c == InstrClass::Propagate)
+        .unwrap();
+    assert!(classes[first_prop..first_prop + 6]
+        .iter()
+        .all(|&c| c == InstrClass::Propagate));
+}
+
+#[test]
+fn scheduled_program_is_faster_on_the_machine() {
+    let p = interleaved(8);
+    let s = schedule_beta(&p);
+    let machine = Snap1::new();
+    let mut n1 = mesh(400);
+    let t_plain = machine.run(&mut n1, &p).unwrap();
+    let mut n2 = mesh(400);
+    let t_sched = machine.run(&mut n2, &s).unwrap();
+    assert_eq!(t_plain.collects, t_sched.collects, "same results");
+    assert!(
+        t_sched.time_of(InstrClass::Propagate) < t_plain.time_of(InstrClass::Propagate),
+        "overlap shortens the propagation phases: {} vs {}",
+        t_sched.time_of(InstrClass::Propagate),
+        t_plain.time_of(InstrClass::Propagate)
+    );
+    assert!(t_sched.barriers < t_plain.barriers, "fewer barrier rounds");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Random mixes of propagates, boolean/set-clear ops, and collects:
+    /// the scheduled program must produce identical results on the
+    /// sequential reference engine.
+    #[test]
+    fn prop_scheduling_preserves_semantics(
+        ops in proptest::collection::vec((0u8..6, 0u8..6, 0u8..6, 0u8..3), 1..24),
+    ) {
+        let mut b = Program::builder();
+        for (i, &(x, y, z, kind)) in ops.iter().enumerate() {
+            b = match kind {
+                0 => b.propagate(
+                    Marker::complex(x),
+                    Marker::complex(y),
+                    PropRule::Star(RelationType(1 + (i % 2) as u16)),
+                    StepFunc::AddWeight,
+                ),
+                1 => b.or_marker(
+                    Marker::complex(x),
+                    Marker::complex(y),
+                    Marker::complex(z),
+                    CombineFunc::Min,
+                ),
+                _ => b.search_color(Color(x % 6), Marker::complex(y), 0.0),
+            };
+        }
+        for m in 0..6 {
+            b = b.collect_marker(Marker::complex(m));
+        }
+        let p = b.build();
+        let s = schedule_beta(&p);
+        prop_assert_eq!(p.len(), s.len());
+
+        let machine = Snap1::builder().clusters(1).engine(EngineKind::Sequential).build();
+        let mut n1 = mesh(120);
+        let r_plain = machine.run(&mut n1, &p).unwrap();
+        let mut n2 = mesh(120);
+        let r_sched = machine.run(&mut n2, &s).unwrap();
+        prop_assert_eq!(r_plain.collects.len(), r_sched.collects.len());
+        for (a, b) in r_plain.collects.iter().zip(&r_sched.collects) {
+            prop_assert_eq!(a.node_ids(), b.node_ids());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Tiered-synchronization safety under real concurrency: the threaded
+//! engine's barrier must never complete while marker work is pending,
+//! across repeated runs, deep chains, and heavy fan-out.
+
+use snap_core::{EngineKind, Snap1};
+use snap_isa::{Program, PropRule, StepFunc};
+use snap_kb::{
+    Color, Marker, NetworkConfig, NodeId, PartitionScheme, RelationType, SemanticNetwork,
+};
+
+const REL: RelationType = RelationType(1);
+
+/// A deep chain: termination depends on counting multi-hop forwarding
+/// correctly (the case a naive idle-check gets wrong).
+fn chain(n: usize) -> SemanticNetwork {
+    let mut net = SemanticNetwork::new(NetworkConfig::default());
+    for i in 0..n {
+        net.add_node(Color(u8::from(i == 0))).unwrap();
+    }
+    for i in 0..n - 1 {
+        net.add_link(NodeId(i as u32), REL, 1.0, NodeId(i as u32 + 1))
+            .unwrap();
+    }
+    net
+}
+
+/// A two-level fan-out tree: 1 → k → k² bursts the network.
+fn burst_tree(fanout: usize) -> SemanticNetwork {
+    let mut net = SemanticNetwork::new(NetworkConfig::default());
+    let root = net.add_node(Color(1)).unwrap();
+    for _ in 0..fanout {
+        let mid = net.add_node(Color(0)).unwrap();
+        net.add_link(root, REL, 1.0, mid).unwrap();
+        for _ in 0..fanout {
+            let leaf = net.add_node(Color(0)).unwrap();
+            net.add_link(mid, REL, 1.0, leaf).unwrap();
+        }
+    }
+    net
+}
+
+fn walk() -> Program {
+    Program::builder()
+        .search_color(Color(1), Marker::binary(0), 0.0)
+        .propagate(
+            Marker::binary(0),
+            Marker::binary(1),
+            PropRule::Star(REL),
+            StepFunc::Identity,
+        )
+        .collect_marker(Marker::binary(1))
+        .build()
+}
+
+#[test]
+fn deep_chain_fully_traversed_before_collect() {
+    // If the barrier fired early, COLLECT would see a partial frontier.
+    let machine = Snap1::builder()
+        .clusters(8)
+        .partition(PartitionScheme::RoundRobin)
+        .engine(EngineKind::Threaded)
+        .build();
+    for _ in 0..10 {
+        let mut net = chain(40);
+        let report = machine.run(&mut net, &walk()).unwrap();
+        assert_eq!(report.collects[0].len(), 39, "all 39 downstream nodes reached");
+    }
+}
+
+#[test]
+fn burst_fanout_fully_absorbed() {
+    let machine = Snap1::builder()
+        .clusters(4)
+        .partition(PartitionScheme::RoundRobin)
+        .engine(EngineKind::Threaded)
+        .build();
+    for _ in 0..5 {
+        let mut net = burst_tree(20);
+        let report = machine.run(&mut net, &walk()).unwrap();
+        assert_eq!(report.collects[0].len(), 20 + 20 * 20);
+        assert!(report.traffic.total_messages > 0, "bursts cross clusters");
+    }
+}
+
+#[test]
+fn explicit_barriers_are_counted() {
+    let mut net = chain(10);
+    let program = Program::builder()
+        .barrier()
+        .search_color(Color(1), Marker::binary(0), 0.0)
+        .barrier()
+        .build();
+    let machine = Snap1::builder().clusters(2).engine(EngineKind::Threaded).build();
+    let report = machine.run(&mut net, &program).unwrap();
+    assert_eq!(report.barriers, 2);
+}
+
+#[test]
+fn repeated_runs_are_logically_deterministic() {
+    let machine = Snap1::builder()
+        .clusters(8)
+        .partition(PartitionScheme::RoundRobin)
+        .engine(EngineKind::Threaded)
+        .build();
+    let mut reference = None;
+    for _ in 0..8 {
+        let mut net = burst_tree(8);
+        let report = machine.run(&mut net, &walk()).unwrap();
+        let ids = report.collects[0].node_ids();
+        match &reference {
+            None => reference = Some(ids),
+            Some(r) => assert_eq!(r, &ids, "thread scheduling must not change results"),
+        }
+    }
+}
