@@ -152,8 +152,7 @@ impl Cm2 {
                     now += match other.class() {
                         InstrClass::Collect => {
                             let items = out.work[0].items as SimTime;
-                            let ns = self.cost.roundtrip_ns
-                                + items * self.cost.collect_per_item_ns;
+                            let ns = self.cost.roundtrip_ns + items * self.cost.collect_per_item_ns;
                             report.overhead.collect_ns += ns;
                             ns
                         }
@@ -226,7 +225,13 @@ impl Cm2 {
                     report.traffic.local_activations += 1;
                     let level = task.level + 1;
                     report.max_propagation_depth = report.max_propagation_depth.max(level);
-                    if visited.should_expand(0, arrival.state, arrival.node, arrival.value, task.origin) {
+                    if visited.should_expand(
+                        0,
+                        arrival.state,
+                        arrival.node,
+                        arrival.value,
+                        task.origin,
+                    ) {
                         next.push(PropTask {
                             prop: 0,
                             node: arrival.node,

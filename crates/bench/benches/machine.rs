@@ -24,7 +24,11 @@ fn bench_parse(c: &mut Criterion) {
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("alpha_walk_256");
     let program = alpha_program();
-    for engine in [EngineKind::Sequential, EngineKind::Des, EngineKind::Threaded] {
+    for engine in [
+        EngineKind::Sequential,
+        EngineKind::Des,
+        EngineKind::Threaded,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("engine", format!("{engine:?}")),
             &engine,

@@ -63,11 +63,23 @@ fn sync_ablation(quick: bool) -> (Table, String) {
         }
     }
     let mut table = Table::new(vec!["detector", "false completions", "checks"]);
-    table.row(vec!["naive (idle only)".into(), naive_false.to_string(), checks.to_string()]);
-    table.row(vec!["tiered (paper)".into(), tiered_false.to_string(), checks.to_string()]);
+    table.row(vec![
+        "naive (idle only)".into(),
+        naive_false.to_string(),
+        checks.to_string(),
+    ]);
+    table.row(vec![
+        "tiered (paper)".into(),
+        tiered_false.to_string(),
+        checks.to_string(),
+    ]);
     let note = format!(
         "naive detector falsely completed {naive_false} times; tiered never did — {}",
-        if tiered_false == 0 && naive_false > 0 { "HOLDS" } else { "CHECK" }
+        if tiered_false == 0 && naive_false > 0 {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     );
     (table, note)
 }
@@ -83,7 +95,10 @@ fn partition_ablation(quick: bool) -> Table {
     ] {
         let machine = Snap1::builder().clusters(16).partition(scheme).build();
         let results = parse_batch(kb_nodes, sentences, &machine, 0xAB1B).expect("parse");
-        let msgs: u64 = results.iter().map(|r| r.report.traffic.total_messages).sum();
+        let msgs: u64 = results
+            .iter()
+            .map(|r| r.report.traffic.total_messages)
+            .sum();
         let prop: u64 = results
             .iter()
             .map(|r| r.report.time_of(snap_isa::InstrClass::Propagate))
@@ -112,7 +127,11 @@ fn mu_ablation() -> (Table, String) {
     let note = format!(
         "more MUs per cluster shorten propagation (1→3 MUs: ×{}) — {}",
         ratio(times[0] / times[2]),
-        if times[2] < times[0] * 0.6 { "HOLDS" } else { "CHECK" }
+        if times[2] < times[0] * 0.6 {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     );
     (table, note)
 }
@@ -140,7 +159,11 @@ fn icn_buffer_ablation(quick: bool) -> (Table, String) {
          cannot be faster — {}",
         rows[0].0,
         rows[2].0,
-        if rows[0].0 > rows[2].0 && rows[0].1 >= rows[2].1 { "HOLDS" } else { "CHECK" }
+        if rows[0].0 > rows[2].0 && rows[0].1 >= rows[2].1 {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     );
     (table, note)
 }
@@ -150,8 +173,14 @@ fn lockstep_ablation(quick: bool) -> (Table, String) {
     let (kb_nodes, sentences) = if quick { (1_200, 2) } else { (4_000, 4) };
     let mut table = Table::new(vec!["mode", "total ms"]);
     let mut times = Vec::new();
-    for (name, lockstep) in [("MIMD (SNAP-1)", false), ("lockstep waves (SIMD-only)", true)] {
-        let machine = Snap1::builder().clusters(16).lockstep_waves(lockstep).build();
+    for (name, lockstep) in [
+        ("MIMD (SNAP-1)", false),
+        ("lockstep waves (SIMD-only)", true),
+    ] {
+        let machine = Snap1::builder()
+            .clusters(16)
+            .lockstep_waves(lockstep)
+            .build();
         let results = parse_batch(kb_nodes, sentences, &machine, 0xAB1C).expect("parse");
         let t: u64 = results.iter().map(|r| r.report.total_ns).sum();
         table.row(vec![name.into(), ms(t)]);
@@ -160,7 +189,11 @@ fn lockstep_ablation(quick: bool) -> (Table, String) {
     let note = format!(
         "selective MIMD propagation beats per-wave round-trips ×{} — {}",
         ratio(times[1] / times[0]),
-        if times[1] > times[0] { "HOLDS" } else { "CHECK" }
+        if times[1] > times[0] {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     );
     (table, note)
 }
@@ -175,7 +208,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let (sync_table, sync_note) = sync_ablation(quick);
     out.table("tiered vs naive termination detection", sync_table);
     out.note(sync_note);
-    out.table("partitioning function vs traffic", partition_ablation(quick));
+    out.table(
+        "partitioning function vs traffic",
+        partition_ablation(quick),
+    );
     let (mu_table, mu_note) = mu_ablation();
     out.table("marker units per cluster", mu_table);
     out.note(mu_note);

@@ -63,7 +63,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
     out.note(format!(
         "speech program has more inter-propagation parallelism than the NLU parser \
          (paper: PASS > DMSNAP): {}",
-        if pass_stats.beta_max() >= dm_max { "HOLDS" } else { "CHECK" }
+        if pass_stats.beta_max() >= dm_max {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     ));
     out
 }

@@ -64,7 +64,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
     out.note(format!(
         "PROPAGATE: {prop_count:.1}% of instructions, {prop_time:.1}% of time \
          (paper: 17.0% / 64.5%) — propagation dominates time, not count: {}",
-        if prop_time > prop_count * 2.0 { "HOLDS" } else { "CHECK" }
+        if prop_time > prop_count * 2.0 {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     ));
     out
 }
@@ -76,7 +80,11 @@ mod tests {
     #[test]
     fn propagate_dominates_time_not_count() {
         let out = run(true);
-        assert!(out.notes.iter().any(|n| n.contains("HOLDS")), "{:?}", out.notes);
+        assert!(
+            out.notes.iter().any(|n| n.contains("HOLDS")),
+            "{:?}",
+            out.notes
+        );
         assert_eq!(out.tables.len(), 1);
     }
 }

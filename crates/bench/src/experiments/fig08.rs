@@ -27,8 +27,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let reports = parse_batch(kb_nodes, sentences, &machine, 0x0F160008).expect("parse batch");
 
     let mut series: Vec<u64> = Vec::new();
+    let mut faults = snap_core::FaultReport::default();
     for r in &reports {
         series.extend(&r.report.traffic.messages_per_sync);
+        faults = faults.merged(&r.report.faults);
     }
     let summary: Summary = series.iter().map(|&m| m as f64).collect();
 
@@ -49,13 +51,20 @@ pub fn run(quick: bool) -> ExperimentOutput {
          bursty traffic: {}",
         summary.mean(),
         summary.max(),
-        if summary.max() > summary.mean() * 2.0 { "HOLDS" } else { "CHECK" }
+        if summary.max() > summary.mean() * 2.0 {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     ));
     out.note(
         "absolute message counts exceed the paper's — the synthetic KB is \
          denser and the template-extraction pass is network-wide; the \
          burst *shape* is the reproduced property",
     );
+    if !faults.is_empty() {
+        out.note(format!("faults: {faults}"));
+    }
     out
 }
 

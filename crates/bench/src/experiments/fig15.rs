@@ -76,12 +76,12 @@ pub fn run(quick: bool) -> ExperimentOutput {
         n
     };
 
-    let snap_faster_here = snap_times
-        .iter()
-        .zip(&cm2_times)
-        .all(|(s, c)| s < c);
+    let snap_faster_here = snap_times.iter().zip(&cm2_times).all(|(s, c)| s < c);
     let mut out = ExperimentOutput::new("fig15", "Property inheritance: SNAP-1 vs CM-2");
-    out.table("root-to-leaf inheritance time vs knowledge-base size", table);
+    out.table(
+        "root-to-leaf inheritance time vs knowledge-base size",
+        table,
+    );
     out.note(format!(
         "SNAP-1 faster over the measured range (paper: SNAP < 1 s, CM-2 < 10 s at 6.4K): {}",
         if snap_faster_here { "HOLDS" } else { "CHECK" }
@@ -91,7 +91,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
          SNAP-1'): snap {} vs cm2 {} per doubling — {}",
         ratio(snap_slope),
         ratio(cm2_slope),
-        if snap_slope > cm2_slope { "HOLDS" } else { "CHECK" }
+        if snap_slope > cm2_slope {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     ));
     out.note(format!(
         "extrapolated crossover near {:.0} nodes (paper: 'the lines will cross when larger \

@@ -39,13 +39,12 @@ pub fn run(quick: bool) -> ExperimentOutput {
     };
     let depth = 12; // the paper's propagation paths run 10–15 steps
 
-    let mut table = Table::new(vec![
-        "PEs".to_string(),
-        "clusters".to_string(),
-    ]
-    .into_iter()
-    .chain(alphas.iter().map(|a| format!("speedup α={a}")))
-    .collect::<Vec<String>>());
+    let mut table = Table::new(
+        vec!["PEs".to_string(), "clusters".to_string()]
+            .into_iter()
+            .chain(alphas.iter().map(|a| format!("speedup α={a}")))
+            .collect::<Vec<String>>(),
+    );
 
     // Baseline: the single-PE sequential engine.
     let mut base_times = Vec::new();
@@ -83,7 +82,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
 
     let mut out = ExperimentOutput::new("fig16", "Speedup vs processors under α-parallelism");
-    out.table("propagation-phase speedup over the single-PE sequential engine", table);
+    out.table(
+        "propagation-phase speedup over the single-PE sequential engine",
+        table,
+    );
     let ordered = final_speedups.windows(2).all(|w| w[1] > w[0]);
     out.note(format!(
         "larger α yields larger speedup at full configuration \

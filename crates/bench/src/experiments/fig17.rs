@@ -71,7 +71,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
 
     let mut out = ExperimentOutput::new("fig17", "Speedup vs β-parallelism");
-    out.table("overlap speedup vs number of overlapped propagations", table);
+    out.table(
+        "overlap speedup vs number of overlapped propagations",
+        table,
+    );
     let rising = speedups.windows(2).all(|w| w[1] >= w[0] * 0.95);
     out.note(format!(
         "speedup grows with β: {}",

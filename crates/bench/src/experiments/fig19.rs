@@ -32,9 +32,17 @@ pub fn run(quick: bool) -> ExperimentOutput {
         InstrClass::Collect,
     ];
     let mut table = Table::new(
-        ["KB nodes", "propagate ms", "boolean ms", "set/clear ms", "search ms", "collect ms", "propagate share %"]
-            .map(str::to_string)
-            .to_vec(),
+        [
+            "KB nodes",
+            "propagate ms",
+            "boolean ms",
+            "set/clear ms",
+            "search ms",
+            "collect ms",
+            "propagate share %",
+        ]
+        .map(str::to_string)
+        .to_vec(),
     );
     let mut shares = Vec::new();
     let mut dominates = true;
@@ -56,9 +64,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         row.push(ratio(share));
         table.row(row);
         shares.push(share);
-        dominates &= classes[1..]
-            .iter()
-            .all(|&c| total.time_of(c) <= prop);
+        dominates &= classes[1..].iter().all(|&c| total.time_of(c) <= prop);
     }
 
     let mut out = ExperimentOutput::new("fig19", "Instruction profile vs knowledge-base size");

@@ -69,7 +69,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
          roughly constant (×{}) — {}",
         ratio(growth),
         ratio(sc_growth),
-        if growth > sc_growth * 1.5 { "HOLDS" } else { "CHECK" }
+        if growth > sc_growth * 1.5 {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     ));
     out.note(
         "the paper counts 'propagations'; this reproduction reports node \

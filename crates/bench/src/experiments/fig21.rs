@@ -77,13 +77,15 @@ pub fn run(quick: bool) -> ExperimentOutput {
     out.note(format!(
         "broadcast constant in cluster count (growth ×{} over ×{span:.0} clusters): {}",
         ratio(g(first.broadcast_ns, last.broadcast_ns)),
-        if g(first.broadcast_ns, last.broadcast_ns) < 1.5 { "HOLDS" } else { "CHECK" }
+        if g(first.broadcast_ns, last.broadcast_ns) < 1.5 {
+            "HOLDS"
+        } else {
+            "CHECK"
+        }
     ));
     out.note(format!(
         "collect is the largest overhead at full scale: {}",
-        if last.collect_ns >= last.sync_ns
-            && last.collect_ns >= last.broadcast_ns
-        {
+        if last.collect_ns >= last.sync_ns && last.collect_ns >= last.broadcast_ns {
             "HOLDS"
         } else {
             "CHECK"

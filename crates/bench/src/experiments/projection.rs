@@ -58,9 +58,8 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let cm2_slope = slope(&cm2_times);
 
     let base = *sizes.last().unwrap() as f64;
-    let project = |t_end: f64, s: f64, target: f64| -> f64 {
-        t_end * 2f64.powf(s * (target / base).log2())
-    };
+    let project =
+        |t_end: f64, s: f64, target: f64| -> f64 { t_end * 2f64.powf(s * (target / base).log2()) };
 
     let mut projected = Table::new(vec![
         "concepts",
@@ -112,7 +111,8 @@ pub fn run(quick: bool) -> ExperimentOutput {
     } else {
         out.note(
             "no crossover below 10⁸ concepts under this calibration; the paper's \
-             qualitative prediction is directional".to_string(),
+             qualitative prediction is directional"
+                .to_string(),
         );
     }
     out

@@ -49,7 +49,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
             )
             .collect_marker(Marker::binary(1))
             .build();
-        let machine = Snap1::builder().clusters(16).engine(EngineKind::Des).build();
+        let machine = Snap1::builder()
+            .clusters(16)
+            .engine(EngineKind::Des)
+            .build();
         let report = machine.run(&mut net, &program).unwrap();
         assert!(!report.collects[0].is_empty());
         table.row(vec![
@@ -134,11 +137,15 @@ pub fn run(quick: bool) -> ExperimentOutput {
         let n = net.add_node(Color(0)).unwrap();
         let mut b = Program::builder();
         for i in 0..64u8 {
-            b = b
-                .search_node(n, Marker::complex(i), i as f32)
-                .search_node(n, Marker::binary(i), 0.0);
+            b = b.search_node(n, Marker::complex(i), i as f32).search_node(
+                n,
+                Marker::binary(i),
+                0.0,
+            );
         }
-        b = b.collect_marker(Marker::complex(63)).collect_marker(Marker::binary(63));
+        b = b
+            .collect_marker(Marker::complex(63))
+            .collect_marker(Marker::binary(63));
         let report = Snap1::builder()
             .clusters(1)
             .build()
@@ -147,8 +154,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
         assert_eq!(report.collects[0].len(), 1);
         assert_eq!(report.collects[1].len(), 1);
         // Register 64 is out of range.
-        let bad = Program::builder().set_marker(Marker::binary(64), 0.0).build();
-        assert!(Snap1::builder().clusters(1).build().run(&mut net, &bad).is_err());
+        let bad = Program::builder()
+            .set_marker(Marker::binary(64), 0.0)
+            .build();
+        assert!(Snap1::builder()
+            .clusters(1)
+            .build()
+            .run(&mut net, &bad)
+            .is_err());
         table.row(vec![
             "markers per node".into(),
             "64 complex + 64 binary".into(),

@@ -18,7 +18,11 @@ use snap_stats::Table;
 ///
 /// Panics if knowledge-base construction or parsing fails.
 pub fn run(quick: bool) -> ExperimentOutput {
-    let kb_sizes = if quick { vec![1_000, 2_000] } else { vec![5_000, 9_000] };
+    let kb_sizes = if quick {
+        vec![1_000, 2_000]
+    } else {
+        vec![5_000, 9_000]
+    };
     let machine = Snap1::new(); // 16 clusters / 72 PEs, as in Section IV
 
     // Each KB size gets its own sentence set from the same seed: the

@@ -40,6 +40,17 @@ impl ExperimentOutput {
         self
     }
 
+    /// Surfaces a run's fault-injection activity as a note. Fault-free
+    /// runs (the normal benchmark case) add nothing; any injected or
+    /// recovered fault shows up in the rendered output so a perturbed
+    /// measurement is never mistaken for a clean one.
+    pub fn note_faults(&mut self, report: &snap_core::RunReport) -> &mut Self {
+        if !report.faults.is_empty() {
+            self.note(format!("faults: {}", report.faults));
+        }
+        self
+    }
+
     /// Renders everything as text.
     pub fn render(&self) -> String {
         let mut out = format!("== {} — {} ==\n", self.id, self.title);
@@ -88,7 +99,10 @@ impl ExperimentOutput {
 /// The default results directory: `results/` at the workspace root.
 pub fn results_dir() -> PathBuf {
     let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
-    Path::new(&manifest).join("../../results").components().collect()
+    Path::new(&manifest)
+        .join("../../results")
+        .components()
+        .collect()
 }
 
 /// `true` if the process was invoked with `--quick` (reduced problem

@@ -62,7 +62,11 @@ pub fn alpha_program() -> Program {
 /// # Panics
 ///
 /// Panics if `beta` exceeds 64 (the marker register file).
-pub fn beta_network(beta: usize, alpha_each: usize, depth: usize) -> Result<SemanticNetwork, KbError> {
+pub fn beta_network(
+    beta: usize,
+    alpha_each: usize,
+    depth: usize,
+) -> Result<SemanticNetwork, KbError> {
     assert!(beta <= 64, "β exceeds the marker register file");
     let mut net = SemanticNetwork::new(NetworkConfig::default());
     let chains = beta * alpha_each;

@@ -1,6 +1,7 @@
 //! Machine configuration: array geometry and clocks.
 
 use serde::{Deserialize, Serialize};
+use snap_fault::FaultPlan;
 use snap_kb::PartitionScheme;
 
 /// Which execution engine a [`crate::Snap1`] machine uses.
@@ -54,6 +55,13 @@ pub struct MachineConfig {
     /// Record an event on the performance-collection network for every
     /// instruction and barrier (the paper's instrumentation system).
     pub instrument: bool,
+    /// Seeded fault schedule to inject during execution. `None` (the
+    /// default) runs fault-free. The DES applies it deterministically
+    /// (same seed + same plan ⇒ same injected schedule); the threaded
+    /// engine applies it per-link deterministically and survives it via
+    /// ack/retry, watchdog, and cluster-failover recovery. The
+    /// sequential engine ignores it.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -74,6 +82,7 @@ impl MachineConfig {
             lockstep_waves: false,
             cu_outbox_capacity: 1024,
             instrument: false,
+            fault_plan: None,
         }
     }
 
@@ -141,6 +150,11 @@ impl MachineConfig {
             self.cu_outbox_capacity > 0,
             "the CU needs at least one outbox slot"
         );
+        if let Some(plan) = &self.fault_plan {
+            if let Err(e) = plan.validate() {
+                panic!("invalid fault plan: {e}");
+            }
+        }
     }
 }
 
@@ -183,6 +197,16 @@ mod tests {
         let c = MachineConfig::uniform(1, 1);
         c.validate();
         assert_eq!(c.pe_count(), 2); // PU + 1 MU
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn bad_fault_plan_rejected() {
+        MachineConfig {
+            fault_plan: Some(FaultPlan::seeded(1).drops(2.0)),
+            ..MachineConfig::snap1_full()
+        }
+        .validate();
     }
 
     #[test]

@@ -261,15 +261,17 @@ mod tests {
     use super::*;
     use crate::region::RegionMap;
     use snap_isa::CombineFunc;
-    use snap_kb::{Color, ClusterId, NetworkConfig, PartitionScheme, RelationType};
+    use snap_kb::{ClusterId, Color, NetworkConfig, PartitionScheme, RelationType};
     use std::sync::Arc;
 
     fn setup(clusters: usize) -> (SemanticNetwork, Vec<Region>) {
         let mut net = SemanticNetwork::new(NetworkConfig::default());
         for i in 0..6 {
-            net.add_named_node(format!("n{i}"), Color(i as u8 % 2)).unwrap();
+            net.add_named_node(format!("n{i}"), Color(i as u8 % 2))
+                .unwrap();
         }
-        net.add_link(NodeId(0), RelationType(1), 0.5, NodeId(1)).unwrap();
+        net.add_link(NodeId(0), RelationType(1), 0.5, NodeId(1))
+            .unwrap();
         let map = RegionMap::build(&net, clusters, PartitionScheme::RoundRobin);
         let regions = (0..clusters)
             .map(|c| Region::new(ClusterId(c as u8), Arc::clone(&map), &net))
@@ -326,9 +328,15 @@ mod tests {
     #[test]
     fn collect_merges_and_sorts_across_clusters() {
         let (mut net, mut regions) = setup(2);
-        regions[1].arrive(Marker::binary(0), NodeId(5), 0.0, NodeId(5)).unwrap();
-        regions[0].arrive(Marker::binary(0), NodeId(0), 0.0, NodeId(0)).unwrap();
-        regions[1].arrive(Marker::binary(0), NodeId(1), 0.0, NodeId(1)).unwrap();
+        regions[1]
+            .arrive(Marker::binary(0), NodeId(5), 0.0, NodeId(5))
+            .unwrap();
+        regions[0]
+            .arrive(Marker::binary(0), NodeId(0), 0.0, NodeId(0))
+            .unwrap();
+        regions[1]
+            .arrive(Marker::binary(0), NodeId(1), 0.0, NodeId(1))
+            .unwrap();
         let instr = Instruction::CollectMarker {
             marker: Marker::binary(0),
         };
@@ -345,8 +353,12 @@ mod tests {
     #[test]
     fn marker_create_binds_marked_nodes() {
         let (mut net, mut regions) = setup(2);
-        regions[0].arrive(Marker::binary(0), NodeId(2), 0.0, NodeId(2)).unwrap();
-        regions[1].arrive(Marker::binary(0), NodeId(3), 0.0, NodeId(3)).unwrap();
+        regions[0]
+            .arrive(Marker::binary(0), NodeId(2), 0.0, NodeId(2))
+            .unwrap();
+        regions[1]
+            .arrive(Marker::binary(0), NodeId(3), 0.0, NodeId(3))
+            .unwrap();
         let fwd = RelationType(10);
         let rev = RelationType(11);
         let instr = Instruction::MarkerCreate {

@@ -9,6 +9,17 @@
 //! with a tiered barrier synchronization. Simulated time is nanoseconds;
 //! processing is totally ordered by `(time, sequence)` so results and
 //! timings are exactly reproducible.
+//!
+//! # Fault injection
+//!
+//! With a [`snap_fault::FaultPlan`] attached, injection decisions key off
+//! the simulator's event sequence number, so a seeded plan perturbs the
+//! *timing* of a run absolutely deterministically while the modelled
+//! reliable link layer (detect + retransmit, one extra CU service and
+//! wire traversal per lost or corrupted copy) keeps the logical results
+//! identical. Worker panics are a threaded-engine concept and are not
+//! modelled here; the SIMD lockstep ablation path is likewise
+//! uninjected.
 
 use crate::config::MachineConfig;
 use crate::controller::{plan, PropSpec, Step};
@@ -103,6 +114,7 @@ struct Des<'c> {
     outbox: Vec<BinaryHeap<Reverse<SimTime>>>,
     sync: TieredSyncModel,
     perf: Option<PerfCollector>,
+    injector: Option<snap_fault::FaultInjector>,
     now: SimTime,
     seq: u64,
     pending_msgs: u64,
@@ -129,6 +141,10 @@ impl<'c> Des<'c> {
             perf: config
                 .instrument
                 .then(|| PerfCollector::new(config.pe_count(), 1 << 16)),
+            injector: config
+                .fault_plan
+                .clone()
+                .map(snap_fault::FaultInjector::new),
             now: 0,
             seq: 0,
             pending_msgs: 0,
@@ -138,6 +154,9 @@ impl<'c> Des<'c> {
 
     fn finish(mut self) -> RunReport {
         self.report.total_ns = self.now;
+        if let Some(inj) = &self.injector {
+            self.report.faults = inj.report();
+        }
         self.report
     }
 
@@ -316,7 +335,15 @@ impl<'c> Des<'c> {
                         };
                         let dest = self.map.cluster_of(arrival.node).index();
                         if dest == cluster {
-                            self.deliver_local(network, specs, &mut heap, &mut visited, dest, next, ev.time)?;
+                            self.deliver_local(
+                                network,
+                                specs,
+                                &mut heap,
+                                &mut visited,
+                                dest,
+                                next,
+                                ev.time,
+                            )?;
                         } else {
                             // Off-cluster: CU serializes, hypercube carries.
                             self.pending_msgs += 1;
@@ -337,8 +364,7 @@ impl<'c> Des<'c> {
                                     ob.pop();
                                 }
                                 if ob.len() >= capacity {
-                                    let Reverse(freed) =
-                                        ob.pop().expect("full outbox is nonempty");
+                                    let Reverse(freed) = ob.pop().expect("full outbox is nonempty");
                                     ready = ready.max(freed);
                                     blocked = true;
                                 }
@@ -346,12 +372,34 @@ impl<'c> Des<'c> {
                             if blocked {
                                 self.report.traffic.blocked_sends += 1;
                             }
-                            let cu_start = ready.max(self.cu_free[cluster]);
+                            let mut cu_start = ready.max(self.cu_free[cluster]);
+                            if let Some(inj) = &self.injector {
+                                // Arbiter starvation delays the CU grant.
+                                cu_start += inj.starvation_ns(cluster as u8, self.seq);
+                            }
                             let cu_done = cu_start + self.cost.cu_service_ns;
                             self.cu_free[cluster] = cu_done;
                             let wire = hops as SimTime * self.cost.hop_ns
                                 + hops.saturating_sub(1) as SimTime * self.cost.cu_service_ns;
-                            let deliver = cu_done + wire;
+                            let mut deliver = cu_done + wire;
+                            let mut duplicated = false;
+                            if let Some(inj) = &self.injector {
+                                let fate = inj.fate(cluster as u8, dest as u8, self.seq);
+                                if fate.corrupted {
+                                    inj.note_detected_corruption();
+                                }
+                                if fate.dropped || fate.corrupted {
+                                    // Modelled reliable link layer: the
+                                    // first copy is lost (or discarded on
+                                    // checksum mismatch) and the
+                                    // retransmission pays one more CU
+                                    // service plus wire traversal.
+                                    inj.note_retry();
+                                    deliver += self.cost.cu_service_ns + wire;
+                                }
+                                deliver += fate.delay_ns;
+                                duplicated = fate.duplicated;
+                            }
                             self.outbox[cluster].push(Reverse(deliver));
                             self.report.overhead.communication_ns += deliver - ev.time;
                             self.sync.created(level.min(63));
@@ -364,13 +412,38 @@ impl<'c> Des<'c> {
                                     task: next,
                                 },
                             }));
+                            if duplicated {
+                                // The duplicate copy also arrives; the
+                                // receiver's idempotent merge absorbs it.
+                                if let Some(inj) = &self.injector {
+                                    inj.note_detected_duplicate();
+                                }
+                                self.sync.created(level.min(63));
+                                self.seq += 1;
+                                heap.push(Reverse(Event {
+                                    time: deliver + self.cost.cu_service_ns,
+                                    seq: self.seq,
+                                    kind: EventKind::Delivery {
+                                        cluster: dest,
+                                        task: next,
+                                    },
+                                }));
+                            }
                         }
                     }
                     self.sync.consumed(task.level.min(63));
                 }
                 EventKind::Delivery { cluster, task } => {
                     let level = task.level;
-                    self.deliver_local(network, specs, &mut heap, &mut visited, cluster, task, ev.time)?;
+                    self.deliver_local(
+                        network,
+                        specs,
+                        &mut heap,
+                        &mut visited,
+                        cluster,
+                        task,
+                        ev.time,
+                    )?;
                     self.sync.consumed(level.min(63));
                 }
             }
@@ -419,10 +492,14 @@ impl<'c> Des<'c> {
             .iter()
             .filter(|a| self.map.cluster_of(a.node).index() == cluster)
             .count();
-        let dur = self
+        let mut dur = self
             .cost
             .expand_ns(expansion.segments, expansion.links_scanned, local_sets)
             .max(1);
+        if let Some(inj) = &self.injector {
+            // An injected PE stall lengthens this expansion's service.
+            dur += inj.stall_ns(cluster as u8, self.seq);
+        }
         let mu = (0..self.mu_free[cluster].len())
             .min_by_key(|&i| self.mu_free[cluster][i])
             .expect("cluster has at least one MU");
@@ -494,7 +571,11 @@ impl<'c> Des<'c> {
                 self.report.expansions += 1;
                 let dur = self
                     .cost
-                    .expand_ns(expansion.segments, expansion.links_scanned, expansion.arrivals.len())
+                    .expand_ns(
+                        expansion.segments,
+                        expansion.links_scanned,
+                        expansion.arrivals.len(),
+                    )
                     .max(1);
                 let mu = (0..mu_free[cluster].len())
                     .min_by_key(|&i| mu_free[cluster][i])
@@ -533,7 +614,13 @@ impl<'c> Des<'c> {
                     };
                     self.regions[dest].arrive(spec.target, next.node, next.value, next.origin)?;
                     self.report.traffic.local_activations += u64::from(dest == cluster);
-                    if visited.should_expand(next.prop, next.state, next.node, next.value, next.origin) {
+                    if visited.should_expand(
+                        next.prop,
+                        next.state,
+                        next.node,
+                        next.value,
+                        next.origin,
+                    ) {
                         next_wave.push((dest, next));
                     }
                 }
@@ -691,7 +778,10 @@ mod tests {
         let mut cfg = MachineConfig::uniform(4, 1);
         cfg.partition = snap_kb::PartitionScheme::RoundRobin;
         let report = run(&cfg, &CostModel::snap1(), &mut net, &program).unwrap();
-        assert_eq!(report.traffic.messages_per_sync.len() as u64, report.barriers);
+        assert_eq!(
+            report.traffic.messages_per_sync.len() as u64,
+            report.barriers
+        );
         assert_eq!(report.traffic.total_messages, 31);
         assert!(report.overhead.communication_ns > 0);
         assert!(report.overhead.sync_ns > 0);
@@ -743,7 +833,10 @@ mod tests {
             let mut net = net.clone();
             run(&cfg, &CostModel::snap1(), &mut net, &program).unwrap()
         };
-        assert_eq!(roomy.traffic.blocked_sends, 0, "1024 slots absorb the burst");
+        assert_eq!(
+            roomy.traffic.blocked_sends, 0,
+            "1024 slots absorb the burst"
+        );
         cfg.cu_outbox_capacity = 4;
         let cramped = {
             let mut net = net.clone();
@@ -772,10 +865,67 @@ mod tests {
         // One event per non-propagate instruction + one per barrier.
         assert_eq!(
             instrumented.perf_events,
-            plain.instruction_count() - plain.count_of(InstrClass::Propagate)
-                + plain.barriers
+            plain.instruction_count() - plain.count_of(InstrClass::Propagate) + plain.barriers
         );
         assert_eq!(instrumented.perf_dropped, 0);
+    }
+
+    #[test]
+    fn injected_faults_stretch_time_but_not_results() {
+        let program = parse_like_program();
+        let mut cfg = MachineConfig::uniform(4, 2);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        let mut net1 = chain_network(64);
+        let clean = run(&cfg, &CostModel::snap1(), &mut net1, &program).unwrap();
+        cfg.fault_plan = Some(
+            snap_fault::FaultPlan::seeded(9)
+                .drops(0.2)
+                .duplicates(0.1)
+                .delays(0.2, 10_000)
+                .corruptions(0.1)
+                .stalls(0.2, 5_000),
+        );
+        let mut net2 = chain_network(64);
+        let faulty = run(&cfg, &CostModel::snap1(), &mut net2, &program).unwrap();
+        assert_eq!(
+            clean.collects, faulty.collects,
+            "faults must not change results"
+        );
+        assert!(faulty.faults.total_injected() > 0);
+        assert!(faulty.faults.retries > 0);
+        assert!(
+            faulty.total_ns > clean.total_ns,
+            "retransmits and stalls cost simulated time: {} vs {}",
+            faulty.total_ns,
+            clean.total_ns
+        );
+        assert!(clean.faults.is_empty());
+    }
+
+    #[test]
+    fn faulty_des_runs_are_bit_identical_per_seed() {
+        let program = parse_like_program();
+        let mut cfg = MachineConfig::uniform(4, 2);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        cfg.fault_plan = Some(
+            snap_fault::FaultPlan::seeded(77)
+                .drops(0.15)
+                .delays(0.2, 8_000)
+                .corruptions(0.1),
+        );
+        let mut net1 = chain_network(64);
+        let a = run(&cfg, &CostModel::snap1(), &mut net1, &program).unwrap();
+        let mut net2 = chain_network(64);
+        let b = run(&cfg, &CostModel::snap1(), &mut net2, &program).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the whole report");
+        cfg.fault_plan = Some(snap_fault::FaultPlan::seeded(78).drops(0.15));
+        let mut net3 = chain_network(64);
+        let c = run(&cfg, &CostModel::snap1(), &mut net3, &program).unwrap();
+        assert_eq!(a.collects, c.collects);
+        assert_ne!(
+            a.faults, c.faults,
+            "a different seed should draw a different schedule"
+        );
     }
 
     #[test]

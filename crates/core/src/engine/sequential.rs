@@ -47,8 +47,7 @@ pub(crate) fn run(
                                 + w.value_ops as SimTime * cost.value_op_ns
                         }
                         InstrClass::Boolean | InstrClass::SetClear => {
-                            cost.global_op_ns(w.words)
-                                + w.value_ops as SimTime * cost.value_op_ns
+                            cost.global_op_ns(w.words) + w.value_ops as SimTime * cost.value_op_ns
                         }
                         InstrClass::Collect => {
                             let ns = cost.collect_ns(1, w.items);
@@ -270,9 +269,9 @@ mod tests {
             .build();
         let report = run_default(&mut net, &program).unwrap();
         assert_eq!(report.alpha_per_propagate, vec![3]); // we, ship, noun-phrase
-        // `we` (the smallest origin ID) wins the equal-cost binding at
-        // noun-phrase and re-expands it, so the deepest recorded arrival
-        // is the two-link path we → noun-phrase → seeing-event.
+                                                         // `we` (the smallest origin ID) wins the equal-cost binding at
+                                                         // noun-phrase and re-expands it, so the deepest recorded arrival
+                                                         // is the two-link path we → noun-phrase → seeing-event.
         assert_eq!(report.max_propagation_depth, 2);
         assert!(report.expansions >= 3);
     }

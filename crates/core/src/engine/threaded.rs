@@ -7,6 +7,27 @@
 //! ([`snap_sync::TieredBarrier`]) — the same protocol the hardware
 //! implements with its AND-tree and counter network. Logical results are
 //! identical to the other engines; timing is wall-clock.
+//!
+//! # Resilience
+//!
+//! When a [`snap_fault::FaultPlan`] is attached, marker traffic runs a
+//! resilient protocol instead of trusting the channels:
+//!
+//! * every off-cluster marker travels in a sequence-numbered, checksummed
+//!   [`Envelope`]; receivers discard corrupted envelopes, suppress
+//!   duplicates, and acknowledge everything else over the (uncounted but
+//!   still faultable) control path;
+//! * senders hold each message's barrier created-token until the ack
+//!   arrives, retransmitting with bounded exponential backoff
+//!   ([`RetryPolicy`]) — so a dropped message can never produce a false
+//!   termination, only a retry;
+//! * the controller waits on the barrier through a watchdog
+//!   ([`TieredBarrier::wait_complete_timeout`]) that distinguishes
+//!   lost in-flight messages from wedged PEs instead of hanging;
+//! * a worker-thread panic is caught, the dead cluster's region (as
+//!   checkpointed at the phase start) is adopted by a live hypercube
+//!   neighbor, and the propagation phase is replayed under a new epoch —
+//!   graceful degradation in place of a crashed run.
 
 use crate::config::MachineConfig;
 use crate::controller::{plan, PropSpec, Step};
@@ -16,12 +37,37 @@ use crate::region::{Region, RegionMap};
 use crate::report::{CollectOutput, RunReport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
+use snap_fault::{Corruptible, DedupTable, Envelope, FaultInjector, RetryPolicy};
 use snap_isa::{InstrClass, Instruction, Program};
 use snap_kb::{ClusterId, Color, Link, MarkerValue, NodeId, SemanticNetwork};
 use snap_net::{Fabric, HypercubeTopology};
 use snap_sync::TieredBarrier;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long a reply from a worker may reasonably take; exceeding it
+/// means the worker died or wedged, and the run fails typed rather than
+/// hanging.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Dead-air window after which the barrier watchdog classifies a stall
+/// when faults are being injected (must comfortably exceed the longest
+/// injected delay plus the retry backoff cap).
+const FAULTY_STALL_WINDOW: Duration = Duration::from_millis(400);
+
+/// Dead-air window for fault-free runs: nothing should ever stall, so
+/// this is pure hang protection.
+const CLEAN_STALL_WINDOW: Duration = Duration::from_secs(2);
+
+/// Consecutive dead-air windows (with no crash to recover from) before
+/// the controller gives up on a phase.
+const MAX_STALL_STRIKES: u32 = 3;
+
+/// Phase replays (cluster recoveries) before the controller declares the
+/// run unrecoverable.
+const MAX_REPLAYS: u32 = 4;
 
 /// Commands from the controller to the cluster workers.
 enum Cmd {
@@ -33,10 +79,16 @@ enum Cmd {
     /// Report the nodes where a marker is active (marker-node
     /// maintenance support); reply `Active`.
     ActiveNodes(snap_kb::Marker),
-    /// Enter propagation mode for these overlapped specs.
-    Prop(Arc<Vec<PropSpec>>),
+    /// Enter propagation mode for these overlapped specs, under the
+    /// given recovery epoch.
+    Prop(Arc<Vec<PropSpec>>, u32),
     /// Leave propagation mode (sent after the barrier completes).
     PhaseEnd,
+    /// Abandon the current propagation phase: discard in-flight state,
+    /// restore the phase-start checkpoint, reply `Done`.
+    Abort,
+    /// Adopt a dead neighbor's region (recovery); reply `Done`.
+    Adopt(Box<Region>),
     /// Stop the worker.
     Shutdown,
 }
@@ -48,6 +100,44 @@ enum Reply {
     Links(Vec<(NodeId, Link)>),
     Colors(Vec<(NodeId, Color)>),
     Active(Vec<NodeId>),
+    /// A worker thread panicked; sent by its catch-unwind wrapper.
+    Crashed(usize),
+}
+
+/// Messages crossing the fabric during propagation.
+#[derive(Debug, Clone, Copy)]
+enum NetMsg {
+    /// An enveloped marker task.
+    Marker(Envelope<PropTask>),
+    /// Receiver → sender acknowledgement, echoing the envelope checksum
+    /// so a corrupted ack cannot acknowledge the wrong payload.
+    Ack { seq: u64, checksum: u64 },
+}
+
+impl Corruptible for NetMsg {
+    fn corrupt(&mut self, salt: u64) {
+        match self {
+            NetMsg::Marker(env) => env.corrupt_in_flight(salt),
+            NetMsg::Ack { checksum, .. } => *checksum ^= salt | 1,
+        }
+    }
+}
+
+/// An unacknowledged envelope awaiting its ack or retransmission.
+struct PendingSend {
+    env: Envelope<PropTask>,
+    attempts: u32,
+    due: Instant,
+}
+
+/// How a worker left its propagation phase.
+enum PhaseExit {
+    /// Barrier completed; `PhaseEnd` received.
+    Ended,
+    /// Controller aborted the phase for a recovery replay.
+    Aborted,
+    /// Shutdown while in the phase.
+    Shutdown,
 }
 
 /// Executes `program` on real threads.
@@ -58,10 +148,29 @@ pub(crate) fn run(
 ) -> Result<RunReport, CoreError> {
     config.validate();
     let started = Instant::now();
+    let injector = config
+        .fault_plan
+        .clone()
+        .map(|plan| Arc::new(FaultInjector::new(plan)));
     let map = RegionMap::build(network, config.clusters, config.partition);
     let topology = HypercubeTopology::covering(config.clusters);
-    let (fabric, mut fabric_rxs) = Fabric::<PropTask>::new(topology);
-    let barrier = TieredBarrier::new();
+    let (fabric, mut fabric_rxs) = match &injector {
+        Some(inj) => Fabric::<NetMsg>::with_injector(topology, Arc::clone(inj)),
+        None => Fabric::<NetMsg>::new(topology),
+    };
+    // The controller keeps a clone of every fabric receiver so a dead
+    // worker's channel never disconnects (which would panic senders) and
+    // its undelivered traffic can be drained during recovery.
+    let rx_backups: Vec<Receiver<NetMsg>> = fabric_rxs.clone();
+    let barrier = match &injector {
+        Some(inj) => TieredBarrier::with_injector(Arc::clone(inj)),
+        None => TieredBarrier::new(),
+    };
+    // owners[c] = worker currently holding cluster c's region.
+    let owners: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..config.clusters).map(AtomicUsize::new).collect());
+    let checkpoints: Arc<Mutex<Vec<Option<Region>>>> =
+        Arc::new(Mutex::new(vec![None; config.clusters]));
     let net = RwLock::new(network);
     let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
 
@@ -74,17 +183,36 @@ pub(crate) fn run(
         cmd_rxs.push(rx);
     }
 
-    let mut report = RunReport::default();
     let steps = plan(program);
 
+    let mut controller = Controller {
+        clusters: config.clusters,
+        cmd_txs,
+        reply_rx,
+        live: vec![true; config.clusters],
+        owners: Arc::clone(&owners),
+        checkpoints: Arc::clone(&checkpoints),
+        barrier: Arc::clone(&barrier),
+        fabric: fabric.clone(),
+        rx_backups,
+        injector: injector.clone(),
+        epoch: 0,
+        pending_crash: None,
+        report: RunReport::default(),
+        msgs_before_phase: 0,
+        replays: 0,
+    };
+
     std::thread::scope(|scope| -> Result<(), CoreError> {
-        // Spawn one worker per cluster.
+        // Spawn one worker per cluster, each under a panic catcher that
+        // reports the crash instead of aborting the whole scope.
         for c in (0..config.clusters).rev() {
             let region = Region::new(ClusterId(c as u8), Arc::clone(&map), *net.read());
             let worker = Worker {
                 cluster: c,
                 max_hops: config.max_hops,
                 region,
+                adopted: Vec::new(),
                 map: Arc::clone(&map),
                 cmd_rx: cmd_rxs.pop().expect("one rx per cluster"),
                 reply_tx: reply_tx.clone(),
@@ -93,28 +221,37 @@ pub(crate) fn run(
                 barrier: Arc::clone(&barrier),
                 net: &net,
                 first_error: &first_error,
+                injector: injector.clone(),
+                retry: RetryPolicy::default(),
+                owners: Arc::clone(&owners),
+                checkpoints: Arc::clone(&checkpoints),
+                epoch: 0,
+                next_seq: 0,
+                pending: HashMap::new(),
+                dedup: DedupTable::new(),
+                steps: 0,
             };
-            scope.spawn(move || worker.run());
+            let crash_tx = reply_tx.clone();
+            scope.spawn(move || {
+                let caught =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || worker.run()));
+                if caught.is_err() {
+                    let _ = crash_tx.send(Reply::Crashed(c));
+                }
+            });
         }
         drop(reply_tx);
 
-        let mut msgs_before_phase = 0u64;
         let result = (|| -> Result<(), CoreError> {
             for step in &steps {
                 match step {
                     Step::Instr(idx) => {
                         let instr = &program.instructions()[*idx];
                         let t0 = Instant::now();
-                        exec_instr(
-                            instr,
-                            &cmd_txs,
-                            &reply_rx,
-                            &net,
-                            &mut report,
-                            config.clusters,
-                        )?;
+                        controller.exec_instr(instr, &net)?;
                         check_error(&first_error)?;
-                        report.record(instr.class(), t0.elapsed().as_nanos() as u64);
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        controller.report.record(instr.class(), ns);
                     }
                     Step::Group(indices) => {
                         let t0 = Instant::now();
@@ -122,48 +259,35 @@ pub(crate) fn run(
                             indices
                                 .iter()
                                 .enumerate()
-                                .map(|(g, &idx)| {
-                                    PropSpec::compile(g, &program.instructions()[idx])
-                                })
+                                .map(|(g, &idx)| PropSpec::compile(g, &program.instructions()[idx]))
                                 .collect(),
                         );
-                        // One phase token per worker prevents completion
-                        // before every cluster has seeded its sources.
-                        for tx in &cmd_txs {
-                            barrier.created(0);
-                            tx.send(Cmd::Prop(Arc::clone(&specs)))
-                                .expect("worker alive");
-                        }
-                        barrier.wait_complete();
-                        for tx in &cmd_txs {
-                            tx.send(Cmd::PhaseEnd).expect("worker alive");
-                        }
-                        wait_done(&reply_rx, config.clusters);
-                        check_error(&first_error)?;
-                        report.barriers += 1;
-                        let now_msgs = fabric.messages();
-                        report
-                            .traffic
-                            .messages_per_sync
-                            .push(now_msgs - msgs_before_phase);
-                        msgs_before_phase = now_msgs;
+                        controller.run_phase(&specs, &first_error)?;
                         let ns = t0.elapsed().as_nanos() as u64;
                         for _ in indices {
-                            report.record(InstrClass::Propagate, ns / indices.len() as u64);
+                            controller
+                                .report
+                                .record(InstrClass::Propagate, ns / indices.len() as u64);
                         }
                     }
                 }
             }
             Ok(())
         })();
-        for tx in &cmd_txs {
-            let _ = tx.send(Cmd::Shutdown);
+        for (c, tx) in controller.cmd_txs.iter().enumerate() {
+            if controller.live[c] {
+                let _ = tx.send(Cmd::Shutdown);
+            }
         }
         result
     })?;
 
+    let mut report = controller.report;
     report.traffic.total_messages = fabric.messages();
     report.traffic.total_hops = fabric.hops();
+    if let Some(inj) = &injector {
+        report.faults = inj.report();
+    }
     report.wall_ns = started.elapsed().as_nanos();
     Ok(report)
 }
@@ -175,150 +299,364 @@ fn check_error(slot: &Mutex<Option<CoreError>>) -> Result<(), CoreError> {
     }
 }
 
-fn wait_done(reply_rx: &Receiver<Reply>, clusters: usize) {
-    let mut done = 0;
-    while done < clusters {
-        if let Ok(Reply::Done) = reply_rx.recv() {
-            done += 1;
-        }
-    }
+/// Controller-side state: command routing, liveness, and recovery.
+struct Controller {
+    clusters: usize,
+    cmd_txs: Vec<Sender<Cmd>>,
+    reply_rx: Receiver<Reply>,
+    live: Vec<bool>,
+    owners: Arc<Vec<AtomicUsize>>,
+    checkpoints: Arc<Mutex<Vec<Option<Region>>>>,
+    barrier: Arc<TieredBarrier>,
+    fabric: Fabric<NetMsg>,
+    rx_backups: Vec<Receiver<NetMsg>>,
+    injector: Option<Arc<FaultInjector>>,
+    epoch: u32,
+    pending_crash: Option<usize>,
+    report: RunReport,
+    msgs_before_phase: u64,
+    replays: u32,
 }
 
-/// Controller-side execution of one non-propagate instruction.
-fn exec_instr(
-    instr: &Instruction,
-    cmd_txs: &[Sender<Cmd>],
-    reply_rx: &Receiver<Reply>,
-    net: &RwLock<&mut SemanticNetwork>,
-    report: &mut RunReport,
-    clusters: usize,
-) -> Result<(), CoreError> {
-    match instr.class() {
-        InstrClass::Maintenance => exec_maintenance(instr, cmd_txs, reply_rx, net, clusters),
-        InstrClass::Collect => {
-            let shared = Arc::new(instr.clone());
-            for tx in cmd_txs {
-                tx.send(Cmd::Collect(Arc::clone(&shared))).expect("worker alive");
-            }
-            let mut nodes = Vec::new();
-            let mut links = Vec::new();
-            let mut colors = Vec::new();
-            for _ in 0..clusters {
-                match reply_rx.recv().expect("workers alive") {
-                    Reply::Nodes(mut v) => nodes.append(&mut v),
-                    Reply::Links(mut v) => links.append(&mut v),
-                    Reply::Colors(mut v) => colors.append(&mut v),
-                    _ => {}
+impl Controller {
+    fn live_count(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    /// Sends `cmd` to worker `c`, converting a closed channel into the
+    /// typed worker failure it signifies.
+    fn send_cmd(&self, c: usize, cmd: Cmd) -> Result<(), CoreError> {
+        self.cmd_txs[c]
+            .send(cmd)
+            .map_err(|_| CoreError::WorkerFailed {
+                cluster: c,
+                cause: "command channel closed".into(),
+            })
+    }
+
+    /// Receives one worker reply, stashing crash notices; a silent
+    /// worker fails the run typed instead of hanging it.
+    fn recv_reply(&mut self) -> Result<Reply, CoreError> {
+        loop {
+            match self.reply_rx.recv_timeout(REPLY_TIMEOUT) {
+                Ok(Reply::Crashed(c)) => self.pending_crash = Some(c),
+                Ok(reply) => return Ok(reply),
+                Err(_) => {
+                    return Err(CoreError::WorkerFailed {
+                        cluster: self.pending_crash.unwrap_or(0),
+                        cause: "no reply from workers within the timeout".into(),
+                    })
                 }
             }
-            let out = match instr {
-                Instruction::CollectMarker { .. } => {
-                    nodes.sort_by_key(|(n, _)| *n);
-                    CollectOutput::Nodes(nodes)
-                }
-                Instruction::CollectRelation { .. } => {
-                    links.sort_by_key(|(n, l)| (*n, l.destination));
-                    CollectOutput::Links(links)
-                }
-                _ => {
-                    colors.sort_by_key(|(n, _)| *n);
-                    CollectOutput::Colors(colors)
-                }
-            };
-            report.collects.push(out);
-            Ok(())
-        }
-        InstrClass::Barrier => {
-            report.barriers += 1;
-            report.traffic.messages_per_sync.push(0);
-            Ok(())
-        }
-        _ => {
-            let shared = Arc::new(instr.clone());
-            for tx in cmd_txs {
-                tx.send(Cmd::Global(Arc::clone(&shared))).expect("worker alive");
-            }
-            wait_done(reply_rx, clusters);
-            Ok(())
         }
     }
-}
 
-/// Node/marker maintenance runs on the controller while the array is
-/// quiescent (the paper's "housekeeping when the pipeline is empty").
-fn exec_maintenance(
-    instr: &Instruction,
-    cmd_txs: &[Sender<Cmd>],
-    reply_rx: &Receiver<Reply>,
-    net: &RwLock<&mut SemanticNetwork>,
-    clusters: usize,
-) -> Result<(), CoreError> {
-    let marked = |marker: snap_kb::Marker| -> Vec<NodeId> {
-        for tx in cmd_txs {
-            tx.send(Cmd::ActiveNodes(marker)).expect("worker alive");
+    /// Collects `n` `Done` replies.
+    fn collect_done(&mut self, n: usize) -> Result<(), CoreError> {
+        let mut done = 0;
+        while done < n {
+            if let Reply::Done = self.recv_reply()? {
+                done += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The most recent crash notice, if any.
+    fn poll_crash(&mut self) -> Option<usize> {
+        if let Some(c) = self.pending_crash.take() {
+            return Some(c);
+        }
+        while let Ok(reply) = self.reply_rx.try_recv() {
+            // Anything else is a stray reply from an aborted phase.
+            if let Reply::Crashed(c) = reply {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Runs one overlapped propagation group to barrier completion,
+    /// recovering from worker crashes by replaying the phase.
+    fn run_phase(
+        &mut self,
+        specs: &Arc<Vec<PropSpec>>,
+        first_error: &Mutex<Option<CoreError>>,
+    ) -> Result<(), CoreError> {
+        let window = if self.injector.is_some() {
+            FAULTY_STALL_WINDOW
+        } else {
+            CLEAN_STALL_WINDOW
+        };
+        'replay: loop {
+            self.epoch += 1;
+            for c in 0..self.clusters {
+                if self.live[c] {
+                    // One phase token per worker prevents completion
+                    // before every cluster has seeded its sources.
+                    self.barrier.created(0);
+                    self.send_cmd(c, Cmd::Prop(Arc::clone(specs), self.epoch))?;
+                }
+            }
+            let mut strikes = 0;
+            loop {
+                match self.barrier.wait_complete_timeout(window) {
+                    Ok(()) => break,
+                    Err(stall) => {
+                        if let Some(dead) = self.poll_crash() {
+                            self.recover(dead, first_error)?;
+                            continue 'replay;
+                        }
+                        check_error(first_error)?;
+                        strikes += 1;
+                        if strikes >= MAX_STALL_STRIKES {
+                            return Err(CoreError::BarrierStalled {
+                                reason: stall.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            for c in 0..self.clusters {
+                if self.live[c] {
+                    self.send_cmd(c, Cmd::PhaseEnd)?;
+                }
+            }
+            self.collect_done(self.live_count())?;
+            // A crash racing barrier completion surfaces here; replaying
+            // is still correct because phase checkpoints are intact.
+            if let Some(dead) = self.poll_crash() {
+                self.recover(dead, first_error)?;
+                continue 'replay;
+            }
+            check_error(first_error)?;
+            self.report.barriers += 1;
+            let now_msgs = self.fabric.messages();
+            self.report
+                .traffic
+                .messages_per_sync
+                .push(now_msgs - self.msgs_before_phase);
+            self.msgs_before_phase = now_msgs;
+            return Ok(());
+        }
+    }
+
+    /// Graceful degradation after worker `dead` panicked: quiesce the
+    /// survivors, reset the barrier, hand every region the dead worker
+    /// held to a live hypercube neighbor, and let the caller replay the
+    /// phase under a fresh epoch.
+    fn recover(
+        &mut self,
+        dead: usize,
+        first_error: &Mutex<Option<CoreError>>,
+    ) -> Result<(), CoreError> {
+        self.replays += 1;
+        if self.replays > MAX_REPLAYS {
+            return Err(CoreError::WorkerFailed {
+                cluster: dead,
+                cause: format!("unrecoverable: {MAX_REPLAYS} phase replays exhausted"),
+            });
+        }
+        self.live[dead] = false;
+        if self.live_count() == 0 {
+            return Err(CoreError::WorkerFailed {
+                cluster: dead,
+                cause: "worker panicked with no surviving cluster to adopt its region".into(),
+            });
+        }
+        for c in 0..self.clusters {
+            if self.live[c] {
+                self.send_cmd(c, Cmd::Abort)?;
+            }
+        }
+        self.collect_done(self.live_count())?;
+        // Survivors are idle now. Errors raised during the crashed phase
+        // (e.g. retransmissions to the dead worker exhausting) are
+        // symptoms of the crash; the replay re-raises any that are real.
+        *first_error.lock() = None;
+        // Abandon the dead phase's barrier accounting and any traffic
+        // still queued for the dead worker.
+        self.barrier.reset();
+        while self.rx_backups[dead].try_recv().is_ok() {}
+        // Prefer a hypercube neighbor (cheapest adoption in the modelled
+        // network); fall back to any live worker.
+        let heir = self
+            .fabric
+            .topology()
+            .neighbors(ClusterId(dead as u8))
+            .into_iter()
+            .map(|c| c.index())
+            .find(|&n| self.live[n])
+            .or_else(|| (0..self.clusters).find(|&n| self.live[n]))
+            .expect("live_count checked above");
+        let mut adoptions = Vec::new();
+        {
+            let checkpoints = self.checkpoints.lock();
+            for cl in 0..self.clusters {
+                if self.owners[cl].load(Ordering::Acquire) == dead {
+                    let region =
+                        checkpoints[cl]
+                            .clone()
+                            .ok_or_else(|| CoreError::WorkerFailed {
+                                cluster: dead,
+                                cause: format!("no checkpoint for cluster {cl}'s region"),
+                            })?;
+                    adoptions.push((cl, region));
+                }
+            }
+        }
+        for (cl, region) in adoptions {
+            self.owners[cl].store(heir, Ordering::Release);
+            self.send_cmd(heir, Cmd::Adopt(Box::new(region)))?;
+            self.collect_done(1)?;
+            if let Some(inj) = &self.injector {
+                inj.note_remapped_region();
+            }
+        }
+        if let Some(inj) = &self.injector {
+            inj.note_recovered_worker();
+            inj.note_replay();
+        }
+        self.report.faults.recovered_workers += 1;
+        Ok(())
+    }
+
+    /// Controller-side execution of one non-propagate instruction.
+    fn exec_instr(
+        &mut self,
+        instr: &Instruction,
+        net: &RwLock<&mut SemanticNetwork>,
+    ) -> Result<(), CoreError> {
+        match instr.class() {
+            InstrClass::Maintenance => self.exec_maintenance(instr, net),
+            InstrClass::Collect => {
+                let shared = Arc::new(instr.clone());
+                for c in 0..self.clusters {
+                    if self.live[c] {
+                        self.send_cmd(c, Cmd::Collect(Arc::clone(&shared)))?;
+                    }
+                }
+                let mut nodes = Vec::new();
+                let mut links = Vec::new();
+                let mut colors = Vec::new();
+                for _ in 0..self.live_count() {
+                    match self.recv_reply()? {
+                        Reply::Nodes(mut v) => nodes.append(&mut v),
+                        Reply::Links(mut v) => links.append(&mut v),
+                        Reply::Colors(mut v) => colors.append(&mut v),
+                        _ => {}
+                    }
+                }
+                let out = match instr {
+                    Instruction::CollectMarker { .. } => {
+                        nodes.sort_by_key(|(n, _)| *n);
+                        CollectOutput::Nodes(nodes)
+                    }
+                    Instruction::CollectRelation { .. } => {
+                        links.sort_by_key(|(n, l)| (*n, l.destination));
+                        CollectOutput::Links(links)
+                    }
+                    _ => {
+                        colors.sort_by_key(|(n, _)| *n);
+                        CollectOutput::Colors(colors)
+                    }
+                };
+                self.report.collects.push(out);
+                Ok(())
+            }
+            InstrClass::Barrier => {
+                self.report.barriers += 1;
+                self.report.traffic.messages_per_sync.push(0);
+                Ok(())
+            }
+            _ => {
+                let shared = Arc::new(instr.clone());
+                for c in 0..self.clusters {
+                    if self.live[c] {
+                        self.send_cmd(c, Cmd::Global(Arc::clone(&shared)))?;
+                    }
+                }
+                self.collect_done(self.live_count())
+            }
+        }
+    }
+
+    /// Nodes where `marker` is active, across every live region.
+    fn active_marked(&mut self, marker: snap_kb::Marker) -> Result<Vec<NodeId>, CoreError> {
+        for c in 0..self.clusters {
+            if self.live[c] {
+                self.send_cmd(c, Cmd::ActiveNodes(marker))?;
+            }
         }
         let mut nodes = Vec::new();
-        for _ in 0..clusters {
-            if let Ok(Reply::Active(mut v)) = reply_rx.recv() {
+        for _ in 0..self.live_count() {
+            if let Reply::Active(mut v) = self.recv_reply()? {
                 nodes.append(&mut v);
             }
         }
         nodes.sort_unstable();
-        nodes
-    };
-    let mut guard = net.write();
-    match instr {
-        Instruction::Create {
-            source,
-            relation,
-            weight,
-            destination,
-        } => guard.add_link(*source, *relation, *weight, *destination)?,
-        Instruction::Delete {
-            source,
-            relation,
-            destination,
-        } => guard.remove_link(*source, *relation, *destination)?,
-        Instruction::SetColor { node, color } => guard.set_color(*node, *color)?,
-        Instruction::MarkerCreate {
-            marker,
-            forward,
-            end,
-            reverse,
-        } => {
-            drop(guard);
-            let nodes = marked(*marker);
-            let mut guard = net.write();
-            for n in nodes {
-                guard.add_link(n, *forward, 0.0, *end)?;
-                guard.add_link(*end, *reverse, 0.0, n)?;
-            }
-        }
-        Instruction::MarkerDelete {
-            marker,
-            forward,
-            end,
-            reverse,
-        } => {
-            drop(guard);
-            let nodes = marked(*marker);
-            let mut guard = net.write();
-            for n in nodes {
-                guard.remove_link(n, *forward, *end)?;
-                guard.remove_link(*end, *reverse, n)?;
-            }
-        }
-        Instruction::MarkerSetColor { marker, color } => {
-            drop(guard);
-            let nodes = marked(*marker);
-            let mut guard = net.write();
-            for n in nodes {
-                guard.set_color(n, *color)?;
-            }
-        }
-        _ => unreachable!("not a maintenance instruction"),
+        Ok(nodes)
     }
-    Ok(())
+
+    /// Node/marker maintenance runs on the controller while the array is
+    /// quiescent (the paper's "housekeeping when the pipeline is empty").
+    fn exec_maintenance(
+        &mut self,
+        instr: &Instruction,
+        net: &RwLock<&mut SemanticNetwork>,
+    ) -> Result<(), CoreError> {
+        match instr {
+            Instruction::Create {
+                source,
+                relation,
+                weight,
+                destination,
+            } => net
+                .write()
+                .add_link(*source, *relation, *weight, *destination)?,
+            Instruction::Delete {
+                source,
+                relation,
+                destination,
+            } => net.write().remove_link(*source, *relation, *destination)?,
+            Instruction::SetColor { node, color } => net.write().set_color(*node, *color)?,
+            Instruction::MarkerCreate {
+                marker,
+                forward,
+                end,
+                reverse,
+            } => {
+                let nodes = self.active_marked(*marker)?;
+                let mut guard = net.write();
+                for n in nodes {
+                    guard.add_link(n, *forward, 0.0, *end)?;
+                    guard.add_link(*end, *reverse, 0.0, n)?;
+                }
+            }
+            Instruction::MarkerDelete {
+                marker,
+                forward,
+                end,
+                reverse,
+            } => {
+                let nodes = self.active_marked(*marker)?;
+                let mut guard = net.write();
+                for n in nodes {
+                    guard.remove_link(n, *forward, *end)?;
+                    guard.remove_link(*end, *reverse, n)?;
+                }
+            }
+            Instruction::MarkerSetColor { marker, color } => {
+                let nodes = self.active_marked(*marker)?;
+                let mut guard = net.write();
+                for n in nodes {
+                    guard.set_color(n, *color)?;
+                }
+            }
+            _ => unreachable!("not a maintenance instruction"),
+        }
+        Ok(())
+    }
 }
 
 /// One cluster's worker thread.
@@ -326,17 +664,38 @@ struct Worker<'env, 'net> {
     cluster: usize,
     max_hops: u8,
     region: Region,
+    /// Regions adopted from dead clusters (graceful degradation).
+    adopted: Vec<Region>,
     map: Arc<RegionMap>,
     cmd_rx: Receiver<Cmd>,
     reply_tx: Sender<Reply>,
-    fabric: Fabric<PropTask>,
-    fabric_rx: Receiver<PropTask>,
+    fabric: Fabric<NetMsg>,
+    fabric_rx: Receiver<NetMsg>,
     barrier: Arc<TieredBarrier>,
     net: &'env RwLock<&'net mut SemanticNetwork>,
     first_error: &'env Mutex<Option<CoreError>>,
+    injector: Option<Arc<FaultInjector>>,
+    retry: RetryPolicy,
+    owners: Arc<Vec<AtomicUsize>>,
+    checkpoints: Arc<Mutex<Vec<Option<Region>>>>,
+    /// Current recovery epoch; envelopes from older epochs are stale.
+    epoch: u32,
+    next_seq: u64,
+    pending: HashMap<u64, PendingSend>,
+    dedup: DedupTable,
+    /// Tasks this worker has executed (the injected-panic step counter).
+    steps: u64,
 }
 
 impl Worker<'_, '_> {
+    fn id(&self) -> ClusterId {
+        ClusterId(self.cluster as u8)
+    }
+
+    fn resilient(&self) -> bool {
+        self.injector.is_some()
+    }
+
     fn run(mut self) {
         while let Ok(cmd) = self.cmd_rx.recv() {
             match cmd {
@@ -348,33 +707,30 @@ impl Worker<'_, '_> {
                     let _ = self.reply_tx.send(Reply::Done);
                 }
                 Cmd::Collect(instr) => {
-                    let reply = {
-                        let guard = self.net.read();
-                        match &*instr {
-                            Instruction::CollectMarker { marker } => {
-                                Reply::Nodes(self.region.collect_marker(*marker))
-                            }
-                            Instruction::CollectRelation { marker, relation } => Reply::Links(
-                                self.region.collect_relation(&guard, *marker, *relation),
-                            ),
-                            Instruction::CollectColor { marker } => Reply::Colors(
-                                self.region.collect_color(&guard, *marker),
-                            ),
-                            _ => Reply::Done,
-                        }
-                    };
+                    let reply = self.exec_collect(&instr);
                     let _ = self.reply_tx.send(reply);
                 }
                 Cmd::ActiveNodes(marker) => {
-                    let _ = self
-                        .reply_tx
-                        .send(Reply::Active(self.region.active_nodes(marker)));
+                    let mut nodes = self.region.active_nodes(marker);
+                    for r in &self.adopted {
+                        nodes.extend(r.active_nodes(marker));
+                    }
+                    let _ = self.reply_tx.send(Reply::Active(nodes));
                 }
-                Cmd::Prop(specs) => {
-                    self.propagation_phase(&specs);
+                Cmd::Adopt(region) => {
+                    self.adopted.push(*region);
                     let _ = self.reply_tx.send(Reply::Done);
                 }
-                Cmd::PhaseEnd => {}
+                Cmd::Prop(specs, epoch) => {
+                    self.epoch = epoch;
+                    match self.propagation_phase(&specs) {
+                        PhaseExit::Shutdown => return,
+                        PhaseExit::Ended | PhaseExit::Aborted => {
+                            let _ = self.reply_tx.send(Reply::Done);
+                        }
+                    }
+                }
+                Cmd::PhaseEnd | Cmd::Abort => {} // stray after an abort race
             }
         }
     }
@@ -383,76 +739,139 @@ impl Worker<'_, '_> {
         self.first_error.lock().get_or_insert(e);
     }
 
+    /// The region holding `node` on this worker (own or adopted).
+    fn region_for(&mut self, node: NodeId) -> Option<&mut Region> {
+        let cluster = self.map.cluster_of(node);
+        if cluster.index() == self.cluster {
+            return Some(&mut self.region);
+        }
+        self.adopted.iter_mut().find(|r| r.cluster() == cluster)
+    }
+
+    fn exec_collect(&mut self, instr: &Instruction) -> Reply {
+        let guard = self.net.read();
+        let mut regions: Vec<&Region> = Vec::with_capacity(1 + self.adopted.len());
+        regions.push(&self.region);
+        regions.extend(self.adopted.iter());
+        match instr {
+            Instruction::CollectMarker { marker } => Reply::Nodes(
+                regions
+                    .iter()
+                    .flat_map(|r| r.collect_marker(*marker))
+                    .collect(),
+            ),
+            Instruction::CollectRelation { marker, relation } => Reply::Links(
+                regions
+                    .iter()
+                    .flat_map(|r| r.collect_relation(&guard, *marker, *relation))
+                    .collect(),
+            ),
+            Instruction::CollectColor { marker } => Reply::Colors(
+                regions
+                    .iter()
+                    .flat_map(|r| r.collect_color(&guard, *marker))
+                    .collect(),
+            ),
+            _ => Reply::Done,
+        }
+    }
+
     fn exec_local(&mut self, instr: &Instruction) -> Result<(), CoreError> {
+        // Adopted regions execute the same local part: the heir does the
+        // work of the cluster it covers.
+        let adopted = &mut self.adopted;
+        let own = &mut self.region;
+        let net = self.net;
+        let mut for_each = |f: &mut dyn FnMut(&mut Region) -> Result<(), CoreError>| {
+            f(own)?;
+            for r in adopted.iter_mut() {
+                f(r)?;
+            }
+            Ok(())
+        };
         match instr {
             Instruction::SearchNode {
                 node,
                 marker,
                 value,
-            } => {
-                self.region.search_node(*node, *marker, *value)?;
-            }
+            } => for_each(&mut |r| r.search_node(*node, *marker, *value).map(|_| ())),
             Instruction::SearchRelation {
                 relation,
                 marker,
                 value,
             } => {
-                let guard = self.net.read();
-                self.region.search_relation(&guard, *relation, *marker, *value)?;
+                let guard = net.read();
+                for_each(&mut |r| {
+                    r.search_relation(&guard, *relation, *marker, *value)
+                        .map(|_| ())
+                })
             }
             Instruction::SearchColor {
                 color,
                 marker,
                 value,
             } => {
-                let guard = self.net.read();
-                self.region.search_color(&guard, *color, *marker, *value)?;
+                let guard = net.read();
+                for_each(&mut |r| r.search_color(&guard, *color, *marker, *value).map(|_| ()))
             }
             Instruction::AndMarker {
                 a,
                 b,
                 target,
                 combine,
-            } => {
-                self.region.bool_op(true, *a, *b, *target, *combine)?;
-            }
+            } => for_each(&mut |r| r.bool_op(true, *a, *b, *target, *combine).map(|_| ())),
             Instruction::OrMarker {
                 a,
                 b,
                 target,
                 combine,
-            } => {
-                self.region.bool_op(false, *a, *b, *target, *combine)?;
-            }
+            } => for_each(&mut |r| r.bool_op(false, *a, *b, *target, *combine).map(|_| ())),
             Instruction::NotMarker { source, target } => {
-                self.region.not_op(*source, *target)?;
+                for_each(&mut |r| r.not_op(*source, *target).map(|_| ()))
             }
             Instruction::SetMarker { marker, value } => {
-                self.region.set_marker(*marker, *value)?;
+                for_each(&mut |r| r.set_marker(*marker, *value).map(|_| ()))
             }
             Instruction::ClearMarker { marker } => {
-                self.region.clear_marker(*marker)?;
+                for_each(&mut |r| r.clear_marker(*marker).map(|_| ()))
             }
             Instruction::FuncMarker { marker, func } => {
-                self.region.func_marker(*marker, *func)?;
+                for_each(&mut |r| r.func_marker(*marker, *func).map(|_| ()))
             }
-            _ => {}
+            _ => Ok(()),
         }
-        Ok(())
     }
 
     /// MIMD propagation under local control, with tiered accounting:
     /// every task/message is counted created before it becomes visible
     /// and consumed after it is fully processed.
-    fn propagation_phase(&mut self, specs: &[PropSpec]) {
+    fn propagation_phase(&mut self, specs: &[PropSpec]) -> PhaseExit {
+        if self.resilient() {
+            // Checkpoint every region this worker holds so the phase can
+            // be replayed (by us or by an heir) after a crash.
+            let mut cps = self.checkpoints.lock();
+            cps[self.cluster] = Some(self.region.clone());
+            for r in &self.adopted {
+                cps[r.cluster().index()] = Some(r.clone());
+            }
+            drop(cps);
+            self.next_seq = 0;
+            self.pending.clear();
+            self.dedup.clear();
+        }
         let mut visited = VisitedMap::new();
         let mut queue: std::collections::VecDeque<PropTask> = Default::default();
 
         // Seed local sources, then consume the controller's phase token.
         self.barrier.enter_busy();
         for spec in specs {
-            for node in self.region.active_nodes(spec.source) {
-                let value = self.region.source_value(spec.source, node);
+            let mut sources: Vec<(NodeId, f32)> = Vec::new();
+            for r in std::iter::once(&self.region).chain(self.adopted.iter()) {
+                for node in r.active_nodes(spec.source) {
+                    sources.push((node, r.source_value(spec.source, node)));
+                }
+            }
+            for (node, value) in sources {
                 if visited.should_expand(spec.prop, 0, node, value, node) {
                     self.barrier.created(0);
                     queue.push_back(PropTask {
@@ -470,12 +889,14 @@ impl Worker<'_, '_> {
         self.barrier.exit_busy();
 
         loop {
+            if self.resilient() {
+                // Deliver any injected-delay traffic that has come due.
+                self.fabric.poll_delayed();
+            }
             // Remote arrivals first, then local work.
-            if let Ok(task) = self.fabric_rx.try_recv() {
+            if let Ok(msg) = self.fabric_rx.try_recv() {
                 self.barrier.enter_busy();
-                let level = task.level;
-                self.handle_arrival(specs, &mut visited, &mut queue, task);
-                self.barrier.consumed(level.min(63));
+                self.handle_net(specs, &mut visited, &mut queue, msg);
                 self.barrier.exit_busy();
                 continue;
             }
@@ -486,12 +907,147 @@ impl Worker<'_, '_> {
                 self.barrier.exit_busy();
                 continue;
             }
+            if self.resilient() && self.drive_retries() {
+                continue;
+            }
             match self.cmd_rx.try_recv() {
-                Ok(Cmd::PhaseEnd) => return,
-                Ok(Cmd::Shutdown) => return,
+                Ok(Cmd::PhaseEnd) => return PhaseExit::Ended,
+                Ok(Cmd::Abort) => {
+                    self.abort_phase();
+                    return PhaseExit::Aborted;
+                }
+                Ok(Cmd::Shutdown) => return PhaseExit::Shutdown,
                 _ => std::thread::yield_now(),
             }
         }
+    }
+
+    /// Discards the aborted phase's state and restores the phase-start
+    /// checkpoints; the controller resets the barrier.
+    fn abort_phase(&mut self) {
+        while self.fabric_rx.try_recv().is_ok() {}
+        self.pending.clear();
+        self.dedup.clear();
+        let cps = self.checkpoints.lock();
+        if let Some(cp) = &cps[self.cluster] {
+            self.region = cp.clone();
+        }
+        for r in &mut self.adopted {
+            if let Some(cp) = &cps[r.cluster().index()] {
+                *r = cp.clone();
+            }
+        }
+    }
+
+    /// Processes one fabric message under the resilient protocol.
+    fn handle_net(
+        &mut self,
+        specs: &[PropSpec],
+        visited: &mut VisitedMap,
+        queue: &mut std::collections::VecDeque<PropTask>,
+        msg: NetMsg,
+    ) {
+        match msg {
+            NetMsg::Marker(env) => {
+                if self.resilient() {
+                    if !env.is_intact() {
+                        // Nothing in a corrupted envelope can be trusted,
+                        // not even the sender: discard without consuming —
+                        // the sender still holds the token and retries.
+                        if let Some(inj) = &self.injector {
+                            inj.note_detected_corruption();
+                        }
+                        return;
+                    }
+                    if env.epoch != self.epoch {
+                        // Stale traffic from before a recovery; its
+                        // accounting was reset with the barrier.
+                        return;
+                    }
+                    // Ack first (the previous ack may have been lost)...
+                    self.fabric.send_control(
+                        self.id(),
+                        ClusterId(env.from),
+                        NetMsg::Ack {
+                            seq: env.seq,
+                            checksum: env.checksum(),
+                        },
+                    );
+                    // ...then suppress duplicates: the fresh copy already
+                    // consumed this envelope's created-token.
+                    if !self.dedup.insert(env.key()) {
+                        if let Some(inj) = &self.injector {
+                            inj.note_detected_duplicate();
+                        }
+                        return;
+                    }
+                }
+                let level = env.payload.level.min(63);
+                self.handle_arrival(specs, visited, queue, env.payload);
+                self.barrier.consumed(level);
+            }
+            NetMsg::Ack { seq, checksum } => {
+                if self
+                    .pending
+                    .get(&seq)
+                    .is_some_and(|p| p.env.checksum() == checksum)
+                {
+                    self.pending.remove(&seq);
+                }
+            }
+        }
+    }
+
+    /// Retransmits due unacked envelopes; returns `true` if any fired.
+    fn drive_retries(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let now = Instant::now();
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.due <= now)
+            .map(|(seq, _)| *seq)
+            .collect();
+        if due.is_empty() {
+            return false;
+        }
+        for seq in due {
+            let Some(mut p) = self.pending.remove(&seq) else {
+                continue;
+            };
+            if self.retry.exhausted(p.attempts) {
+                let dest = self.map.cluster_of(p.env.payload.node);
+                self.report_error(CoreError::WorkerFailed {
+                    cluster: self.cluster,
+                    cause: format!(
+                        "marker to cluster {} unacknowledged after {} retransmissions",
+                        dest.index(),
+                        p.attempts
+                    ),
+                });
+                // Release the held token so the phase can close; the
+                // typed error above fails the run.
+                self.barrier.consumed(p.env.payload.level.min(63));
+            } else {
+                // Retransmission is work: flag the PE busy so the barrier
+                // watchdog sees live recovery activity, not dead air.
+                self.barrier.enter_busy();
+                let owner = self.owners[self.map.cluster_of(p.env.payload.node).index()]
+                    .load(Ordering::Acquire);
+                self.fabric
+                    .send_faulty(self.id(), ClusterId(owner as u8), NetMsg::Marker(p.env));
+                if let Some(inj) = &self.injector {
+                    inj.note_retry();
+                }
+                p.attempts += 1;
+                p.due = Instant::now() + self.retry.backoff(p.attempts);
+                self.pending.insert(seq, p);
+                self.barrier.exit_busy();
+            }
+        }
+        true
     }
 
     fn handle_arrival(
@@ -502,10 +1058,13 @@ impl Worker<'_, '_> {
         task: PropTask,
     ) {
         let spec = &specs[task.prop];
-        if let Err(e) = self
-            .region
-            .arrive(spec.target, task.node, task.value, task.origin)
-        {
+        let Some(region) = self.region_for(task.node) else {
+            // A marker for a region this worker no longer holds (it
+            // moved in a recovery): stale, and safely dropped — replay
+            // re-derives it at the new owner.
+            return;
+        };
+        if let Err(e) = region.arrive(spec.target, task.node, task.value, task.origin) {
             self.report_error(e);
             return;
         }
@@ -522,6 +1081,19 @@ impl Worker<'_, '_> {
         queue: &mut std::collections::VecDeque<PropTask>,
         task: &PropTask,
     ) {
+        self.steps += 1;
+        if let Some(inj) = &self.injector {
+            if inj.should_panic(self.cluster as u8, self.steps as usize) {
+                panic!(
+                    "injected fault-plan panic: cluster {} at step {}",
+                    self.cluster, self.steps
+                );
+            }
+            let ns = inj.stall_ns(self.cluster as u8, self.steps);
+            if ns > 0 {
+                spin_for(Duration::from_nanos(ns));
+            }
+        }
         let spec = &specs[task.prop];
         let expansion = {
             let guard = self.net.read();
@@ -540,14 +1112,39 @@ impl Worker<'_, '_> {
                 level: task.level + 1,
             };
             let dest = self.map.cluster_of(arrival.node);
-            if dest.index() == self.cluster {
+            let owner = self.owners[dest.index()].load(Ordering::Acquire);
+            if owner == self.cluster {
                 self.handle_arrival(specs, visited, queue, next);
             } else {
                 self.barrier.created(next.level.min(63));
-                self.fabric
-                    .send(ClusterId(self.cluster as u8), dest, next);
+                let env = Envelope::seal(self.epoch, self.cluster as u8, self.next_seq, next);
+                self.next_seq += 1;
+                if self.resilient() {
+                    self.pending.insert(
+                        env.seq,
+                        PendingSend {
+                            env,
+                            attempts: 0,
+                            due: Instant::now() + self.retry.backoff(0),
+                        },
+                    );
+                    self.fabric
+                        .send_faulty(self.id(), ClusterId(owner as u8), NetMsg::Marker(env));
+                } else {
+                    self.fabric
+                        .send(self.id(), ClusterId(owner as u8), NetMsg::Marker(env));
+                }
             }
         }
+    }
+}
+
+/// Busy-waits for sub-millisecond injected stalls (`thread::sleep` is
+/// too coarse at ns granularity).
+fn spin_for(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
     }
 }
 
@@ -556,6 +1153,7 @@ mod tests {
     use super::*;
     use crate::cost::CostModel;
     use crate::engine::des;
+    use snap_fault::FaultPlan;
     use snap_isa::{CombineFunc, PropRule, StepFunc};
     use snap_kb::{Marker, NetworkConfig, RelationType};
 
@@ -626,10 +1224,16 @@ mod tests {
         for ((n1, v1), (n2, v2)) in a.iter().zip(b) {
             assert_eq!(n1, n2);
             let (v1, v2) = (v1.unwrap(), v2.unwrap());
-            assert!((v1.value - v2.value).abs() < 1e-4, "{n1}: {} vs {}", v1.value, v2.value);
+            assert!(
+                (v1.value - v2.value).abs() < 1e-4,
+                "{n1}: {} vs {}",
+                v1.value,
+                v2.value
+            );
         }
         assert!(thr_report.wall_ns > 0);
         assert!(thr_report.traffic.total_messages > 0);
+        assert!(thr_report.faults.is_empty(), "fault-free run");
     }
 
     #[test]
@@ -638,7 +1242,12 @@ mod tests {
         let program = Program::builder()
             .search_node(NodeId(0), Marker::binary(0), 0.0)
             .search_node(NodeId(5), Marker::binary(0), 0.0)
-            .marker_create(Marker::binary(0), RelationType(9), NodeId(10), RelationType(10))
+            .marker_create(
+                Marker::binary(0),
+                RelationType(9),
+                NodeId(10),
+                RelationType(10),
+            )
             .collect_relation(Marker::binary(0), RelationType(9))
             .build();
         let cfg = MachineConfig::uniform(2, 1);
@@ -669,5 +1278,108 @@ mod tests {
         let report = run(&cfg, &mut net, &program).unwrap();
         assert_eq!(report.collects.len(), 2);
         assert_eq!(report.traffic.total_messages, 0);
+    }
+
+    /// Results under each single fault class must equal the fault-free
+    /// run's: the resilient protocol hides the faults.
+    #[test]
+    fn fault_classes_do_not_change_results() {
+        let program = workload();
+        let mut cfg = MachineConfig::uniform(4, 2);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        let mut clean_net = grid_network(80);
+        let clean = run(&cfg, &mut clean_net, &program).unwrap();
+        let plans = [
+            ("drops", FaultPlan::seeded(21).drops(0.25)),
+            ("dups", FaultPlan::seeded(22).duplicates(0.25)),
+            ("delays", FaultPlan::seeded(23).delays(0.3, 2_000_000)),
+            ("corruptions", FaultPlan::seeded(24).corruptions(0.25)),
+            ("stalls", FaultPlan::seeded(25).stalls(0.2, 50_000)),
+        ];
+        for (name, plan) in plans {
+            let mut cfg = cfg.clone();
+            cfg.fault_plan = Some(plan);
+            let mut net = grid_network(80);
+            let report = run(&cfg, &mut net, &program).unwrap_or_else(|e| panic!("{name}: {e}"));
+            for (a, b) in clean.collects.iter().zip(&report.collects) {
+                assert_eq!(a.node_ids(), b.node_ids(), "{name} changed results");
+            }
+            assert!(
+                report.faults.total_injected() > 0,
+                "{name} injected nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn drops_force_retries_and_report_them() {
+        let program = workload();
+        let mut cfg = MachineConfig::uniform(4, 2);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        cfg.fault_plan = Some(FaultPlan::seeded(31).drops(0.3));
+        let mut net = grid_network(80);
+        let report = run(&cfg, &mut net, &program).unwrap();
+        assert!(report.faults.injected_drops > 0);
+        // Every dropped *marker* forces at least one retransmission
+        // (dropped acks may resolve without one if the phase ends first).
+        assert!(report.faults.retries > 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_survived() {
+        let program = workload();
+        let mut cfg = MachineConfig::uniform(4, 2);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        cfg.fault_plan = Some(FaultPlan::seeded(32).corruptions(0.4));
+        let mut net = grid_network(80);
+        let report = run(&cfg, &mut net, &program).unwrap();
+        assert!(report.faults.injected_corruptions > 0);
+        assert!(report.faults.detected_corruptions > 0);
+    }
+
+    #[test]
+    fn down_link_fails_typed_not_hung() {
+        let program = workload();
+        let mut cfg = MachineConfig::uniform(4, 2);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        // Every link out of every cluster to cluster 2 is down: traffic
+        // to it can never arrive, so retries must exhaust into a typed
+        // error rather than hanging the barrier.
+        cfg.fault_plan = Some(
+            FaultPlan::seeded(33)
+                .link_down(0, 2)
+                .link_down(1, 2)
+                .link_down(3, 2),
+        );
+        let mut net = grid_network(60);
+        let err = run(&cfg, &mut net, &program).unwrap_err();
+        match err {
+            CoreError::WorkerFailed { cause, .. } => {
+                assert!(
+                    cause.contains("unacknowledged"),
+                    "unexpected cause: {cause}"
+                )
+            }
+            other => panic!("expected WorkerFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_recovers_with_identical_results() {
+        let program = workload();
+        let mut cfg = MachineConfig::uniform(4, 2);
+        cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+        let mut clean_net = grid_network(80);
+        let clean = run(&cfg, &mut clean_net, &program).unwrap();
+        cfg.fault_plan = Some(FaultPlan::seeded(34).worker_panic(2, 5));
+        let mut net = grid_network(80);
+        let report = run(&cfg, &mut net, &program).unwrap();
+        assert_eq!(report.faults.injected_panics, 1);
+        assert_eq!(report.faults.recovered_workers, 1);
+        assert!(report.faults.remapped_regions >= 1);
+        assert!(report.faults.replays >= 1);
+        for (a, b) in clean.collects.iter().zip(&report.collects) {
+            assert_eq!(a.node_ids(), b.node_ids(), "recovery changed results");
+        }
     }
 }

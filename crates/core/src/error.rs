@@ -15,10 +15,19 @@ pub enum CoreError {
         /// The offending token.
         token: u8,
     },
-    /// A cluster thread of the threaded engine panicked.
+    /// A cluster thread of the threaded engine failed (panic, poisoned
+    /// channel, or an exhausted retransmission budget).
     WorkerFailed {
         /// The failing cluster index.
         cluster: usize,
+        /// What went wrong, for the operator.
+        cause: String,
+    },
+    /// The tiered barrier's watchdog declared a propagation phase stuck
+    /// and recovery could not unstick it.
+    BarrierStalled {
+        /// The watchdog's classification of the stall.
+        reason: String,
     },
 }
 
@@ -29,8 +38,11 @@ impl fmt::Display for CoreError {
             CoreError::UnknownToken { token } => {
                 write!(f, "no microcode downloaded for token {token}")
             }
-            CoreError::WorkerFailed { cluster } => {
-                write!(f, "cluster {cluster} worker thread failed")
+            CoreError::WorkerFailed { cluster, cause } => {
+                write!(f, "cluster {cluster} worker thread failed: {cause}")
+            }
+            CoreError::BarrierStalled { reason } => {
+                write!(f, "barrier synchronization stalled: {reason}")
             }
         }
     }
@@ -65,5 +77,15 @@ mod tests {
         let e = CoreError::UnknownToken { token: 9 };
         assert!(e.to_string().contains('9'));
         assert!(e.source().is_none());
+        let e = CoreError::WorkerFailed {
+            cluster: 3,
+            cause: "injected panic".into(),
+        };
+        assert!(e.to_string().contains("cluster 3"));
+        assert!(e.to_string().contains("injected panic"));
+        let e = CoreError::BarrierStalled {
+            reason: "2 in-flight messages lost".into(),
+        };
+        assert!(e.to_string().contains("stalled"));
     }
 }

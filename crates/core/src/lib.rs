@@ -33,10 +33,10 @@ mod controller;
 mod cost;
 mod engine;
 mod error;
+mod machine;
 pub mod propagate;
 mod region;
 mod report;
-mod machine;
 
 /// Engine-shared instruction semantics, public so comparator engines
 /// (the CM-2 baseline) execute the exact same logic.
@@ -50,3 +50,6 @@ pub use error::CoreError;
 pub use machine::{Snap1, Snap1Builder};
 pub use region::{Arrival, Region, RegionMap, VALUE_EPSILON};
 pub use report::{CollectOutput, OverheadBreakdown, RunReport, TrafficStats};
+// Fault-injection vocabulary, re-exported so applications can build
+// plans and read reports without depending on snap-fault directly.
+pub use snap_fault::{FaultPlan, FaultReport, PanicSpec, RetryPolicy};

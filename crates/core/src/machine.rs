@@ -180,6 +180,13 @@ impl Snap1Builder {
         self
     }
 
+    /// Injects a seeded fault schedule during execution (see
+    /// [`MachineConfig::fault_plan`]).
+    pub fn faults(mut self, plan: snap_fault::FaultPlan) -> Self {
+        self.config.fault_plan = Some(plan);
+        self
+    }
+
     /// Finishes the machine.
     ///
     /// # Panics
@@ -223,7 +230,11 @@ mod tests {
     #[test]
     fn all_engines_agree_on_tiny_example() {
         let mut ids = Vec::new();
-        for engine in [EngineKind::Sequential, EngineKind::Des, EngineKind::Threaded] {
+        for engine in [
+            EngineKind::Sequential,
+            EngineKind::Des,
+            EngineKind::Threaded,
+        ] {
             let (mut net, program) = tiny();
             let machine = Snap1::builder().clusters(2).engine(engine).build();
             let report = machine.run(&mut net, &program).unwrap();

@@ -57,6 +57,25 @@ pub struct Expansion {
     pub links_scanned: usize,
 }
 
+impl snap_fault::Fingerprint for PropTask {
+    fn fingerprint(&self) -> u64 {
+        use snap_fault::mix64;
+        mix64(self.prop as u64 ^ (u64::from(self.node.0) << 20))
+            ^ mix64(u64::from(self.state) | (u64::from(self.value.to_bits()) << 8))
+            ^ mix64(u64::from(self.origin.0) | (u64::from(self.level) << 40))
+    }
+}
+
+impl snap_fault::Corruptible for PropTask {
+    fn corrupt(&mut self, salt: u64) {
+        // Flip value bits (|1 guarantees a change) and smear the rule
+        // state: enough to invalidate the envelope checksum whatever the
+        // payload was.
+        self.value = f32::from_bits(self.value.to_bits() ^ ((salt as u32) | 1));
+        self.state ^= (salt >> 32) as u8;
+    }
+}
+
 /// Expands `task` one step: for each arc live in the task's rule state,
 /// traverse the matching relation links and apply the step function.
 pub fn expand(
@@ -132,9 +151,7 @@ impl VisitedMap {
                 true
             }
             Some((best, best_origin)) => {
-                if value < *best - EPS
-                    || ((value - *best).abs() <= EPS && origin < *best_origin)
-                {
+                if value < *best - EPS || ((value - *best).abs() <= EPS && origin < *best_origin) {
                     *best = value.min(*best);
                     *best_origin = origin;
                     true
@@ -201,7 +218,8 @@ mod tests {
     #[test]
     fn expand_ignores_nonmatching_relations() {
         let mut net = diamond();
-        net.add_link(NodeId(0), RelationType(9), 1.0, NodeId(3)).unwrap();
+        net.add_link(NodeId(0), RelationType(9), 1.0, NodeId(3))
+            .unwrap();
         let rule = PropRule::Star(RelationType(1)).compile();
         let task = PropTask {
             prop: 0,

@@ -9,7 +9,7 @@
 use crate::error::CoreError;
 use snap_isa::{CombineFunc, ValueFunc};
 use snap_kb::{
-    Color, ClusterId, Marker, MarkerKind, MarkerState, MarkerValue, NodeId, Partition,
+    ClusterId, Color, Marker, MarkerKind, MarkerState, MarkerValue, NodeId, Partition,
     PartitionScheme, RelationType, SemanticNetwork, StatusRow,
 };
 use std::sync::Arc;
@@ -36,7 +36,10 @@ impl RegionMap {
                 local_of[node.index()] = i as u32;
             }
         }
-        Arc::new(RegionMap { partition, local_of })
+        Arc::new(RegionMap {
+            partition,
+            local_of,
+        })
     }
 
     /// Cluster owning `node`.
@@ -72,7 +75,11 @@ pub enum Arrival {
 }
 
 /// One cluster's marker state and local instruction implementations.
-#[derive(Debug)]
+///
+/// `Clone` supports the threaded engine's recovery path: regions are
+/// checkpointed at propagation-phase boundaries so a neighbor can adopt
+/// a dead cluster's slice and replay the phase.
+#[derive(Debug, Clone)]
 pub struct Region {
     cluster: ClusterId,
     map: Arc<RegionMap>,
@@ -167,7 +174,12 @@ impl Region {
     /// # Errors
     ///
     /// Returns [`CoreError`] for an out-of-range marker register.
-    pub fn search_node(&mut self, node: NodeId, marker: Marker, value: f32) -> Result<bool, CoreError> {
+    pub fn search_node(
+        &mut self,
+        node: NodeId,
+        marker: Marker,
+        value: f32,
+    ) -> Result<bool, CoreError> {
         if !self.owns(node) {
             return Ok(false);
         }
@@ -226,7 +238,13 @@ impl Region {
         Ok(hits.len())
     }
 
-    fn activate(&mut self, marker: Marker, node: NodeId, value: f32, origin: NodeId) -> Result<(), CoreError> {
+    fn activate(
+        &mut self,
+        marker: Marker,
+        node: NodeId,
+        value: f32,
+        origin: NodeId,
+    ) -> Result<(), CoreError> {
         let local = self.local(node);
         match marker.kind() {
             MarkerKind::Complex => {
@@ -266,10 +284,10 @@ impl Region {
         if marker.kind() == MarkerKind::Binary {
             return Ok(Arrival::Ignored);
         }
-        let current = self
-            .markers
-            .value(marker, local)
-            .unwrap_or(MarkerValue { value: 0.0, origin: node });
+        let current = self.markers.value(marker, local).unwrap_or(MarkerValue {
+            value: 0.0,
+            origin: node,
+        });
         // Lexicographic (value, origin) minimum: a strictly smaller value
         // wins; an equal value (within epsilon) with a smaller origin ID
         // wins the binding. Both cases re-expand, so the fixed point is
@@ -308,7 +326,11 @@ impl Region {
         combine: CombineFunc,
     ) -> Result<(usize, usize), CoreError> {
         let empty = StatusRow::new(self.len());
-        let row_a = self.markers.row(a).cloned().unwrap_or_else(|| empty.clone());
+        let row_a = self
+            .markers
+            .row(a)
+            .cloned()
+            .unwrap_or_else(|| empty.clone());
         let row_b = self.markers.row(b).cloned().unwrap_or(empty);
         let mut result = StatusRow::new(self.len());
         let words = if and {
@@ -421,7 +443,11 @@ impl Region {
     /// # Errors
     ///
     /// Returns [`CoreError`] for an out-of-range marker register.
-    pub fn func_marker(&mut self, marker: Marker, func: ValueFunc) -> Result<(usize, usize), CoreError> {
+    pub fn func_marker(
+        &mut self,
+        marker: Marker,
+        func: ValueFunc,
+    ) -> Result<(usize, usize), CoreError> {
         let active: Vec<NodeId> = self
             .markers
             .row(marker)
@@ -496,11 +522,7 @@ impl Region {
     }
 
     /// `COLLECT-COLOR` local part: colors of marked member nodes.
-    pub fn collect_color(
-        &self,
-        network: &SemanticNetwork,
-        marker: Marker,
-    ) -> Vec<(NodeId, Color)> {
+    pub fn collect_color(&self, network: &SemanticNetwork, marker: Marker) -> Vec<(NodeId, Color)> {
         self.active_nodes(marker)
             .into_iter()
             .filter_map(|n| network.color(n).ok().map(|c| (n, c)))
@@ -517,7 +539,8 @@ mod tests {
     fn setup(clusters: usize) -> (SemanticNetwork, Arc<RegionMap>, Vec<Region>) {
         let mut net = SemanticNetwork::new(NetworkConfig::default());
         for i in 0..8 {
-            net.add_named_node(format!("node{i}"), Color((i % 3) as u8)).unwrap();
+            net.add_named_node(format!("node{i}"), Color((i % 3) as u8))
+                .unwrap();
         }
         let r = RelationType(1);
         net.add_link(NodeId(0), r, 1.0, NodeId(1)).unwrap();
@@ -571,7 +594,10 @@ mod tests {
         let (_, _, mut regions) = setup(1);
         let m = Marker::complex(0);
         let r = &mut regions[0];
-        assert_eq!(r.arrive(m, NodeId(2), 5.0, NodeId(0)).unwrap(), Arrival::New);
+        assert_eq!(
+            r.arrive(m, NodeId(2), 5.0, NodeId(0)).unwrap(),
+            Arrival::New
+        );
         assert_eq!(
             r.arrive(m, NodeId(2), 6.0, NodeId(1)).unwrap(),
             Arrival::Ignored
@@ -596,7 +622,10 @@ mod tests {
         let (_, _, mut regions) = setup(1);
         let b = Marker::binary(2);
         let r = &mut regions[0];
-        assert_eq!(r.arrive(b, NodeId(3), 0.0, NodeId(0)).unwrap(), Arrival::New);
+        assert_eq!(
+            r.arrive(b, NodeId(3), 0.0, NodeId(0)).unwrap(),
+            Arrival::New
+        );
         assert_eq!(
             r.arrive(b, NodeId(3), 0.0, NodeId(1)).unwrap(),
             Arrival::Ignored
@@ -650,7 +679,11 @@ mod tests {
         r.arrive(a, NodeId(1), 1.0, NodeId(1)).unwrap();
         r.arrive(b, NodeId(1), 1.0, NodeId(1)).unwrap();
         r.bool_op(true, a, b, t, CombineFunc::Add).unwrap();
-        assert_eq!(r.active_nodes(t), vec![NodeId(1)], "stale bit at n5 cleared");
+        assert_eq!(
+            r.active_nodes(t),
+            vec![NodeId(1)],
+            "stale bit at n5 cleared"
+        );
     }
 
     #[test]
@@ -698,7 +731,9 @@ mod tests {
         assert_eq!(collected[1].0, NodeId(6));
         let colors = regions[0].collect_color(&net, m);
         assert_eq!(colors, vec![(NodeId(0), Color(0)), (NodeId(6), Color(0))]);
-        regions[0].arrive(Marker::binary(0), NodeId(0), 0.0, NodeId(0)).unwrap();
+        regions[0]
+            .arrive(Marker::binary(0), NodeId(0), 0.0, NodeId(0))
+            .unwrap();
         let links = regions[0].collect_relation(&net, Marker::binary(0), RelationType(1));
         assert_eq!(links.len(), 1);
         assert_eq!(links[0].1.destination, NodeId(1));

@@ -7,6 +7,7 @@
 //! synchronization, and the four parallel-overhead components of Fig. 21.
 
 use serde::{Deserialize, Serialize};
+use snap_fault::FaultReport;
 use snap_isa::InstrClass;
 use snap_kb::{Color, Link, MarkerValue, NodeId};
 use snap_mem::SimTime;
@@ -95,8 +96,7 @@ impl TrafficStats {
         if self.messages_per_sync.is_empty() {
             0.0
         } else {
-            self.messages_per_sync.iter().sum::<u64>() as f64
-                / self.messages_per_sync.len() as f64
+            self.messages_per_sync.iter().sum::<u64>() as f64 / self.messages_per_sync.len() as f64
         }
     }
 
@@ -139,6 +139,9 @@ pub struct RunReport {
     pub perf_events: u64,
     /// Instrumentation records lost to collector FIFO overflow.
     pub perf_dropped: u64,
+    /// What the fault subsystem injected and how the engine coped
+    /// (empty for fault-free runs).
+    pub faults: FaultReport,
 }
 
 impl RunReport {

@@ -1,0 +1,37 @@
+//! # snap-fault — deterministic fault injection for the SNAP-1 reproduction
+//!
+//! The SNAP-1 prototype was a physical machine: boards lost clock edges,
+//! hypercube links dropped marker packets, and processing elements
+//! wedged mid-propagation. This crate models those failure modes as a
+//! seeded, replayable [`FaultPlan`] plus the resilience primitives the
+//! engines use to survive them:
+//!
+//! * [`FaultPlan`] — a declarative schedule of message drops,
+//!   duplicates, delays, corruptions, PE stalls, link outages, arbiter
+//!   starvation, and worker panics. Same seed + same plan ⇒ the same
+//!   injected schedule wherever decisions are driven by deterministic
+//!   counters (the discrete-event engine guarantees this end to end).
+//! * [`FaultInjector`] — the runtime half: pure seeded decisions keyed
+//!   on `(site, counter)` so callers control determinism, with atomic
+//!   counters feeding a [`FaultReport`].
+//! * [`Envelope`] — checksummed, sequence-numbered wrapper for marker
+//!   traffic, the unit of the threaded engine's ack/retry protocol;
+//!   with the [`Fingerprint`] and [`Corruptible`] traits payloads
+//!   implement to be sealable and corruptible.
+//! * [`DedupTable`] — duplicate suppression keyed on `(sender, seq)`.
+//! * [`RetryPolicy`] — bounded exponential backoff for unacked sends.
+//! * [`FaultReport`] — injected/detected/recovered tallies surfaced in
+//!   `RunReport` and the bench binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod envelope;
+mod inject;
+mod plan;
+mod report;
+
+pub use envelope::{mix64, Corruptible, DedupTable, Envelope, Fingerprint};
+pub use inject::{FaultInjector, RetryPolicy, SendFate};
+pub use plan::{FaultPlan, PanicSpec};
+pub use report::FaultReport;

@@ -72,14 +72,15 @@ pub fn analyze_beta(program: &Program) -> BetaStats {
     let mut reads: HashSet<Marker> = HashSet::new();
     let mut writes: HashSet<Marker> = HashSet::new();
 
-    let mut close = |group: &mut usize, reads: &mut HashSet<Marker>, writes: &mut HashSet<Marker>| {
-        if *group > 0 {
-            groups.push(*group);
-            *group = 0;
-            reads.clear();
-            writes.clear();
-        }
-    };
+    let mut close =
+        |group: &mut usize, reads: &mut HashSet<Marker>, writes: &mut HashSet<Marker>| {
+            if *group > 0 {
+                groups.push(*group);
+                *group = 0;
+                reads.clear();
+                writes.clear();
+            }
+        };
 
     for instr in program {
         match instr.class() {
@@ -136,7 +137,9 @@ mod tests {
 
     #[test]
     fn independent_propagations_overlap() {
-        let p: Program = vec![prop(1, 3), prop(2, 4), prop(5, 6)].into_iter().collect();
+        let p: Program = vec![prop(1, 3), prop(2, 4), prop(5, 6)]
+            .into_iter()
+            .collect();
         let stats = analyze_beta(&p);
         assert_eq!(stats.groups, vec![3]);
         assert_eq!(stats.beta_min(), 3);
@@ -184,7 +187,9 @@ mod tests {
             marker: Marker::binary(60),
             value: 0.0,
         };
-        let p: Program = vec![prop(1, 3), unrelated, prop(2, 4)].into_iter().collect();
+        let p: Program = vec![prop(1, 3), unrelated, prop(2, 4)]
+            .into_iter()
+            .collect();
         assert_eq!(analyze_beta(&p).groups, vec![2]);
     }
 

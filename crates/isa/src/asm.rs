@@ -118,11 +118,10 @@ pub fn assemble(source: &str, symbols: &SymbolTable) -> Result<Program, AsmError
         let mut parts = line.split_whitespace();
         let mnemonic = parts.next().expect("non-empty line has a first token");
         let ops: Vec<&str> = parts.collect();
-        let instr = parse_instruction(mnemonic, &ops, symbols)
-            .map_err(|message| AsmError {
-                line: line_no,
-                message,
-            })?;
+        let instr = parse_instruction(mnemonic, &ops, symbols).map_err(|message| AsmError {
+            line: line_no,
+            message,
+        })?;
         program.push(instr);
     }
     Ok(program)
@@ -307,7 +306,8 @@ fn parse_instruction(
 }
 
 fn parse_f32(s: &str) -> Result<f32, String> {
-    s.parse::<f32>().map_err(|_| format!("invalid number `{s}`"))
+    s.parse::<f32>()
+        .map_err(|_| format!("invalid number `{s}`"))
 }
 
 fn parse_marker(s: &str) -> Result<Marker, String> {
@@ -536,7 +536,12 @@ fn format_instruction(instr: &Instruction, sym: &SymbolTable) -> String {
             node,
             marker,
             value,
-        } => format!("{m} {} {} {}", fmt_node(*node, sym), fmt_marker(*marker), value),
+        } => format!(
+            "{m} {} {} {}",
+            fmt_node(*node, sym),
+            fmt_marker(*marker),
+            value
+        ),
         SearchRelation {
             relation,
             marker,
@@ -689,7 +694,11 @@ collect-marker m5
 
     #[test]
     fn numeric_fallback_spellings() {
-        let p = assemble("create n1 r7 0.25 n2\nset-color n1 color9\n", &SymbolTable::new()).unwrap();
+        let p = assemble(
+            "create n1 r7 0.25 n2\nset-color n1 color9\n",
+            &SymbolTable::new(),
+        )
+        .unwrap();
         assert_eq!(
             p.instructions()[0],
             Instruction::Create {
@@ -703,8 +712,11 @@ collect-marker m5
 
     #[test]
     fn func_marker_conditions() {
-        let p = assemble("func-marker m1 clear-if(>=2.5)\nfunc-marker m2 keep-if(<1)\n", &SymbolTable::new())
-            .unwrap();
+        let p = assemble(
+            "func-marker m1 clear-if(>=2.5)\nfunc-marker m2 keep-if(<1)\n",
+            &SymbolTable::new(),
+        )
+        .unwrap();
         assert_eq!(
             p.instructions()[0],
             Instruction::FuncMarker {

@@ -130,7 +130,13 @@ impl ProgramBuilder {
     }
 
     /// Appends `CREATE`.
-    pub fn create(self, source: NodeId, relation: RelationType, weight: f32, destination: NodeId) -> Self {
+    pub fn create(
+        self,
+        source: NodeId,
+        relation: RelationType,
+        weight: f32,
+        destination: NodeId,
+    ) -> Self {
         self.instruction(Instruction::Create {
             source,
             relation,
@@ -191,7 +197,13 @@ impl ProgramBuilder {
     }
 
     /// Appends `MARKER-CREATE`.
-    pub fn marker_create(self, marker: Marker, forward: RelationType, end: NodeId, reverse: RelationType) -> Self {
+    pub fn marker_create(
+        self,
+        marker: Marker,
+        forward: RelationType,
+        end: NodeId,
+        reverse: RelationType,
+    ) -> Self {
         self.instruction(Instruction::MarkerCreate {
             marker,
             forward,
@@ -201,7 +213,13 @@ impl ProgramBuilder {
     }
 
     /// Appends `MARKER-DELETE`.
-    pub fn marker_delete(self, marker: Marker, forward: RelationType, end: NodeId, reverse: RelationType) -> Self {
+    pub fn marker_delete(
+        self,
+        marker: Marker,
+        forward: RelationType,
+        end: NodeId,
+        reverse: RelationType,
+    ) -> Self {
         self.instruction(Instruction::MarkerDelete {
             marker,
             forward,

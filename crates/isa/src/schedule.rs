@@ -28,8 +28,7 @@ fn conflicts(a: &Instruction, b: &Instruction) -> bool {
     let aw: HashSet<Marker> = a.writes().into_iter().collect();
     let br: HashSet<Marker> = b.reads().into_iter().collect();
     let bw: HashSet<Marker> = b.writes().into_iter().collect();
-    aw.iter().any(|m| br.contains(m) || bw.contains(m))
-        || bw.iter().any(|m| ar.contains(m))
+    aw.iter().any(|m| br.contains(m) || bw.contains(m)) || bw.iter().any(|m| ar.contains(m))
 }
 
 /// `true` if the instruction has controller-visible effects that pin
@@ -91,8 +90,7 @@ pub fn schedule_beta(program: &Program) -> Program {
                 held.push(instr.clone());
             }
             _ => {
-                let blocked =
-                    is_pinned(instr) || held.iter().any(|h| conflicts(h, instr));
+                let blocked = is_pinned(instr) || held.iter().any(|h| conflicts(h, instr));
                 if blocked {
                     flush(&mut held, &mut out);
                     out.push(instr.clone());

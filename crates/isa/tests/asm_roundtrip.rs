@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use snap_isa::{
-    assemble, disassemble, Cmp, CombineFunc, Instruction, Program, PropRule, StepFunc,
-    SymbolTable, ValueFunc,
+    assemble, disassemble, Cmp, CombineFunc, Instruction, Program, PropRule, StepFunc, SymbolTable,
+    ValueFunc,
 };
 use snap_kb::{Color, Marker, NodeId, RelationType};
 
@@ -87,10 +87,8 @@ fn instruction_strategy() -> impl Strategy<Value = Instruction> {
                 destination,
             }
         }),
-        (node.clone(), color.clone()).prop_map(|(node, color)| Instruction::SetColor {
-            node,
-            color
-        }),
+        (node.clone(), color.clone())
+            .prop_map(|(node, color)| Instruction::SetColor { node, color }),
         (node.clone(), marker_strategy(), value.clone()).prop_map(|(node, marker, value)| {
             Instruction::SearchNode {
                 node,
@@ -112,14 +110,18 @@ fn instruction_strategy() -> impl Strategy<Value = Instruction> {
                 value,
             }
         }),
-        (marker_strategy(), marker_strategy(), rule_strategy(), step_strategy()).prop_map(
-            |(source, target, rule, func)| Instruction::Propagate {
+        (
+            marker_strategy(),
+            marker_strategy(),
+            rule_strategy(),
+            step_strategy()
+        )
+            .prop_map(|(source, target, rule, func)| Instruction::Propagate {
                 source,
                 target,
                 rule,
                 func
-            }
-        ),
+            }),
         (marker_strategy(), rel.clone(), node.clone(), rel.clone()).prop_map(
             |(marker, forward, end, reverse)| Instruction::MarkerCreate {
                 marker,
@@ -128,9 +130,8 @@ fn instruction_strategy() -> impl Strategy<Value = Instruction> {
                 reverse
             }
         ),
-        (marker_strategy(), color.clone()).prop_map(|(marker, color)| {
-            Instruction::MarkerSetColor { marker, color }
-        }),
+        (marker_strategy(), color.clone())
+            .prop_map(|(marker, color)| { Instruction::MarkerSetColor { marker, color } }),
         (
             marker_strategy(),
             marker_strategy(),
@@ -157,18 +158,14 @@ fn instruction_strategy() -> impl Strategy<Value = Instruction> {
             }),
         (marker_strategy(), marker_strategy())
             .prop_map(|(source, target)| Instruction::NotMarker { source, target }),
-        (marker_strategy(), value).prop_map(|(marker, value)| Instruction::SetMarker {
-            marker,
-            value
-        }),
+        (marker_strategy(), value)
+            .prop_map(|(marker, value)| Instruction::SetMarker { marker, value }),
         marker_strategy().prop_map(|marker| Instruction::ClearMarker { marker }),
         (marker_strategy(), value_func_strategy())
             .prop_map(|(marker, func)| Instruction::FuncMarker { marker, func }),
         marker_strategy().prop_map(|marker| Instruction::CollectMarker { marker }),
-        (marker_strategy(), rel).prop_map(|(marker, relation)| Instruction::CollectRelation {
-            marker,
-            relation
-        }),
+        (marker_strategy(), rel)
+            .prop_map(|(marker, relation)| Instruction::CollectRelation { marker, relation }),
         marker_strategy().prop_map(|marker| Instruction::CollectColor { marker }),
         Just(Instruction::Barrier),
     ]

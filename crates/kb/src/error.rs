@@ -49,7 +49,10 @@ impl fmt::Display for KbError {
             KbError::UnknownName(name) => write!(f, "unknown node name `{name}`"),
             KbError::DuplicateName(name) => write!(f, "node name `{name}` already defined"),
             KbError::MarkerOutOfRange { index, capacity } => {
-                write!(f, "marker index {index} outside register file of {capacity}")
+                write!(
+                    f,
+                    "marker index {index} outside register file of {capacity}"
+                )
             }
             KbError::ReservedRelation(r) => {
                 write!(f, "relation {r} is reserved for internal use")

@@ -64,7 +64,9 @@ impl fmt::Display for ClusterId {
 /// A node color: the concept type or class a node belongs to.
 ///
 /// SNAP-1 provides 256 colors; the node table stores one per node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Color(pub u8);
 
 impl fmt::Display for Color {

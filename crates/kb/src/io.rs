@@ -112,10 +112,7 @@ impl SemanticNetwork {
                     let mut name: Option<&str> = None;
                     for attr in parts {
                         if let Some(v) = attr.strip_prefix("color=") {
-                            color = Color(
-                                v.parse()
-                                    .map_err(|_| err(format!("bad color `{v}`")))?,
-                            );
+                            color = Color(v.parse().map_err(|_| err(format!("bad color `{v}`")))?);
                         } else if let Some(v) = attr.strip_prefix("name=") {
                             name = Some(v);
                         } else {
@@ -199,8 +196,8 @@ mod tests {
             .unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("bogus"));
-        let e = SemanticNetwork::parse_text("node 5 color=1\n", NetworkConfig::default())
-            .unwrap_err();
+        let e =
+            SemanticNetwork::parse_text("node 5 color=1\n", NetworkConfig::default()).unwrap_err();
         assert!(e.message.contains("out of order"));
         let e = SemanticNetwork::parse_text(
             "node 0 color=1\nlink 0 -r1/x-> 0\n",

@@ -49,8 +49,8 @@ mod partition;
 mod status;
 
 pub use error::KbError;
+pub use ids::{ClusterId, Color, NodeId, RelationType};
 pub use io::ParseNetworkError;
-pub use ids::{Color, ClusterId, NodeId, RelationType};
 pub use links::{Link, RelationTable, SLOTS_PER_NODE};
 pub use marker::{Marker, MarkerKind, MarkerState, MarkerValue};
 pub use network::{NetworkConfig, SemanticNetwork};

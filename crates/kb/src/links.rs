@@ -214,7 +214,7 @@ mod tests {
         }
         assert_eq!(t.fanout(NodeId(0)), 40);
         assert_eq!(t.segments(NodeId(0)), 3); // 16 + 16 + 8
-        // Iteration is still flat and ordered.
+                                              // Iteration is still flat and ordered.
         let dests: Vec<u32> = t.links(NodeId(0)).map(|l| l.destination.0).collect();
         assert_eq!(dests, (1..=40).collect::<Vec<_>>());
     }
@@ -225,7 +225,10 @@ mod tests {
         t.add_link(NodeId(0), rel(1), 0.0, NodeId(1)).unwrap();
         t.add_link(NodeId(0), rel(2), 0.0, NodeId(2)).unwrap();
         t.add_link(NodeId(0), rel(1), 0.0, NodeId(3)).unwrap();
-        let dests: Vec<u32> = t.links_by(NodeId(0), rel(1)).map(|l| l.destination.0).collect();
+        let dests: Vec<u32> = t
+            .links_by(NodeId(0), rel(1))
+            .map(|l| l.destination.0)
+            .collect();
         assert_eq!(dests, vec![1, 3]);
     }
 

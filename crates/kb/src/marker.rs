@@ -291,7 +291,9 @@ impl MarkerState {
 
     /// Iterates the nodes where `marker` is active, ascending.
     pub fn active_nodes(&self, marker: Marker) -> Vec<NodeId> {
-        self.row(marker).map(|r| r.iter().collect()).unwrap_or_default()
+        self.row(marker)
+            .map(|r| r.iter().collect())
+            .unwrap_or_default()
     }
 
     /// Number of nodes where `marker` is active.

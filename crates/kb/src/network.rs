@@ -117,7 +117,11 @@ impl SemanticNetwork {
     ///
     /// Returns [`KbError::DuplicateName`] for a reused name and
     /// [`KbError::NodeCapacityExceeded`] when full.
-    pub fn add_named_node(&mut self, name: impl Into<String>, color: Color) -> Result<NodeId, KbError> {
+    pub fn add_named_node(
+        &mut self,
+        name: impl Into<String>,
+        color: Color,
+    ) -> Result<NodeId, KbError> {
         let name = name.into();
         if self.name_index.contains_key(&name) {
             return Err(KbError::DuplicateName(name));
@@ -188,7 +192,8 @@ impl SemanticNetwork {
         if !self.contains(destination) {
             return Err(KbError::UnknownNode(destination));
         }
-        self.relations.add_link(source, relation, weight, destination)
+        self.relations
+            .add_link(source, relation, weight, destination)
     }
 
     /// Removes a link (the `DELETE` instruction body).
@@ -277,9 +282,13 @@ mod tests {
     fn link_endpoints_validated() {
         let mut net = small();
         let a = net.add_node(Color(0)).unwrap();
-        let err = net.add_link(a, RelationType(1), 0.0, NodeId(99)).unwrap_err();
+        let err = net
+            .add_link(a, RelationType(1), 0.0, NodeId(99))
+            .unwrap_err();
         assert_eq!(err, KbError::UnknownNode(NodeId(99)));
-        let err = net.add_link(NodeId(99), RelationType(1), 0.0, a).unwrap_err();
+        let err = net
+            .add_link(NodeId(99), RelationType(1), 0.0, a)
+            .unwrap_err();
         assert_eq!(err, KbError::UnknownNode(NodeId(99)));
     }
 

@@ -84,8 +84,7 @@ impl Partition {
                     }
                 }
                 for (pos, node) in order.into_iter().enumerate() {
-                    cluster_of[node.index()] =
-                        ClusterId(((pos / per).min(clusters - 1)) as u8);
+                    cluster_of[node.index()] = ClusterId(((pos / per).min(clusters - 1)) as u8);
                 }
             }
         }

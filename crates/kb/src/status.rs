@@ -61,7 +61,11 @@ impl StatusRow {
     #[inline]
     pub fn set(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.nodes, "node {i} outside status row of {}", self.nodes);
+        assert!(
+            i < self.nodes,
+            "node {i} outside status row of {}",
+            self.nodes
+        );
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -76,7 +80,11 @@ impl StatusRow {
     #[inline]
     pub fn clear(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.nodes, "node {i} outside status row of {}", self.nodes);
+        assert!(
+            i < self.nodes,
+            "node {i} outside status row of {}",
+            self.nodes
+        );
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);
@@ -91,7 +99,11 @@ impl StatusRow {
     #[inline]
     pub fn test(&self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.nodes, "node {i} outside status row of {}", self.nodes);
+        assert!(
+            i < self.nodes,
+            "node {i} outside status row of {}",
+            self.nodes
+        );
         self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
     }
 
@@ -161,7 +173,10 @@ impl StatusRow {
     ///
     /// Panics if the rows cover different node counts.
     pub fn assign_not(&mut self, a: &StatusRow) -> usize {
-        assert_eq!(self.nodes, a.nodes, "status rows cover different node counts");
+        assert_eq!(
+            self.nodes, a.nodes,
+            "status rows cover different node counts"
+        );
         for (d, s) in self.words.iter_mut().zip(&a.words) {
             *d = !s;
         }
@@ -175,14 +190,20 @@ impl StatusRow {
     ///
     /// Panics if the rows cover different node counts.
     pub fn assign(&mut self, a: &StatusRow) -> usize {
-        assert_eq!(self.nodes, a.nodes, "status rows cover different node counts");
+        assert_eq!(
+            self.nodes, a.nodes,
+            "status rows cover different node counts"
+        );
         self.words.copy_from_slice(&a.words);
         self.words.len()
     }
 
     fn zip_assign(&mut self, a: &StatusRow, b: &StatusRow, f: impl Fn(u32, u32) -> u32) -> usize {
         assert_eq!(a.nodes, b.nodes, "status rows cover different node counts");
-        assert_eq!(self.nodes, a.nodes, "status rows cover different node counts");
+        assert_eq!(
+            self.nodes, a.nodes,
+            "status rows cover different node counts"
+        );
         for (d, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
             *d = f(*x, *y);
         }

@@ -10,9 +10,11 @@
 
 use crossbeam::queue::ArrayQueue;
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use snap_fault::FaultInjector;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A concurrent-read-exclusive-write shared memory region with access
 /// counters.
@@ -86,6 +88,9 @@ pub struct Arbiter {
     next_ticket: AtomicUsize,
     grants: AtomicU64,
     conflicts: AtomicU64,
+    /// Fault hook: starves grants (holds them back briefly after the
+    /// ticket is served) per the attached plan.
+    injector: Option<(Arc<FaultInjector>, u8)>,
 }
 
 impl Default for Arbiter {
@@ -97,12 +102,23 @@ impl Default for Arbiter {
 impl Arbiter {
     /// Creates an idle arbiter.
     pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// Creates an arbiter whose grants on cluster `cluster` are subject
+    /// to `injector`'s starvation plan.
+    pub fn with_injector(injector: Arc<FaultInjector>, cluster: u8) -> Self {
+        Self::build(Some((injector, cluster)))
+    }
+
+    fn build(injector: Option<(Arc<FaultInjector>, u8)>) -> Self {
         Arbiter {
             queue: Mutex::new(VecDeque::new()),
             served: Condvar::new(),
             next_ticket: AtomicUsize::new(0),
             grants: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
+            injector,
         }
     }
 
@@ -119,6 +135,16 @@ impl Arbiter {
             self.served.wait(&mut queue);
         }
         drop(queue);
+        if let Some((injector, cluster)) = &self.injector {
+            // Starvation strikes between winning arbitration and the
+            // grant actually issuing, like a wedged interlock unit:
+            // FIFO order and mutual exclusion are preserved, later
+            // tickets just wait longer.
+            let ns = injector.starvation_ns(*cluster, ticket as u64);
+            if ns > 0 {
+                spin_for(Duration::from_nanos(ns));
+            }
+        }
         self.grants.fetch_add(1, Ordering::Relaxed);
         let result = f();
         let mut queue = self.queue.lock();
@@ -151,6 +177,9 @@ pub struct TaskQueue<T> {
     enqueued: AtomicU64,
     blocked: AtomicU64,
     max_depth: AtomicUsize,
+    /// Fault hook: stalls hand-offs (after enqueue, so no task is ever
+    /// lost) per the attached plan.
+    injector: Option<(Arc<FaultInjector>, u8)>,
 }
 
 impl<T> TaskQueue<T> {
@@ -160,12 +189,37 @@ impl<T> TaskQueue<T> {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Arc<Self> {
+        Self::build(capacity, None)
+    }
+
+    /// Creates a queue whose hand-offs on cluster `cluster` are subject
+    /// to `injector`'s PE-stall plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_injector(capacity: usize, injector: Arc<FaultInjector>, cluster: u8) -> Arc<Self> {
+        Self::build(capacity, Some((injector, cluster)))
+    }
+
+    fn build(capacity: usize, injector: Option<(Arc<FaultInjector>, u8)>) -> Arc<Self> {
         Arc::new(TaskQueue {
             queue: ArrayQueue::new(capacity),
             enqueued: AtomicU64::new(0),
             blocked: AtomicU64::new(0),
             max_depth: AtomicUsize::new(0),
+            injector,
         })
+    }
+
+    fn maybe_stall(&self) {
+        if let Some((injector, cluster)) = &self.injector {
+            let counter = self.enqueued.load(Ordering::Relaxed);
+            let ns = injector.stall_ns(*cluster, counter);
+            if ns > 0 {
+                spin_for(Duration::from_nanos(ns));
+            }
+        }
     }
 
     /// Enqueues `task`, blocking (with yields) while the queue is full.
@@ -186,7 +240,9 @@ impl<T> TaskQueue<T> {
             }
         }
         self.enqueued.fetch_add(1, Ordering::Relaxed);
-        self.max_depth.fetch_max(self.queue.len(), Ordering::Relaxed);
+        self.max_depth
+            .fetch_max(self.queue.len(), Ordering::Relaxed);
+        self.maybe_stall();
     }
 
     /// Attempts to enqueue without blocking.
@@ -198,7 +254,9 @@ impl<T> TaskQueue<T> {
         match self.queue.push(task) {
             Ok(()) => {
                 self.enqueued.fetch_add(1, Ordering::Relaxed);
-                self.max_depth.fetch_max(self.queue.len(), Ordering::Relaxed);
+                self.max_depth
+                    .fetch_max(self.queue.len(), Ordering::Relaxed);
+                self.maybe_stall();
                 Ok(())
             }
             Err(t) => {
@@ -236,6 +294,15 @@ impl<T> TaskQueue<T> {
     /// Deepest the queue has been.
     pub fn max_depth(&self) -> usize {
         self.max_depth.load(Ordering::Relaxed)
+    }
+}
+
+/// Busy-waits for sub-millisecond injected stalls (`thread::sleep` is
+/// too coarse at ns granularity).
+fn spin_for(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
     }
 }
 
@@ -349,5 +416,52 @@ mod tests {
         s.sort_unstable();
         s.dedup();
         assert_eq!(s.len(), total, "every task delivered exactly once");
+    }
+
+    use snap_fault::{FaultInjector, FaultPlan};
+
+    #[test]
+    fn starved_arbiter_still_excludes_and_counts() {
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::seeded(3).starvation(0.5, 20_000),
+        ));
+        let arb = Arc::new(Arbiter::with_injector(Arc::clone(&injector), 4));
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let arb = Arc::clone(&arb);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    arb.with_grant(|| {
+                        let v = *counter.lock();
+                        std::hint::black_box(v);
+                        *counter.lock() = v + 1;
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 200);
+        assert_eq!(arb.grants(), 200);
+        assert!(injector.report().injected_starvations > 0);
+    }
+
+    #[test]
+    fn stalled_task_queue_loses_nothing() {
+        let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(3).stalls(0.5, 10_000)));
+        let q = TaskQueue::with_injector(16, Arc::clone(&injector), 2);
+        for i in 0..40 {
+            q.push(i);
+            if i % 2 == 1 {
+                assert_eq!(q.pop(), Some(i - 1));
+                assert_eq!(q.pop(), Some(i));
+            }
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.enqueued(), 40);
+        assert!(injector.report().injected_stalls > 0);
     }
 }

@@ -8,9 +8,20 @@
 
 use crate::topology::HypercubeTopology;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use snap_fault::{Corruptible, FaultInjector, SendFate};
 use snap_kb::ClusterId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message held back by an injected delay, awaiting its due time.
+#[derive(Debug)]
+struct Delayed<T> {
+    due: Instant,
+    to: usize,
+    message: T,
+}
 
 /// Sending half of the fabric, cloneable across cluster threads.
 #[derive(Debug, Clone)]
@@ -19,12 +30,34 @@ pub struct Fabric<T> {
     senders: Vec<Sender<T>>,
     messages: Arc<AtomicU64>,
     hops: Arc<AtomicU64>,
+    injector: Option<Arc<FaultInjector>>,
+    /// Per-link decision counter streams for the injector.
+    link_seq: Arc<Vec<AtomicU64>>,
+    delayed: Arc<Mutex<Vec<Delayed<T>>>>,
 }
 
 impl<T> Fabric<T> {
     /// Creates a fabric over `topology`; returns the fabric plus one
     /// receiver per cluster (in cluster order).
     pub fn new(topology: HypercubeTopology) -> (Self, Vec<Receiver<T>>) {
+        Self::build(topology, None)
+    }
+
+    /// Creates a fabric whose [`send_faulty`](Self::send_faulty) and
+    /// [`send_control`](Self::send_control) paths are subject to
+    /// `injector`'s plan. The plain [`send`](Self::send) path stays
+    /// fault-free either way.
+    pub fn with_injector(
+        topology: HypercubeTopology,
+        injector: Arc<FaultInjector>,
+    ) -> (Self, Vec<Receiver<T>>) {
+        Self::build(topology, Some(injector))
+    }
+
+    fn build(
+        topology: HypercubeTopology,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> (Self, Vec<Receiver<T>>) {
         let n = topology.cluster_count();
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -39,13 +72,16 @@ impl<T> Fabric<T> {
                 senders,
                 messages: Arc::new(AtomicU64::new(0)),
                 hops: Arc::new(AtomicU64::new(0)),
+                injector,
+                link_seq: Arc::new((0..n * n).map(|_| AtomicU64::new(0)).collect()),
+                delayed: Arc::new(Mutex::new(Vec::new())),
             },
             receivers,
         )
     }
 
     /// Sends `message` from `from` to `to`, recording the hypercube hop
-    /// count.
+    /// count. Never faulted.
     ///
     /// # Panics
     ///
@@ -55,7 +91,11 @@ impl<T> Fabric<T> {
         let hops = self.topology.distance(from, to) as u64;
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.hops.fetch_add(hops, Ordering::Relaxed);
-        self.senders[to.index()]
+        self.deliver(to.index(), message);
+    }
+
+    fn deliver(&self, to: usize, message: T) {
+        self.senders[to]
             .send(message)
             .expect("fabric receiver dropped while senders alive");
     }
@@ -65,7 +105,8 @@ impl<T> Fabric<T> {
         &self.topology
     }
 
-    /// Total messages sent.
+    /// Total messages sent (marker traffic; control sends are not
+    /// counted, matching the modelled network's accounting).
     pub fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
     }
@@ -73,6 +114,97 @@ impl<T> Fabric<T> {
     /// Total hypercube hops across all messages.
     pub fn hops(&self) -> u64 {
         self.hops.load(Ordering::Relaxed)
+    }
+
+    /// Injected-delay messages not yet delivered.
+    pub fn pending_delayed(&self) -> usize {
+        self.delayed.lock().len()
+    }
+
+    /// Delivers every delayed message whose due time has passed.
+    /// Workers call this from their receive loops; without a caller,
+    /// delayed messages would never arrive (and the barrier watchdog
+    /// would classify them as lost).
+    pub fn poll_delayed(&self) {
+        let mut queue = self.delayed.lock();
+        if queue.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].due <= now {
+                let entry = queue.swap_remove(i);
+                self.deliver(entry.to, entry.message);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl<T: Clone + Corruptible> Fabric<T> {
+    /// Marker-path send: counted in traffic stats and subject to the
+    /// attached injector's plan (drop, duplicate, delay, corrupt).
+    /// Returns what was done to the message so the sender's resilience
+    /// protocol and the run report can account for it.
+    pub fn send_faulty(&self, from: ClusterId, to: ClusterId, message: T) -> SendFate {
+        self.send_shaped(from, to, message, true)
+    }
+
+    /// Control-path send (acks, recovery coordination): NOT counted in
+    /// traffic stats — the modelled network carries these on dedicated
+    /// wires — but still subject to faults, so a lost or corrupted ack
+    /// exercises the retry path like a lost marker does.
+    pub fn send_control(&self, from: ClusterId, to: ClusterId, message: T) -> SendFate {
+        self.send_shaped(from, to, message, false)
+    }
+
+    fn send_shaped(
+        &self,
+        from: ClusterId,
+        to: ClusterId,
+        mut message: T,
+        counted: bool,
+    ) -> SendFate {
+        if counted {
+            let hops = self.topology.distance(from, to) as u64;
+            self.messages.fetch_add(1, Ordering::Relaxed);
+            self.hops.fetch_add(hops, Ordering::Relaxed);
+        }
+        let Some(injector) = &self.injector else {
+            self.deliver(to.index(), message);
+            return SendFate::default();
+        };
+        let n = self.senders.len();
+        let counter = self.link_seq[from.index() * n + to.index()].fetch_add(1, Ordering::Relaxed);
+        let fate = injector.fate(from.index() as u8, to.index() as u8, counter);
+        if fate.dropped {
+            return fate;
+        }
+        if fate.corrupted {
+            message.corrupt(fate.salt);
+        }
+        let duplicate = fate.duplicated.then(|| message.clone());
+        if fate.delay_ns > 0 {
+            let due = Instant::now() + Duration::from_nanos(fate.delay_ns);
+            let mut queue = self.delayed.lock();
+            let to = to.index();
+            queue.push(Delayed { due, to, message });
+            if let Some(dup) = duplicate {
+                queue.push(Delayed {
+                    due,
+                    to,
+                    message: dup,
+                });
+            }
+        } else {
+            self.deliver(to.index(), message);
+            if let Some(dup) = duplicate {
+                self.deliver(to.index(), dup);
+            }
+        }
+        fate
     }
 }
 
@@ -112,5 +244,88 @@ mod tests {
         sender.join().unwrap();
         assert_eq!(sum, (0..100).sum());
         assert_eq!(fabric.messages(), 100);
+    }
+
+    use snap_fault::{Corruptible, FaultInjector, FaultPlan};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Payload(u32);
+
+    impl Corruptible for Payload {
+        fn corrupt(&mut self, salt: u64) {
+            self.0 ^= (salt as u32) | 1;
+        }
+    }
+
+    #[test]
+    fn faulty_path_without_injector_is_plain_delivery() {
+        let (fabric, receivers) = Fabric::new(HypercubeTopology::snap1());
+        let fate = fabric.send_faulty(ClusterId(0), ClusterId(1), Payload(7));
+        assert!(fate.is_clean());
+        assert_eq!(receivers[1].try_recv().unwrap(), Payload(7));
+        assert_eq!(fabric.messages(), 1);
+        let fate = fabric.send_control(ClusterId(0), ClusterId(1), Payload(8));
+        assert!(fate.is_clean());
+        assert_eq!(receivers[1].try_recv().unwrap(), Payload(8));
+        assert_eq!(fabric.messages(), 1, "control sends are uncounted");
+    }
+
+    #[test]
+    fn injected_drops_never_arrive_but_are_counted() {
+        let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(11).drops(1.0)));
+        let (fabric, receivers) =
+            Fabric::with_injector(HypercubeTopology::snap1(), Arc::clone(&injector));
+        for i in 0..20 {
+            let fate = fabric.send_faulty(ClusterId(0), ClusterId(3), Payload(i));
+            assert!(fate.dropped);
+        }
+        assert!(receivers[3].try_recv().is_err());
+        assert_eq!(fabric.messages(), 20, "drops still count as traffic");
+        assert_eq!(injector.report().injected_drops, 20);
+    }
+
+    #[test]
+    fn injected_duplicates_arrive_twice() {
+        let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(11).duplicates(1.0)));
+        let (fabric, receivers) =
+            Fabric::with_injector(HypercubeTopology::snap1(), Arc::clone(&injector));
+        let fate = fabric.send_faulty(ClusterId(0), ClusterId(3), Payload(9));
+        assert!(fate.duplicated);
+        assert_eq!(receivers[3].try_recv().unwrap(), Payload(9));
+        assert_eq!(receivers[3].try_recv().unwrap(), Payload(9));
+        assert!(receivers[3].try_recv().is_err());
+    }
+
+    #[test]
+    fn injected_corruption_alters_payload() {
+        let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(11).corruptions(1.0)));
+        let (fabric, receivers) =
+            Fabric::with_injector(HypercubeTopology::snap1(), Arc::clone(&injector));
+        fabric.send_faulty(ClusterId(0), ClusterId(3), Payload(9));
+        assert_ne!(receivers[3].try_recv().unwrap(), Payload(9));
+    }
+
+    #[test]
+    fn delayed_messages_arrive_after_poll() {
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::seeded(11).delays(1.0, 2_000_000),
+        ));
+        let (fabric, receivers) =
+            Fabric::with_injector(HypercubeTopology::snap1(), Arc::clone(&injector));
+        let fate = fabric.send_faulty(ClusterId(0), ClusterId(3), Payload(5));
+        assert!(fate.delay_ns > 0);
+        assert!(receivers[3].try_recv().is_err(), "not delivered yet");
+        assert_eq!(fabric.pending_delayed(), 1);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            fabric.poll_delayed();
+            if let Ok(got) = receivers[3].try_recv() {
+                assert_eq!(got, Payload(5));
+                break;
+            }
+            assert!(Instant::now() < deadline, "delayed message never arrived");
+            thread::yield_now();
+        }
+        assert_eq!(fabric.pending_delayed(), 0);
     }
 }

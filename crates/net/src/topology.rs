@@ -220,7 +220,10 @@ mod tests {
     fn memory_group_shares_the_field() {
         let t = HypercubeTopology::snap1();
         let group = t.memory_group(ClusterId(0), 0); // L-memory of board 0
-        assert_eq!(group, vec![ClusterId(0), ClusterId(1), ClusterId(2), ClusterId(3)]);
+        assert_eq!(
+            group,
+            vec![ClusterId(0), ClusterId(1), ClusterId(2), ClusterId(3)]
+        );
         let xgroup = t.memory_group(ClusterId(0), 1);
         assert_eq!(
             xgroup,

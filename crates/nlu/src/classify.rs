@@ -34,13 +34,23 @@ pub fn classification_program(features: &[NodeId]) -> Program {
             .clear_marker(seed)
             .clear_marker(reach)
             .search_node(feature, seed, 0.0)
-            .propagate(seed, reach, PropRule::Star(rel::SUBSUMES), StepFunc::AddWeight);
+            .propagate(
+                seed,
+                reach,
+                PropRule::Star(rel::SUBSUMES),
+                StepFunc::AddWeight,
+            );
     }
     // Accumulation: intersect all reach sets.
     let result = Marker::complex(60);
     b = b.clear_marker(result);
     if features.len() == 1 {
-        b = b.or_marker(Marker::complex(0), Marker::complex(0), result, CombineFunc::Left);
+        b = b.or_marker(
+            Marker::complex(0),
+            Marker::complex(0),
+            result,
+            CombineFunc::Left,
+        );
     } else {
         b = b.and_marker(
             Marker::complex(0),

@@ -94,7 +94,12 @@ pub fn inheritance_program(root: NodeId) -> Program {
         .clear_marker(leaf)
         .clear_marker(result)
         .search_node(root, property, 0.0)
-        .propagate(property, inherited, PropRule::Star(rel::SUBSUMES), StepFunc::AddWeight)
+        .propagate(
+            property,
+            inherited,
+            PropRule::Star(rel::SUBSUMES),
+            StepFunc::AddWeight,
+        )
         .search_color(color::LEAF_CATEGORY, leaf, 0.0)
         .and_marker(inherited, leaf, result, CombineFunc::Left)
         .collect_marker(result)
@@ -130,7 +135,10 @@ mod tests {
     fn inheritance_cost_tracks_depth() {
         let mut w = hierarchy(85, 4).unwrap(); // perfect-ish tree of depth 3
         let program = inheritance_program(w.root);
-        let machine = Snap1::builder().clusters(2).engine(EngineKind::Sequential).build();
+        let machine = Snap1::builder()
+            .clusters(2)
+            .engine(EngineKind::Sequential)
+            .build();
         let report = machine.run(&mut w.network, &program).unwrap();
         assert_eq!(report.max_propagation_depth as usize, w.depth);
         // Inherited cost = 0.1 per level.

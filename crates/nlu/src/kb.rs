@@ -83,17 +83,55 @@ pub enum PartOfSpeech {
 
 /// Base vocabulary of the terrorism-domain analogue, per part of speech.
 const NOUNS: &[&str] = &[
-    "guerrilla", "terrorist", "soldier", "mayor", "judge", "priest", "peasant", "journalist",
-    "embassy", "ministry", "station", "pipeline", "bridge", "barracks", "village", "capital",
-    "bomb", "rifle", "grenade", "mortar", "vehicle", "convoy", "hostage", "ransom",
+    "guerrilla",
+    "terrorist",
+    "soldier",
+    "mayor",
+    "judge",
+    "priest",
+    "peasant",
+    "journalist",
+    "embassy",
+    "ministry",
+    "station",
+    "pipeline",
+    "bridge",
+    "barracks",
+    "village",
+    "capital",
+    "bomb",
+    "rifle",
+    "grenade",
+    "mortar",
+    "vehicle",
+    "convoy",
+    "hostage",
+    "ransom",
 ];
 const VERBS: &[&str] = &[
-    "attacked", "bombed", "kidnapped", "ambushed", "murdered", "destroyed", "seized",
-    "threatened", "claimed", "reported", "released", "detonated",
+    "attacked",
+    "bombed",
+    "kidnapped",
+    "ambushed",
+    "murdered",
+    "destroyed",
+    "seized",
+    "threatened",
+    "claimed",
+    "reported",
+    "released",
+    "detonated",
 ];
 const DETERMINERS: &[&str] = &["the", "a", "this", "that", "several", "three"];
 const ADJECTIVES: &[&str] = &[
-    "armed", "unknown", "masked", "military", "urban", "rural", "responsible", "wounded",
+    "armed",
+    "unknown",
+    "masked",
+    "military",
+    "urban",
+    "rural",
+    "responsible",
+    "wounded",
 ];
 const PREPOSITIONS: &[&str] = &["in", "near", "against", "with", "during", "from"];
 
@@ -221,17 +259,21 @@ impl DomainSpec {
         for &leaf in &leaves {
             net.set_color(leaf, color::LEAF_CATEGORY)?;
         }
-        let attach_points: &[NodeId] = if leaves.is_empty() { &categories } else { &leaves };
+        let attach_points: &[NodeId] = if leaves.is_empty() {
+            &categories
+        } else {
+            &leaves
+        };
 
         // --- lexical layer ---
         let mut lexicon: HashMap<String, NodeId> = HashMap::new();
         let mut words_by_pos: HashMap<PartOfSpeech, Vec<String>> = HashMap::new();
         let add_word = |net: &mut SemanticNetwork,
-                            rng: &mut StdRng,
-                            word: String,
-                            pos: PartOfSpeech,
-                            lexicon: &mut HashMap<String, NodeId>,
-                            words_by_pos: &mut HashMap<PartOfSpeech, Vec<String>>|
+                        rng: &mut StdRng,
+                        word: String,
+                        pos: PartOfSpeech,
+                        lexicon: &mut HashMap<String, NodeId>,
+                        words_by_pos: &mut HashMap<PartOfSpeech, Vec<String>>|
          -> Result<(), KbError> {
             if lexicon.contains_key(&word) {
                 return Ok(());
@@ -266,7 +308,14 @@ impl DomainSpec {
         ];
         for (pos, list) in base {
             for w in list {
-                add_word(&mut net, &mut rng, (*w).to_string(), pos, &mut lexicon, &mut words_by_pos)?;
+                add_word(
+                    &mut net,
+                    &mut rng,
+                    (*w).to_string(),
+                    pos,
+                    &mut lexicon,
+                    &mut words_by_pos,
+                )?;
             }
         }
         // Synthesize derived vocabulary to hit the lexicon budget
@@ -340,7 +389,11 @@ impl DomainSpec {
         };
         for seq in &sequences {
             for (e, &cat) in seq.element_categories.iter().enumerate() {
-                let pos = if e == 1 { PartOfSpeech::Verb } else { PartOfSpeech::Noun };
+                let pos = if e == 1 {
+                    PartOfSpeech::Verb
+                } else {
+                    PartOfSpeech::Noun
+                };
                 let pool = words_by_pos.get(&pos).cloned().unwrap_or_default();
                 if !has_pos(&net, cat, &pool, &lexicon) {
                     let word = &pool[rng.gen_range(0..pool.len())];

@@ -33,7 +33,9 @@ pub mod sentence;
 pub use classify::classification_program;
 pub use inheritance::{hierarchy, inheritance_program, InheritanceWorkload};
 pub use kb::{ConceptSequence, DomainSpec, LinguisticKb, PartOfSpeech};
-pub use parser::{ClauseResult, EventTemplate, MemoryBasedParser, ParsePlan, ParseResult, RoleFiller};
+pub use parser::{
+    ClauseResult, EventTemplate, MemoryBasedParser, ParsePlan, ParseResult, RoleFiller,
+};
 pub use phrasal::{Clause, PhrasalParse, PhrasalParser, Phrase, PhraseKind};
 pub use qa::{answer_template, ask_role, role_query_program, RoleAnswer, RoleQuery};
 pub use sentence::{Sentence, SentenceGenerator};

@@ -14,7 +14,9 @@ use crate::kb::{color, rel, LinguisticKb};
 use crate::phrasal::{PhrasalParse, PhrasalParser};
 use crate::sentence::Sentence;
 use snap_core::{CollectOutput, CoreError, RunReport, Snap1};
-use snap_isa::{Cmp, CombineFunc, Program, PropRule, RuleArc, RuleProgram, RuleState, StepFunc, ValueFunc};
+use snap_isa::{
+    Cmp, CombineFunc, Program, PropRule, RuleArc, RuleProgram, RuleState, StepFunc, ValueFunc,
+};
 use snap_kb::{Marker, NodeId};
 use snap_mem::SimTime;
 
@@ -290,10 +292,7 @@ impl MemoryBasedParser {
     /// Extracts the event template of an accepted concept sequence by
     /// reading the network the filler markers were propagated over:
     /// `root → has-elem → element → filler → category → subsumes* words`.
-    pub fn extract_template(
-        network: &snap_kb::SemanticNetwork,
-        root: NodeId,
-    ) -> EventTemplate {
+    pub fn extract_template(network: &snap_kb::SemanticNetwork, root: NodeId) -> EventTemplate {
         let mut roles = Vec::new();
         for elem_link in network.links_by(root, rel::HAS_ELEM) {
             let element = elem_link.destination;
@@ -309,10 +308,7 @@ impl MemoryBasedParser {
                         if !seen.insert(l.destination) {
                             continue;
                         }
-                        if network
-                            .color(l.destination)
-                            .is_ok_and(|c| c == color::WORD)
-                        {
+                        if network.color(l.destination).is_ok_and(|c| c == color::WORD) {
                             fillers.push(l.destination);
                         } else {
                             stack.push(l.destination);
@@ -406,7 +402,9 @@ mod tests {
             .map(|&i| kb.sequences[i].root)
             .collect();
         let parser = MemoryBasedParser::new(&kb);
-        let result = parser.parse(&mut kb.network, &machine(), &sentence).unwrap();
+        let result = parser
+            .parse(&mut kb.network, &machine(), &sentence)
+            .unwrap();
         assert!(!result.clauses.is_empty());
         let winners: Vec<NodeId> = result.clauses[0].winners.iter().map(|w| w.0).collect();
         assert!(
@@ -435,12 +433,18 @@ mod tests {
         let mut generator = SentenceGenerator::new(&kb, 9);
         let sentence = generator.generate(12);
         let parser = MemoryBasedParser::new(&kb);
-        let result = parser.parse(&mut kb.network, &machine(), &sentence).unwrap();
+        let result = parser
+            .parse(&mut kb.network, &machine(), &sentence)
+            .unwrap();
         assert!(result.pp_time_ns > 0);
         assert!(result.mb_time_ns > 0);
         assert_eq!(result.total_ns(), result.pp_time_ns + result.mb_time_ns);
         // Real-time: comfortably under a second of simulated time.
-        assert!(result.total_ns() < 1_000_000_000, "got {} ns", result.total_ns());
+        assert!(
+            result.total_ns() < 1_000_000_000,
+            "got {} ns",
+            result.total_ns()
+        );
     }
 
     #[test]
@@ -449,7 +453,9 @@ mod tests {
         let mut generator = SentenceGenerator::new(&kb, 13);
         let sentence = generator.generate(18);
         let parser = MemoryBasedParser::new(&kb);
-        let result = parser.parse(&mut kb.network, &machine(), &sentence).unwrap();
+        let result = parser
+            .parse(&mut kb.network, &machine(), &sentence)
+            .unwrap();
         for clause in &result.clauses {
             for &(_, cost) in &clause.winners {
                 assert!(cost <= COST_THRESHOLD);
@@ -463,7 +469,9 @@ mod tests {
         let mut generator = SentenceGenerator::new(&kb, 21);
         let sentence = generator.generate(9);
         let parser = MemoryBasedParser::new(&kb);
-        let result = parser.parse(&mut kb.network, &machine(), &sentence).unwrap();
+        let result = parser
+            .parse(&mut kb.network, &machine(), &sentence)
+            .unwrap();
         assert_eq!(result.templates.len(), result.clauses.len());
         let template = result.templates[0]
             .as_ref()
@@ -477,11 +485,7 @@ mod tests {
             .flat_map(|r| r.fillers.iter().copied())
             .collect();
         assert!(!all_fillers.is_empty());
-        let head_nodes: Vec<NodeId> = sentence
-            .words
-            .iter()
-            .filter_map(|w| kb.word(w))
-            .collect();
+        let head_nodes: Vec<NodeId> = sentence.words.iter().filter_map(|w| kb.word(w)).collect();
         assert!(
             head_nodes.iter().any(|n| all_fillers.contains(n)),
             "sentence words instantiate the template"
@@ -494,12 +498,12 @@ mod tests {
         let mut generator = SentenceGenerator::new(&kb, 17);
         let sentence = generator.generate(9);
         let parser = MemoryBasedParser::new(&kb);
-        let result = parser.parse(&mut kb.network, &machine(), &sentence).unwrap();
+        let result = parser
+            .parse(&mut kb.network, &machine(), &sentence)
+            .unwrap();
         // The program includes one cancel propagation per clause plus
         // two per phrase.
-        let props = result
-            .report
-            .count_of(snap_isa::InstrClass::Propagate);
+        let props = result.report.count_of(snap_isa::InstrClass::Propagate);
         assert!(props >= 3);
         assert!(result.report.expansions > 0);
     }

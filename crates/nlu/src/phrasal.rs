@@ -94,10 +94,10 @@ impl PhrasalParser {
         let mut pending_prep = false;
 
         let flush_head = |clauses: &mut Vec<Clause>,
-                              pending: &mut Vec<String>,
-                              pending_prep: &mut bool,
-                              head: &str,
-                              kind: PhraseKind| {
+                          pending: &mut Vec<String>,
+                          pending_prep: &mut bool,
+                          head: &str,
+                          kind: PhraseKind| {
             let kind = if *pending_prep && kind == PhraseKind::Noun {
                 PhraseKind::Prepositional
             } else {
@@ -146,10 +146,22 @@ impl PhrasalParser {
                     pending_prep = true;
                 }
                 Some(PartOfSpeech::Noun) => {
-                    flush_head(&mut clauses, &mut pending, &mut pending_prep, word, PhraseKind::Noun);
+                    flush_head(
+                        &mut clauses,
+                        &mut pending,
+                        &mut pending_prep,
+                        word,
+                        PhraseKind::Noun,
+                    );
                 }
                 Some(PartOfSpeech::Verb) => {
-                    flush_head(&mut clauses, &mut pending, &mut pending_prep, word, PhraseKind::Verb);
+                    flush_head(
+                        &mut clauses,
+                        &mut pending,
+                        &mut pending_prep,
+                        word,
+                        PhraseKind::Verb,
+                    );
                 }
                 None => {}
             }
@@ -176,7 +188,9 @@ mod tests {
     fn chunks_basic_clause() {
         let kb = DomainSpec::sized(1000).build().unwrap();
         let parser = PhrasalParser::new(&kb);
-        let parse = parser.parse(&words("the armed guerrilla attacked the embassy in the village"));
+        let parse = parser.parse(&words(
+            "the armed guerrilla attacked the embassy in the village",
+        ));
         assert_eq!(parse.clauses.len(), 1);
         let kinds: Vec<PhraseKind> = parse.clauses[0].phrases.iter().map(|p| p.kind).collect();
         assert_eq!(
@@ -189,7 +203,10 @@ mod tests {
             ]
         );
         assert_eq!(parse.clauses[0].phrases[0].head, "guerrilla");
-        assert_eq!(parse.clauses[0].phrases[0].words, words("the armed guerrilla"));
+        assert_eq!(
+            parse.clauses[0].phrases[0].words,
+            words("the armed guerrilla")
+        );
         assert_eq!(parse.clauses[0].phrases[3].head, "village");
     }
 

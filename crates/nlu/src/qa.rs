@@ -181,15 +181,16 @@ mod tests {
         let mut generator = SentenceGenerator::new(&kb_ro, 31);
         let sentence = generator.generate(9);
         let parser = MemoryBasedParser::new(&kb_ro);
-        let result = parser.parse(&mut kb.network, &machine(), &sentence).unwrap();
+        let result = parser
+            .parse(&mut kb.network, &machine(), &sentence)
+            .unwrap();
         let template = result.templates[0].as_ref().expect("winning template");
         let mentioned: Vec<NodeId> = sentence
             .words
             .iter()
             .filter_map(|w| kb_ro.word(w))
             .collect();
-        let answers =
-            answer_template(&mut kb.network, &machine(), template, &mentioned).unwrap();
+        let answers = answer_template(&mut kb.network, &machine(), template, &mentioned).unwrap();
         assert_eq!(answers.len(), template.roles.len());
         // Restricted answers only contain mentioned concepts, and at
         // least one role is answered by a sentence word.
@@ -211,6 +212,8 @@ mod tests {
             element_index: 99,
             mentioned: Vec::new(),
         };
-        assert!(ask_role(&mut kb.network, &machine(), &query).unwrap().is_none());
+        assert!(ask_role(&mut kb.network, &machine(), &query)
+            .unwrap()
+            .is_none());
     }
 }

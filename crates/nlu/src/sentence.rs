@@ -64,9 +64,7 @@ impl<'kb> SentenceGenerator<'kb> {
             .network
             .links_by(category, rel::SUBSUMES)
             .filter_map(|l| self.kb.network.name(l.destination))
-            .filter(|name| {
-                self.kb.words(pos).iter().any(|w| w == name)
-            })
+            .filter(|name| self.kb.words(pos).iter().any(|w| w == name))
             .collect();
         if candidates.is_empty() {
             let pool = self.kb.words(pos);

@@ -21,4 +21,4 @@ mod model;
 mod threaded;
 
 pub use model::{NaiveSyncModel, TieredSyncModel, MAX_LEVELS};
-pub use threaded::TieredBarrier;
+pub use threaded::{BarrierStall, TieredBarrier};

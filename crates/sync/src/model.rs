@@ -32,6 +32,17 @@ pub struct TieredSyncModel {
     idle: Vec<bool>,
     /// Completion checks performed (each costs one AND-tree round).
     checks: u64,
+    /// Creations/terminations whose level exceeded the tier table and
+    /// were accounted in the top tier instead.
+    level_overflows: u64,
+}
+
+/// The counter index a propagation level maps to: levels beyond the
+/// hardware's tier table share the top tier. The termination condition
+/// (every counter zero) stays exact — deep levels merely lose per-tier
+/// attribution, as the real counter network would.
+fn tier(level: u8) -> usize {
+    (level as usize).min(MAX_LEVELS - 1)
 }
 
 impl TieredSyncModel {
@@ -41,29 +52,39 @@ impl TieredSyncModel {
             counters: vec![0; MAX_LEVELS],
             idle: vec![true; pes],
             checks: 0,
+            level_overflows: 0,
         }
     }
 
     /// Records a marker/process creation at `level` (increment before the
-    /// message is sent).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `level` exceeds [`MAX_LEVELS`].
+    /// message is sent). Levels beyond [`MAX_LEVELS`] saturate into the
+    /// top tier.
     pub fn created(&mut self, level: u8) {
-        self.counters[level as usize] += 1;
+        if level as usize >= MAX_LEVELS {
+            self.level_overflows += 1;
+        }
+        self.counters[tier(level)] += 1;
     }
 
-    /// Records a marker/process termination at `level`.
+    /// Records a marker/process termination at `level`. Levels beyond
+    /// [`MAX_LEVELS`] saturate into the top tier.
     ///
     /// # Panics
     ///
     /// Panics if the counter would go negative — more terminations than
     /// creations indicates a protocol violation.
     pub fn consumed(&mut self, level: u8) {
-        let c = &mut self.counters[level as usize];
+        if level as usize >= MAX_LEVELS {
+            self.level_overflows += 1;
+        }
+        let c = &mut self.counters[tier(level)];
         assert!(*c > 0, "level {level} terminated more than created");
         *c -= 1;
+    }
+
+    /// Operations that saturated into the top tier.
+    pub fn level_overflows(&self) -> u64 {
+        self.level_overflows
     }
 
     /// Sets PE `pe`'s idle flag.
@@ -162,6 +183,28 @@ mod tests {
     fn underflow_is_a_protocol_violation() {
         let mut sync = TieredSyncModel::new(1);
         sync.consumed(0);
+    }
+
+    #[test]
+    fn deep_levels_saturate_into_top_tier() {
+        let mut sync = TieredSyncModel::new(1);
+        // Levels at and beyond the table share tier MAX_LEVELS - 1;
+        // creations and terminations must still balance exactly.
+        sync.created(MAX_LEVELS as u8);
+        sync.created(200);
+        sync.created(u8::MAX);
+        assert_eq!(sync.in_flight(), 3);
+        assert!(!sync.is_complete());
+        sync.consumed(u8::MAX);
+        sync.consumed(200);
+        assert!(!sync.is_complete());
+        sync.consumed(MAX_LEVELS as u8);
+        assert!(sync.is_complete());
+        assert_eq!(sync.level_overflows(), 6);
+        // In-table levels do not count as overflows.
+        sync.created((MAX_LEVELS - 1) as u8);
+        sync.consumed((MAX_LEVELS - 1) as u8);
+        assert_eq!(sync.level_overflows(), 6);
     }
 
     proptest! {

@@ -10,51 +10,127 @@
 //! is in flight some counter is positive.
 
 use crate::model::MAX_LEVELS;
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use snap_fault::FaultInjector;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a watched barrier wait gave up, as classified by the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BarrierStall {
+    /// Every PE is idle and no counter has moved for the whole timeout,
+    /// yet levels remain positive: the counted messages will never
+    /// arrive — they were lost in the interconnect.
+    MessagesLost {
+        /// Messages still accounted as in flight.
+        in_flight: i64,
+    },
+    /// PEs are still marked busy but nothing has progressed for the
+    /// whole timeout — a wedged worker rather than lost traffic.
+    Wedged {
+        /// PEs still holding the AND-tree low.
+        busy_pes: usize,
+    },
+}
+
+impl fmt::Display for BarrierStall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarrierStall::MessagesLost { in_flight } => {
+                write!(f, "{in_flight} in-flight messages lost (all PEs idle)")
+            }
+            BarrierStall::Wedged { busy_pes } => {
+                write!(f, "{busy_pes} PEs wedged (no barrier activity)")
+            }
+        }
+    }
+}
+
+/// The counter a propagation level maps to; deep levels share the top
+/// tier, mirroring [`TieredSyncModel`](crate::TieredSyncModel).
+fn tier(level: u8) -> usize {
+    (level as usize).min(MAX_LEVELS - 1)
+}
 
 /// Shared tiered-barrier state for one array run.
 #[derive(Debug)]
 pub struct TieredBarrier {
     levels: Vec<AtomicI64>,
     busy_pes: AtomicUsize,
+    /// Bumped on every counter/AND-tree transition; the watchdog
+    /// distinguishes "still propagating" (activity advancing) from
+    /// "stalled" (activity frozen) by watching this.
+    activity: AtomicU64,
+    level_overflows: AtomicU64,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl TieredBarrier {
     /// Creates the barrier; all PEs start idle.
     pub fn new() -> Arc<Self> {
+        Self::build(None)
+    }
+
+    /// Creates the barrier with a fault injector attached: counter
+    /// updates may be stalled (after publication, so the no-false-
+    /// termination invariant is untouched), modeling counter-network
+    /// contention.
+    pub fn with_injector(injector: Arc<FaultInjector>) -> Arc<Self> {
+        Self::build(Some(injector))
+    }
+
+    fn build(injector: Option<Arc<FaultInjector>>) -> Arc<Self> {
         Arc::new(TieredBarrier {
             levels: (0..MAX_LEVELS).map(|_| AtomicI64::new(0)).collect(),
             busy_pes: AtomicUsize::new(0),
+            activity: AtomicU64::new(0),
+            level_overflows: AtomicU64::new(0),
+            injector,
         })
     }
 
+    fn touch(&self) -> u64 {
+        self.activity.fetch_add(1, Ordering::SeqCst)
+    }
+
     /// Records a marker/process creation at `level`. Call **before**
-    /// publishing the message.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `level` exceeds the tier table.
+    /// publishing the message. Levels beyond the tier table saturate
+    /// into the top tier.
     pub fn created(&self, level: u8) {
-        self.levels[level as usize].fetch_add(1, Ordering::SeqCst);
+        if level as usize >= MAX_LEVELS {
+            self.level_overflows.fetch_add(1, Ordering::Relaxed);
+        }
+        self.levels[tier(level)].fetch_add(1, Ordering::SeqCst);
+        let op = self.touch();
+        if let Some(injector) = &self.injector {
+            let ns = injector.barrier_stall_ns(level, op);
+            if ns > 0 {
+                spin_for(Duration::from_nanos(ns));
+            }
+        }
     }
 
     /// Records a termination at `level`. Call **after** fully processing
     /// the message (including counting any children it created).
     pub fn consumed(&self, level: u8) {
-        let prev = self.levels[level as usize].fetch_sub(1, Ordering::SeqCst);
+        let prev = self.levels[tier(level)].fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "level {level} terminated more than created");
+        self.touch();
     }
 
     /// Marks one PE busy (clears its AND-tree input).
     pub fn enter_busy(&self) {
         self.busy_pes.fetch_add(1, Ordering::SeqCst);
+        self.touch();
     }
 
     /// Marks one PE idle again.
     pub fn exit_busy(&self) {
         let prev = self.busy_pes.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "exit_busy without matching enter_busy");
+        self.touch();
     }
 
     /// Snapshot check: all PEs idle and every level drained.
@@ -72,9 +148,46 @@ impl TieredBarrier {
     }
 
     /// Controller-side blocking wait (spin with yields) until the
-    /// barrier condition holds.
+    /// barrier condition holds. Unbounded: prefer
+    /// [`wait_complete_timeout`](Self::wait_complete_timeout) whenever
+    /// traffic may be faulty.
     pub fn wait_complete(&self) {
         while !self.is_complete() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Waits for the barrier with a watchdog: returns `Ok(())` on
+    /// completion, or a [`BarrierStall`] classification once no counter
+    /// or AND-tree transition has occurred for `stall_after`. Progress
+    /// resets the clock, so long-but-live propagations never trip it.
+    ///
+    /// # Errors
+    ///
+    /// [`BarrierStall::MessagesLost`] when everything is idle but
+    /// levels stay positive; [`BarrierStall::Wedged`] when PEs hold the
+    /// AND-tree low without progressing.
+    pub fn wait_complete_timeout(&self, stall_after: Duration) -> Result<(), BarrierStall> {
+        let mut last_activity = self.activity.load(Ordering::SeqCst);
+        let mut last_progress = Instant::now();
+        loop {
+            if self.is_complete() {
+                return Ok(());
+            }
+            let now_activity = self.activity.load(Ordering::SeqCst);
+            if now_activity != last_activity {
+                last_activity = now_activity;
+                last_progress = Instant::now();
+            } else if last_progress.elapsed() >= stall_after {
+                let busy = self.busy_pes.load(Ordering::SeqCst);
+                return Err(if busy == 0 {
+                    BarrierStall::MessagesLost {
+                        in_flight: self.in_flight(),
+                    }
+                } else {
+                    BarrierStall::Wedged { busy_pes: busy }
+                });
+            }
             std::thread::yield_now();
         }
     }
@@ -82,6 +195,44 @@ impl TieredBarrier {
     /// Total messages currently accounted as in flight.
     pub fn in_flight(&self) -> i64 {
         self.levels.iter().map(|l| l.load(Ordering::SeqCst)).sum()
+    }
+
+    /// PEs currently holding the AND-tree low.
+    pub fn busy_pes(&self) -> usize {
+        self.busy_pes.load(Ordering::SeqCst)
+    }
+
+    /// Counter/AND-tree transitions so far (the watchdog's clock).
+    pub fn activity(&self) -> u64 {
+        self.activity.load(Ordering::SeqCst)
+    }
+
+    /// Operations that saturated into the top tier.
+    pub fn level_overflows(&self) -> u64 {
+        self.level_overflows.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every level counter and the busy count, abandoning any
+    /// outstanding accounting. Recovery support: after a cluster dies
+    /// mid-phase its created-tokens can never be consumed, so the
+    /// controller quiesces the surviving workers, resets the barrier,
+    /// and replays the phase. Only call while no worker is touching the
+    /// barrier.
+    pub fn reset(&self) {
+        for l in &self.levels {
+            l.store(0, Ordering::SeqCst);
+        }
+        self.busy_pes.store(0, Ordering::SeqCst);
+        self.touch();
+    }
+}
+
+/// Busy-waits for sub-millisecond injected stalls (`thread::sleep` is
+/// too coarse at ns granularity).
+fn spin_for(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
     }
 }
 
@@ -176,5 +327,90 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn deep_levels_saturate_in_threaded_barrier() {
+        let b = TieredBarrier::new();
+        b.created(250);
+        b.created(MAX_LEVELS as u8);
+        assert!(!b.is_complete());
+        assert_eq!(b.in_flight(), 2);
+        b.consumed(MAX_LEVELS as u8);
+        b.consumed(250);
+        assert!(b.is_complete());
+        assert_eq!(b.level_overflows(), 2);
+    }
+
+    #[test]
+    fn watchdog_classifies_lost_messages() {
+        let b = TieredBarrier::new();
+        b.created(0); // never consumed: models a dropped message
+        let err = b
+            .wait_complete_timeout(Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, BarrierStall::MessagesLost { in_flight: 1 });
+        assert!(err.to_string().contains("lost"));
+    }
+
+    #[test]
+    fn watchdog_classifies_wedged_pes() {
+        let b = TieredBarrier::new();
+        b.enter_busy(); // never exits: models a wedged worker
+        let err = b
+            .wait_complete_timeout(Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, BarrierStall::Wedged { busy_pes: 1 });
+        b.exit_busy();
+    }
+
+    #[test]
+    fn watchdog_tolerates_slow_but_live_traffic() {
+        let b = TieredBarrier::new();
+        b.created(0);
+        let worker = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                // Progress slower than the stall window, but steady:
+                // each transition resets the watchdog clock.
+                for _ in 0..5 {
+                    thread::sleep(Duration::from_millis(5));
+                    b.created(1);
+                    b.consumed(1);
+                }
+                thread::sleep(Duration::from_millis(5));
+                b.consumed(0);
+            })
+        };
+        b.wait_complete_timeout(Duration::from_millis(250)).unwrap();
+        worker.join().unwrap();
+        assert!(b.is_complete());
+    }
+
+    #[test]
+    fn reset_abandons_outstanding_accounting() {
+        let b = TieredBarrier::new();
+        b.created(0);
+        b.created(5);
+        b.enter_busy();
+        assert!(!b.is_complete());
+        b.reset();
+        assert!(b.is_complete());
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn injector_stall_delays_but_preserves_accounting() {
+        use snap_fault::{FaultInjector, FaultPlan};
+        let injector = Arc::new(FaultInjector::new(FaultPlan::seeded(5).stalls(1.0, 10_000)));
+        let b = TieredBarrier::with_injector(Arc::clone(&injector));
+        for _ in 0..16 {
+            b.created(0);
+        }
+        for _ in 0..16 {
+            b.consumed(0);
+        }
+        assert!(b.is_complete());
+        assert!(injector.report().injected_stalls > 0);
     }
 }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cm2 = Cm2::new();
 
     println!("root-to-leaf inheritance, branching-4 hierarchies:\n");
-    println!("{:>8} {:>7} {:>12} {:>12} {:>10}", "nodes", "depth", "SNAP-1 ms", "CM-2 ms", "CM-2/SNAP");
+    println!(
+        "{:>8} {:>7} {:>12} {:>12} {:>10}",
+        "nodes", "depth", "SNAP-1 ms", "CM-2 ms", "CM-2/SNAP"
+    );
     for nodes in [100, 400, 1_600, 6_400] {
         let workload = hierarchy(nodes, 4)?;
         let program = inheritance_program(workload.root);

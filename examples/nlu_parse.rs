@@ -70,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sentence = generator.generate(9);
     let result = parser.parse(&mut kb.network, &machine, &sentence)?;
     if let Some(template) = result.templates.first().and_then(|t| t.as_ref()) {
-        let mentioned: Vec<_> = sentence.words.iter().filter_map(|w| kb_ro.word(w)).collect();
+        let mentioned: Vec<_> = sentence
+            .words
+            .iter()
+            .filter_map(|w| kb_ro.word(w))
+            .collect();
         let answers = answer_template(&mut kb.network, &machine, template, &mentioned)?;
         println!("\nrole answers for \"{}\":", sentence.text());
         for (i, role) in answers.iter().enumerate() {

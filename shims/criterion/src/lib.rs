@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps `cargo bench` runnable without network access: every
+//! benchmark executes a handful of timed iterations and prints a
+//! mean per-iteration wall time. No warm-up, outlier rejection, or
+//! statistical analysis — numbers are indicative, not publishable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations each benchmark routine runs (after one untimed call
+/// to amortize lazy setup such as allocator warm-up).
+const TIMED_ITERS: u32 = 10;
+
+/// How a batched benchmark trades setup cost against memory; the shim
+/// ignores the distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter, like criterion's
+    /// `function_name/parameter` convention.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = TIMED_ITERS;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding the
+    /// setup cost itself.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..TIMED_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iters = TIMED_ITERS;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id}: no iterations recorded");
+        } else {
+            let per_iter = self.elapsed / self.iters;
+            println!("{id}: {per_iter:?}/iter over {} iters", self.iters);
+        }
+    }
+}
+
+/// Top-level harness, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for compatibility; the shim's iteration count is fixed.
+    #[must_use]
+    pub fn sample_size(self, _samples: usize) -> Self {
+        self
+    }
+
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<I: Display>(&mut self, group_name: I) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher, &P),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (criterion finalizes reports here; the shim
+    /// reports eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    bencher.report(id);
+}
+
+/// Declares a group of benchmark functions; supports both the
+/// positional and the `name=/config=/targets=` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(c: &mut Criterion) {
+        c.bench_function("square", |b| b.iter(|| 3u64 * 3));
+        let mut group = c.benchmark_group("grouped");
+        for &n in &[2u64, 4] {
+            group.bench_with_input(BenchmarkId::new("mul", n), &n, |b, &n| b.iter(|| n * n));
+        }
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(positional, square);
+    criterion_group! {
+        name = named;
+        config = Criterion::default().sample_size(10);
+        targets = square
+    }
+
+    #[test]
+    fn groups_run_without_panicking() {
+        positional();
+        named();
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("engine", "Des").to_string(), "engine/Des");
+    }
+}

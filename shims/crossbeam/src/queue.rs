@@ -1,0 +1,91 @@
+//! Bounded MPMC queue with crossbeam's `ArrayQueue` interface.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded multi-producer multi-consumer queue. Pushes beyond the
+/// capacity fail and hand the element back, like crossbeam's
+/// `ArrayQueue`.
+#[derive(Debug)]
+pub struct ArrayQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T> ArrayQueue<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        ArrayQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to enqueue `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `value` back if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut q = self.lock();
+        if q.len() >= self.capacity {
+            Err(value)
+        } else {
+            q.push_back(value);
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest element, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Elements currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// `true` when the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.lock().len() >= self.capacity
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_fifo() {
+        let q = ArrayQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses as a
+//! deterministic seeded random-sampling runner: each `proptest!` test
+//! derives its RNG seed from the test name, draws `cases` inputs from
+//! the given strategies, and fails with the offending inputs' source
+//! expressions on the first violated `prop_assert*!`. There is no
+//! shrinking — failures report the raw sampled case instead. That is a
+//! weaker debugging experience than real proptest but identical
+//! pass/fail semantics for the covered surface.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Mirrors `proptest!`'s item form: optional
+/// `#![proptest_config(..)]`, then `#[test] fn name(pat in strategy, ..) { .. }`
+/// items. Each test runs `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg_pat:pat in $arg_strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| -> ::std::result::Result<(), ::std::string::String> {
+                            $(
+                                let $arg_pat = $crate::strategy::Strategy::sample(
+                                    &($arg_strat),
+                                    &mut rng,
+                                );
+                            )+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("property {} failed at case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("prop_assert!({}) failed", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert!({}) failed: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq!({}, {}) failed: {:?} != {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq!({}, {}) failed: {:?} != {:?}: {}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_ne!({}, {}) failed: both were {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+            ));
+        }
+    }};
+}
+
+/// Skips the current property case unless `cond` holds. (Real proptest
+/// resamples; the shim counts the skipped case as passed.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Picks uniformly between heterogeneous strategies with a common
+/// `Value` type. (Real proptest supports weighted arms; the workspace
+/// only uses the unweighted form.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn samples_stay_in_range(x in 3u32..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_and_combinators_work(
+            pair in (0u8..4, any::<bool>()).prop_map(|(v, b)| (v * 2, b)),
+            items in crate::collection::vec(0u16..10, 1..5),
+            choice in prop_oneof![Just(1u8), Just(2u8), 5u8..7],
+        ) {
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assume!(!items.is_empty());
+            prop_assert!(items.len() < 5);
+            prop_assert!(choice == 1 || choice == 2 || (5..7).contains(&choice));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_threads_dependent_values(
+            (n, k) in (1usize..20).prop_flat_map(|n| (Just(n), 0usize..n)),
+        ) {
+            prop_assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn same_name_means_same_samples() {
+        let mut a = crate::test_runner::rng_for_test("t");
+        let mut b = crate::test_runner::rng_for_test("t");
+        let s = 0u64..1000;
+        for _ in 0..16 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and the matching
+//! no-op derive macros so workspace types keep their upstream-compatible
+//! annotations while building without network access. No serialization
+//! is performed anywhere in this repository.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -8,7 +8,9 @@ use proptest::prelude::*;
 use snap_baseline::Cm2;
 use snap_core::{CollectOutput, EngineKind, Snap1};
 use snap_isa::{CombineFunc, Program, PropRule, StepFunc, ValueFunc};
-use snap_kb::{Color, Marker, NetworkConfig, NodeId, PartitionScheme, RelationType, SemanticNetwork};
+use snap_kb::{
+    Color, Marker, NetworkConfig, NodeId, PartitionScheme, RelationType, SemanticNetwork,
+};
 
 #[derive(Debug, Clone)]
 struct NetSpec {
@@ -115,7 +117,11 @@ fn build_program(ops: &[Op], nodes: usize) -> Program {
 fn assert_equivalent(kind: &str, a: &[CollectOutput], b: &[CollectOutput]) {
     assert_eq!(a.len(), b.len(), "[{kind}] collect count");
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert_eq!(x.node_ids(), y.node_ids(), "[{kind}] collect #{i} node sets");
+        assert_eq!(
+            x.node_ids(),
+            y.node_ids(),
+            "[{kind}] collect #{i} node sets"
+        );
         if let (CollectOutput::Nodes(xs), CollectOutput::Nodes(ys)) = (x, y) {
             for ((n1, v1), (n2, v2)) in xs.iter().zip(ys) {
                 assert_eq!(n1, n2);

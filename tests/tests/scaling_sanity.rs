@@ -14,7 +14,8 @@ fn chains(alpha: usize, depth: usize) -> SemanticNetwork {
     let mut net = SemanticNetwork::new(NetworkConfig::default());
     for level in 0..=depth {
         for _ in 0..alpha {
-            net.add_node(if level == 0 { SRC } else { Color(0) }).unwrap();
+            net.add_node(if level == 0 { SRC } else { Color(0) })
+                .unwrap();
         }
     }
     for level in 0..depth {
@@ -126,5 +127,8 @@ fn broadcast_overhead_is_constant_in_cluster_count() {
     let o16 = overhead(16);
     assert_eq!(o2.broadcast_ns, o16.broadcast_ns, "dedicated global bus");
     assert!(o16.sync_ns > o2.sync_ns, "barrier grows with PEs");
-    assert!(o16.collect_ns > o2.collect_ns, "collect grows with clusters");
+    assert!(
+        o16.collect_ns > o2.collect_ns,
+        "collect grows with clusters"
+    );
 }

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use snap_core::{EngineKind, Snap1};
-use snap_isa::{
-    analyze_beta, schedule_beta, CombineFunc, InstrClass, Program, PropRule, StepFunc,
-};
+use snap_isa::{analyze_beta, schedule_beta, CombineFunc, InstrClass, Program, PropRule, StepFunc};
 use snap_kb::{Color, Marker, NetworkConfig, NodeId, RelationType, SemanticNetwork};
 
 fn mesh(nodes: usize) -> SemanticNetwork {
@@ -52,7 +50,11 @@ fn interleaved(k: usize) -> Program {
 #[test]
 fn scheduling_recovers_beta() {
     let p = interleaved(6);
-    assert_eq!(analyze_beta(&p).beta_max(), 6, "dependency-wise independent");
+    assert_eq!(
+        analyze_beta(&p).beta_max(),
+        6,
+        "dependency-wise independent"
+    );
     let s = schedule_beta(&p);
     // After scheduling, the six propagations are adjacent.
     let classes: Vec<InstrClass> = s.iter().map(|i| i.class()).collect();

@@ -63,7 +63,11 @@ fn deep_chain_fully_traversed_before_collect() {
     for _ in 0..10 {
         let mut net = chain(40);
         let report = machine.run(&mut net, &walk()).unwrap();
-        assert_eq!(report.collects[0].len(), 39, "all 39 downstream nodes reached");
+        assert_eq!(
+            report.collects[0].len(),
+            39,
+            "all 39 downstream nodes reached"
+        );
     }
 }
 
@@ -90,7 +94,10 @@ fn explicit_barriers_are_counted() {
         .search_color(Color(1), Marker::binary(0), 0.0)
         .barrier()
         .build();
-    let machine = Snap1::builder().clusters(2).engine(EngineKind::Threaded).build();
+    let machine = Snap1::builder()
+        .clusters(2)
+        .engine(EngineKind::Threaded)
+        .build();
     let report = machine.run(&mut net, &program).unwrap();
     assert_eq!(report.barriers, 2);
 }
@@ -112,4 +119,192 @@ fn repeated_runs_are_logically_deterministic() {
             Some(r) => assert_eq!(r, &ids, "thread scheduling must not change results"),
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Chaos suite: the same safety properties under injected faults.
+//
+// Acceptance: across 20+ seeded fault schedules (drops, delays,
+// duplicates, corruption, one worker panic) the threaded engine must
+// complete every run with logical results identical to the fault-free
+// sequential engine, never falsely terminate (a short collect would
+// betray it), and never hang (every run is wrapped in a hard timeout).
+// ---------------------------------------------------------------------
+
+use snap_core::{CoreError, FaultPlan, RunReport};
+use std::time::Duration;
+
+/// Runs `machine` on its own thread with a hard timeout, so an engine
+/// hang fails the test instead of wedging the suite.
+fn run_with_timeout(
+    machine: Snap1,
+    mut net: SemanticNetwork,
+    program: Program,
+    timeout: Duration,
+) -> Result<RunReport, CoreError> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(machine.run(&mut net, &program));
+    });
+    rx.recv_timeout(timeout)
+        .expect("engine hung: no result within the timeout")
+}
+
+/// A mixed network: chain plus skip links, so propagation has both deep
+/// paths and cross-cluster merges.
+fn grid(n: usize) -> SemanticNetwork {
+    let mut net = chain(n);
+    for i in 0..n - 7 {
+        net.add_link(NodeId(i as u32), REL, 2.0, NodeId(i as u32 + 7))
+            .unwrap();
+    }
+    net
+}
+
+/// One of 20 distinct seeded fault schedules. Seed 7 additionally
+/// panics cluster 2's worker mid-propagation.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    let base = FaultPlan::seeded(seed);
+    let plan = match seed % 4 {
+        0 => base.drops(0.25).duplicates(0.1),
+        1 => base.delays(0.35, 3_000_000).duplicates(0.2),
+        2 => base.corruptions(0.25).drops(0.1),
+        _ => base
+            .drops(0.15)
+            .duplicates(0.15)
+            .delays(0.2, 1_000_000)
+            .corruptions(0.15)
+            .stalls(0.1, 20_000),
+    };
+    if seed == 7 {
+        plan.worker_panic(2, 4)
+    } else {
+        plan
+    }
+}
+
+#[test]
+fn chaos_schedules_match_fault_free_sequential_results() {
+    let program = walk();
+    let sequential = Snap1::builder()
+        .clusters(4)
+        .partition(PartitionScheme::RoundRobin)
+        .engine(EngineKind::Sequential)
+        .build();
+    let reference = sequential.run(&mut grid(50), &program).unwrap();
+    for seed in 0..20 {
+        let plan = chaos_plan(seed);
+        let machine = Snap1::builder()
+            .clusters(4)
+            .partition(PartitionScheme::RoundRobin)
+            .engine(EngineKind::Threaded)
+            .faults(plan)
+            .build();
+        let report = run_with_timeout(machine, grid(50), program.clone(), Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        for (a, b) in reference.collects.iter().zip(&report.collects) {
+            assert_eq!(
+                a.node_ids(),
+                b.node_ids(),
+                "seed {seed}: faults changed logical results"
+            );
+        }
+        assert!(
+            report.faults.total_injected() > 0,
+            "seed {seed}: schedule injected nothing"
+        );
+        if seed == 7 {
+            assert_eq!(report.faults.injected_panics, 1, "seed 7 panics a worker");
+            assert_eq!(report.faults.recovered_workers, 1);
+        }
+    }
+}
+
+#[test]
+fn delays_and_duplicates_never_false_terminate() {
+    // A burst tree floods the fabric while every message is delayed or
+    // duplicated: an early barrier would collect a partial frontier.
+    let program = walk();
+    for seed in 100..106 {
+        let machine = Snap1::builder()
+            .clusters(4)
+            .partition(PartitionScheme::RoundRobin)
+            .engine(EngineKind::Threaded)
+            .faults(
+                FaultPlan::seeded(seed)
+                    .delays(0.5, 2_000_000)
+                    .duplicates(0.4),
+            )
+            .build();
+        let report = run_with_timeout(
+            machine,
+            burst_tree(12),
+            program.clone(),
+            Duration::from_secs(60),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            report.collects[0].len(),
+            12 + 12 * 12,
+            "seed {seed}: barrier completed with markers still in flight"
+        );
+        assert!(report.faults.injected_delays + report.faults.injected_duplicates > 0);
+    }
+}
+
+#[test]
+fn unreachable_cluster_is_a_typed_error_not_a_hang() {
+    // Every route into cluster 3 is down: markers for it can never be
+    // delivered, so the sender's retries must exhaust into a typed
+    // WorkerFailed — within the timeout, not never.
+    let machine = Snap1::builder()
+        .clusters(4)
+        .partition(PartitionScheme::RoundRobin)
+        .engine(EngineKind::Threaded)
+        .faults(
+            FaultPlan::seeded(1)
+                .link_down(0, 3)
+                .link_down(1, 3)
+                .link_down(2, 3),
+        )
+        .build();
+    let err = run_with_timeout(machine, grid(50), walk(), Duration::from_secs(60))
+        .expect_err("unreachable cluster must fail the run");
+    match err {
+        CoreError::WorkerFailed { cause, .. } => {
+            assert!(cause.contains("unacknowledged"), "cause: {cause}")
+        }
+        other => panic!("expected WorkerFailed, got {other}"),
+    }
+}
+
+#[test]
+fn faulty_and_clean_threaded_reports_agree_on_work() {
+    // The resilient protocol may retransmit, but the logical expansion
+    // work (collects, barrier count) matches the clean run.
+    let program = walk();
+    let clean_machine = Snap1::builder()
+        .clusters(4)
+        .partition(PartitionScheme::RoundRobin)
+        .engine(EngineKind::Threaded)
+        .build();
+    let clean = run_with_timeout(
+        clean_machine,
+        grid(50),
+        program.clone(),
+        Duration::from_secs(60),
+    )
+    .unwrap();
+    assert!(clean.faults.is_empty(), "no plan, no faults");
+    let faulty_machine = Snap1::builder()
+        .clusters(4)
+        .partition(PartitionScheme::RoundRobin)
+        .engine(EngineKind::Threaded)
+        .faults(FaultPlan::seeded(5).drops(0.3).corruptions(0.2))
+        .build();
+    let faulty =
+        run_with_timeout(faulty_machine, grid(50), program, Duration::from_secs(60)).unwrap();
+    assert_eq!(clean.barriers, faulty.barriers);
+    assert_eq!(clean.collects.len(), faulty.collects.len());
+    assert!(faulty.faults.retries > 0, "drops force retransmissions");
 }
