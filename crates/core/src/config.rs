@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use snap_fault::FaultPlan;
 use snap_kb::PartitionScheme;
+use snap_obs::ObsConfig;
 
 /// Which execution engine a [`crate::Snap1`] machine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -62,6 +63,12 @@ pub struct MachineConfig {
     /// ack/retry, watchdog, and cluster-failover recovery. The
     /// sequential engine ignores it.
     pub fault_plan: Option<FaultPlan>,
+    /// Structured event tracing configuration. `None` (the default)
+    /// disables tracing; recording additionally requires building
+    /// `snap-core` with the `obs` feature, without which this setting is
+    /// inert. The aggregated `TraceReport` lands in the run report next
+    /// to the fault report.
+    pub trace: Option<ObsConfig>,
 }
 
 impl MachineConfig {
@@ -83,6 +90,7 @@ impl MachineConfig {
             cu_outbox_capacity: 1024,
             instrument: false,
             fault_plan: None,
+            trace: None,
         }
     }
 

@@ -246,6 +246,21 @@ pub fn exec_single(
     Ok(out)
 }
 
+/// The trace phase an instruction class belongs to. Shared by the three
+/// engines so their phase sequences line up index-for-index, which is
+/// what the differential harness compares.
+pub(crate) fn phase_of(class: snap_isa::InstrClass) -> snap_obs::PhaseKind {
+    use snap_isa::InstrClass;
+    use snap_obs::PhaseKind;
+    match class {
+        InstrClass::Search | InstrClass::Boolean | InstrClass::SetClear => PhaseKind::Configure,
+        InstrClass::Propagate => PhaseKind::Propagate,
+        InstrClass::Collect => PhaseKind::Collect,
+        InstrClass::Maintenance => PhaseKind::Maintenance,
+        InstrClass::Barrier => PhaseKind::Barrier,
+    }
+}
+
 /// All nodes where `marker` is active, across every region, ascending.
 fn all_active(regions: &[Region], marker: Marker) -> Vec<NodeId> {
     let mut nodes: Vec<NodeId> = regions

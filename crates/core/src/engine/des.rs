@@ -24,7 +24,7 @@
 use crate::config::MachineConfig;
 use crate::controller::{plan, PropSpec, Step};
 use crate::cost::CostModel;
-use crate::engine::common::exec_single;
+use crate::engine::common::{exec_single, phase_of};
 use crate::error::CoreError;
 use crate::propagate::{expand, Expansion, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
@@ -33,6 +33,7 @@ use snap_isa::{InstrClass, Program};
 use snap_kb::{ClusterId, SemanticNetwork};
 use snap_mem::SimTime;
 use snap_net::{BusModel, HypercubeTopology, PerfCollector};
+use snap_obs::{FaultKind, PhaseKind, Stamp, Tracer, CONTROLLER_TRACK};
 use snap_sync::TieredSyncModel;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -115,6 +116,7 @@ struct Des<'c> {
     sync: TieredSyncModel,
     perf: Option<PerfCollector>,
     injector: Option<snap_fault::FaultInjector>,
+    tracer: Tracer,
     now: SimTime,
     seq: u64,
     pending_msgs: u64,
@@ -145,6 +147,7 @@ impl<'c> Des<'c> {
                 .fault_plan
                 .clone()
                 .map(snap_fault::FaultInjector::new),
+            tracer: Tracer::from_config(config.trace.as_ref(), config.clusters),
             now: 0,
             seq: 0,
             pending_msgs: 0,
@@ -157,6 +160,7 @@ impl<'c> Des<'c> {
         if let Some(inj) = &self.injector {
             self.report.faults = inj.report();
         }
+        self.report.trace = self.tracer.report();
         self.report
     }
 
@@ -181,6 +185,7 @@ impl<'c> Des<'c> {
     ) -> Result<(), CoreError> {
         let start = self.now;
         let class = instr.class();
+        self.tracer.phase_start(phase_of(class), Stamp::Sim(start));
         let out = exec_single(instr, network, &mut self.regions)?;
         let items: usize = out.work.iter().map(|w| w.items).sum();
         match class {
@@ -233,6 +238,7 @@ impl<'c> Des<'c> {
         }
         self.report.record(class, self.now - start);
         self.record_perf(class as u8);
+        self.tracer.phase_end(Stamp::Sim(self.now));
         Ok(())
     }
 
@@ -243,6 +249,8 @@ impl<'c> Des<'c> {
         specs: &[PropSpec],
     ) -> Result<(), CoreError> {
         let start = self.now;
+        self.tracer
+            .phase_start(PhaseKind::Propagate, Stamp::Sim(start));
         // Broadcast each PROPAGATE of the group over the bus.
         for _ in specs {
             self.bus.broadcast(self.now, 2, self.cost.broadcast_ns / 2);
@@ -269,7 +277,11 @@ impl<'c> Des<'c> {
             self.report.record(InstrClass::Propagate, share);
         }
         self.now = phase_end;
+        self.tracer.phase_end(Stamp::Sim(self.now));
+        self.tracer
+            .phase_start(PhaseKind::Barrier, Stamp::Sim(self.now));
         self.barrier();
+        self.tracer.phase_end(Stamp::Sim(self.now));
         Ok(())
     }
 
@@ -317,6 +329,7 @@ impl<'c> Des<'c> {
                     expansion,
                 } => {
                     self.report.expansions += 1;
+                    self.tracer.expansion(cluster as u16);
                     if task.level >= self.config.max_hops {
                         self.sync.consumed(task.level.min(63));
                         continue;
@@ -375,18 +388,50 @@ impl<'c> Des<'c> {
                             let mut cu_start = ready.max(self.cu_free[cluster]);
                             if let Some(inj) = &self.injector {
                                 // Arbiter starvation delays the CU grant.
-                                cu_start += inj.starvation_ns(cluster as u8, self.seq);
+                                let starve = inj.starvation_ns(cluster as u8, self.seq);
+                                if starve > 0 {
+                                    self.tracer.fault(
+                                        cluster as u16,
+                                        FaultKind::Starvation,
+                                        Stamp::Sim(cu_start),
+                                    );
+                                }
+                                cu_start += starve;
                             }
+                            // CU grant decision: an idle CU grants at
+                            // once; a busy (or starved) one defers.
+                            self.tracer.arbiter(
+                                cluster as u16,
+                                cu_start - ready,
+                                Stamp::Sim(cu_start),
+                            );
                             let cu_done = cu_start + self.cost.cu_service_ns;
                             self.cu_free[cluster] = cu_done;
                             let wire = hops as SimTime * self.cost.hop_ns
                                 + hops.saturating_sub(1) as SimTime * self.cost.cu_service_ns;
                             let mut deliver = cu_done + wire;
                             let mut duplicated = false;
+                            self.tracer.msg_send(
+                                cluster as u16,
+                                dest as u16,
+                                hops.min(u8::MAX as usize) as u8,
+                                Stamp::Sim(ev.time),
+                            );
                             if let Some(inj) = &self.injector {
                                 let fate = inj.fate(cluster as u8, dest as u8, self.seq);
                                 if fate.corrupted {
                                     inj.note_detected_corruption();
+                                    self.tracer.fault(
+                                        cluster as u16,
+                                        FaultKind::Corruption,
+                                        Stamp::Sim(deliver),
+                                    );
+                                } else if fate.dropped {
+                                    self.tracer.fault(
+                                        cluster as u16,
+                                        FaultKind::Drop,
+                                        Stamp::Sim(deliver),
+                                    );
                                 }
                                 if fate.dropped || fate.corrupted {
                                     // Modelled reliable link layer: the
@@ -395,12 +440,33 @@ impl<'c> Des<'c> {
                                     // retransmission pays one more CU
                                     // service plus wire traversal.
                                     inj.note_retry();
+                                    self.tracer.msg_retry(
+                                        cluster as u16,
+                                        dest as u16,
+                                        Stamp::Sim(deliver),
+                                    );
                                     deliver += self.cost.cu_service_ns + wire;
+                                }
+                                if fate.delay_ns > 0 {
+                                    self.tracer.fault(
+                                        cluster as u16,
+                                        FaultKind::Delay,
+                                        Stamp::Sim(deliver),
+                                    );
                                 }
                                 deliver += fate.delay_ns;
                                 duplicated = fate.duplicated;
                             }
                             self.outbox[cluster].push(Reverse(deliver));
+                            if self.tracer.is_enabled() {
+                                self.tracer.queue_depth(
+                                    cluster as u16,
+                                    self.outbox[cluster].len() as u64,
+                                    Stamp::Sim(ev.time),
+                                );
+                            }
+                            self.tracer
+                                .msg_recv(cluster as u16, dest as u16, Stamp::Sim(deliver));
                             self.report.overhead.communication_ns += deliver - ev.time;
                             self.sync.created(level.min(63));
                             self.seq += 1;
@@ -418,6 +484,11 @@ impl<'c> Des<'c> {
                                 if let Some(inj) = &self.injector {
                                     inj.note_detected_duplicate();
                                 }
+                                self.tracer.fault(
+                                    cluster as u16,
+                                    FaultKind::Duplicate,
+                                    Stamp::Sim(deliver),
+                                );
                                 self.sync.created(level.min(63));
                                 self.seq += 1;
                                 heap.push(Reverse(Event {
@@ -468,6 +539,7 @@ impl<'c> Des<'c> {
         let spec = &specs[task.prop];
         self.regions[cluster].arrive(spec.target, task.node, task.value, task.origin)?;
         self.report.traffic.local_activations += 1;
+        self.tracer.activation(cluster as u16);
         if visited.should_expand(task.prop, task.state, task.node, task.value, task.origin) {
             self.schedule_task(network, specs, heap, cluster, task, now);
         }
@@ -498,7 +570,12 @@ impl<'c> Des<'c> {
             .max(1);
         if let Some(inj) = &self.injector {
             // An injected PE stall lengthens this expansion's service.
-            dur += inj.stall_ns(cluster as u8, self.seq);
+            let stall = inj.stall_ns(cluster as u8, self.seq);
+            if stall > 0 {
+                self.tracer
+                    .fault(cluster as u16, FaultKind::Stall, Stamp::Sim(ready));
+            }
+            dur += stall;
         }
         let mu = (0..self.mu_free[cluster].len())
             .min_by_key(|&i| self.mu_free[cluster][i])
@@ -569,6 +646,7 @@ impl<'c> Des<'c> {
                 let spec = &specs[task.prop];
                 let expansion = expand(network, &spec.rule, spec.func, &task);
                 self.report.expansions += 1;
+                self.tracer.expansion(cluster as u16);
                 let dur = self
                     .cost
                     .expand_ns(
@@ -614,6 +692,7 @@ impl<'c> Des<'c> {
                     };
                     self.regions[dest].arrive(spec.target, next.node, next.value, next.origin)?;
                     self.report.traffic.local_activations += u64::from(dest == cluster);
+                    self.tracer.activation(dest as u16);
                     if visited.should_expand(
                         next.prop,
                         next.state,
@@ -642,6 +721,8 @@ impl<'c> Des<'c> {
     fn barrier(&mut self) {
         let ns = self.cost.barrier_ns(self.config.pe_count());
         self.now += ns;
+        self.tracer
+            .barrier_wait(CONTROLLER_TRACK, ns, Stamp::Sim(self.now));
         self.report.overhead.sync_ns += ns;
         self.report.barriers += 1;
         self.report

@@ -10,7 +10,7 @@
 use crate::config::MachineConfig;
 use crate::controller::{plan, PropSpec, Step};
 use crate::cost::CostModel;
-use crate::engine::common::exec_single;
+use crate::engine::common::{exec_single, phase_of};
 use crate::error::CoreError;
 use crate::propagate::{expand, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
@@ -18,6 +18,7 @@ use crate::report::RunReport;
 use snap_isa::{InstrClass, Program};
 use snap_kb::{ClusterId, PartitionScheme, SemanticNetwork};
 use snap_mem::SimTime;
+use snap_obs::{PhaseKind, Stamp, Tracer};
 use std::collections::VecDeque;
 
 /// Executes `program` sequentially, returning the measured report.
@@ -31,11 +32,13 @@ pub(crate) fn run(
     let mut region = Region::new(ClusterId(0), map, network);
     let mut report = RunReport::default();
     let mut now: SimTime = 0;
+    let tracer = Tracer::from_config(config.trace.as_ref(), 1);
 
     for step in plan(program) {
         match step {
             Step::Instr(idx) => {
                 let instr = &program.instructions()[idx];
+                tracer.phase_start(phase_of(instr.class()), Stamp::Sim(now));
                 let regions = std::slice::from_mut(&mut region);
                 let out = exec_single(instr, network, regions)?;
                 let w = out.work[0];
@@ -66,6 +69,7 @@ pub(crate) fn run(
                         InstrClass::Propagate => unreachable!("plan puts propagates in groups"),
                     };
                 now += ns;
+                tracer.phase_end(Stamp::Sim(now));
                 report.record(instr.class(), ns);
                 if let Some(c) = out.collect {
                     report.collects.push(c);
@@ -73,15 +77,28 @@ pub(crate) fn run(
             }
             Step::Group(indices) => {
                 // A single PE cannot overlap propagations: run them in order.
+                tracer.phase_start(PhaseKind::Propagate, Stamp::Sim(now));
                 for (g, &idx) in indices.iter().enumerate() {
                     let instr = &program.instructions()[idx];
                     let spec = PropSpec::compile(g, instr);
-                    let ns = run_propagate(config, cost, network, &mut region, &spec, &mut report)?;
+                    let ns = run_propagate(
+                        config,
+                        cost,
+                        network,
+                        &mut region,
+                        &spec,
+                        &mut report,
+                        &tracer,
+                    )?;
                     now += ns;
                     report.record(InstrClass::Propagate, ns);
                 }
+                tracer.phase_end(Stamp::Sim(now));
                 // Implicit barrier closing the group (trivial on one PE).
+                tracer.phase_start(PhaseKind::Barrier, Stamp::Sim(now));
                 now += cost.sync_base_ns;
+                tracer.barrier_wait(0, cost.sync_base_ns, Stamp::Sim(now));
+                tracer.phase_end(Stamp::Sim(now));
                 report.overhead.sync_ns += cost.sync_base_ns;
                 report.barriers += 1;
                 report.traffic.messages_per_sync.push(0);
@@ -89,6 +106,7 @@ pub(crate) fn run(
         }
     }
     report.total_ns = now;
+    report.trace = tracer.report();
     Ok(report)
 }
 
@@ -101,6 +119,7 @@ fn run_propagate(
     region: &mut Region,
     spec: &PropSpec,
     report: &mut RunReport,
+    tracer: &Tracer,
 ) -> Result<SimTime, CoreError> {
     let mut visited = VisitedMap::new();
     let mut queue: VecDeque<PropTask> = VecDeque::new();
@@ -124,6 +143,7 @@ fn run_propagate(
     while let Some(task) = queue.pop_front() {
         let exp = expand(network, &spec.rule, spec.func, &task);
         report.expansions += 1;
+        tracer.expansion(0);
         ns += cost.expand_ns(exp.segments, exp.links_scanned, exp.arrivals.len());
         if task.level >= config.max_hops {
             continue;
@@ -131,6 +151,7 @@ fn run_propagate(
         for arrival in exp.arrivals {
             region.arrive(spec.target, arrival.node, arrival.value, task.origin)?;
             report.traffic.local_activations += 1;
+            tracer.activation(0);
             let level = task.level + 1;
             report.max_propagation_depth = report.max_propagation_depth.max(level);
             if visited.should_expand(

@@ -31,6 +31,7 @@
 
 use crate::config::MachineConfig;
 use crate::controller::{plan, PropSpec, Step};
+use crate::engine::common::phase_of;
 use crate::error::CoreError;
 use crate::propagate::{expand, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
@@ -41,6 +42,7 @@ use snap_fault::{Corruptible, DedupTable, Envelope, FaultInjector, RetryPolicy};
 use snap_isa::{InstrClass, Instruction, Program};
 use snap_kb::{ClusterId, Color, Link, MarkerValue, NodeId, SemanticNetwork};
 use snap_net::{Fabric, HypercubeTopology};
+use snap_obs::{FaultKind, PhaseKind, Tracer, CONTROLLER_TRACK};
 use snap_sync::TieredBarrier;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -154,18 +156,21 @@ pub(crate) fn run(
         .map(|plan| Arc::new(FaultInjector::new(plan)));
     let map = RegionMap::build(network, config.clusters, config.partition);
     let topology = HypercubeTopology::covering(config.clusters);
-    let (fabric, mut fabric_rxs) = match &injector {
-        Some(inj) => Fabric::<NetMsg>::with_injector(topology, Arc::clone(inj)),
-        None => Fabric::<NetMsg>::new(topology),
-    };
+    let tracer = Tracer::from_config(config.trace.as_ref(), config.clusters);
+    let (fabric, mut fabric_rxs) =
+        Fabric::<NetMsg>::with_instruments(topology, injector.clone(), tracer.clone());
     // The controller keeps a clone of every fabric receiver so a dead
     // worker's channel never disconnects (which would panic senders) and
     // its undelivered traffic can be drained during recovery.
     let rx_backups: Vec<Receiver<NetMsg>> = fabric_rxs.clone();
-    let barrier = match &injector {
-        Some(inj) => TieredBarrier::with_injector(Arc::clone(inj)),
-        None => TieredBarrier::new(),
-    };
+    // The covering topology may span more address slots than the machine
+    // has clusters (e.g. 5 clusters on a 4x2 cube); the fabric allocates
+    // one channel per slot. Keep only the first `clusters` receivers so
+    // the reversed pop below pairs worker c with receiver c — a worker
+    // listening on the wrong slot silently strands every message sent to
+    // it, which the barrier watchdog then reports as lost.
+    fabric_rxs.truncate(config.clusters);
+    let barrier = TieredBarrier::with_instruments(injector.clone(), tracer.clone());
     // owners[c] = worker currently holding cluster c's region.
     let owners: Arc<Vec<AtomicUsize>> =
         Arc::new((0..config.clusters).map(AtomicUsize::new).collect());
@@ -201,6 +206,7 @@ pub(crate) fn run(
         report: RunReport::default(),
         msgs_before_phase: 0,
         replays: 0,
+        tracer: tracer.clone(),
     };
 
     std::thread::scope(|scope| -> Result<(), CoreError> {
@@ -230,6 +236,7 @@ pub(crate) fn run(
                 pending: HashMap::new(),
                 dedup: DedupTable::new(),
                 steps: 0,
+                tracer: tracer.clone(),
             };
             let crash_tx = reply_tx.clone();
             scope.spawn(move || {
@@ -247,11 +254,13 @@ pub(crate) fn run(
                 match step {
                     Step::Instr(idx) => {
                         let instr = &program.instructions()[*idx];
+                        tracer.phase_start(phase_of(instr.class()), tracer.wall_stamp());
                         let t0 = Instant::now();
                         controller.exec_instr(instr, &net)?;
                         check_error(&first_error)?;
                         let ns = t0.elapsed().as_nanos() as u64;
                         controller.report.record(instr.class(), ns);
+                        tracer.phase_end(tracer.wall_stamp());
                     }
                     Step::Group(indices) => {
                         let t0 = Instant::now();
@@ -288,6 +297,7 @@ pub(crate) fn run(
     if let Some(inj) = &injector {
         report.faults = inj.report();
     }
+    report.trace = tracer.report();
     report.wall_ns = started.elapsed().as_nanos();
     Ok(report)
 }
@@ -316,6 +326,7 @@ struct Controller {
     report: RunReport,
     msgs_before_phase: u64,
     replays: u32,
+    tracer: Tracer,
 }
 
 impl Controller {
@@ -388,6 +399,11 @@ impl Controller {
         } else {
             CLEAN_STALL_WINDOW
         };
+        // One Propagate phase per group; a replayed phase keeps
+        // accumulating into the same slot (replays only happen on
+        // faulted runs, where phase statistics are advisory).
+        self.tracer
+            .phase_start(PhaseKind::Propagate, self.tracer.wall_stamp());
         'replay: loop {
             self.epoch += 1;
             for c in 0..self.clusters {
@@ -398,11 +414,17 @@ impl Controller {
                     self.send_cmd(c, Cmd::Prop(Arc::clone(specs), self.epoch))?;
                 }
             }
+            let wait_t0 = Instant::now();
             let mut strikes = 0;
             loop {
                 match self.barrier.wait_complete_timeout(window) {
                     Ok(()) => break,
                     Err(stall) => {
+                        self.tracer.barrier_stall(
+                            self.barrier.in_flight(),
+                            self.barrier.busy_pes() as u64,
+                            self.tracer.wall_stamp(),
+                        );
                         if let Some(dead) = self.poll_crash() {
                             self.recover(dead, first_error)?;
                             continue 'replay;
@@ -417,6 +439,7 @@ impl Controller {
                     }
                 }
             }
+            let wait_ns = wait_t0.elapsed().as_nanos() as u64;
             for c in 0..self.clusters {
                 if self.live[c] {
                     self.send_cmd(c, Cmd::PhaseEnd)?;
@@ -430,6 +453,12 @@ impl Controller {
                 continue 'replay;
             }
             check_error(first_error)?;
+            let stamp = self.tracer.wall_stamp();
+            self.tracer.phase_end(stamp);
+            self.tracer.phase_start(PhaseKind::Barrier, stamp);
+            self.tracer
+                .barrier_wait(CONTROLLER_TRACK, wait_ns, self.tracer.wall_stamp());
+            self.tracer.phase_end(self.tracer.wall_stamp());
             self.report.barriers += 1;
             let now_msgs = self.fabric.messages();
             self.report
@@ -685,6 +714,7 @@ struct Worker<'env, 'net> {
     dedup: DedupTable,
     /// Tasks this worker has executed (the injected-panic step counter).
     steps: u64,
+    tracer: Tracer,
 }
 
 impl Worker<'_, '_> {
@@ -901,6 +931,13 @@ impl Worker<'_, '_> {
                 continue;
             }
             if let Some(task) = queue.pop_front() {
+                if self.tracer.is_enabled() {
+                    self.tracer.queue_depth(
+                        self.cluster as u16,
+                        queue.len() as u64,
+                        self.tracer.wall_stamp(),
+                    );
+                }
                 self.barrier.enter_busy();
                 self.expand_task(specs, &mut visited, &mut queue, &task);
                 self.barrier.consumed(task.level.min(63));
@@ -957,6 +994,11 @@ impl Worker<'_, '_> {
                         if let Some(inj) = &self.injector {
                             inj.note_detected_corruption();
                         }
+                        self.tracer.fault(
+                            self.cluster as u16,
+                            FaultKind::Corruption,
+                            self.tracer.wall_stamp(),
+                        );
                         return;
                     }
                     if env.epoch != self.epoch {
@@ -979,9 +1021,19 @@ impl Worker<'_, '_> {
                         if let Some(inj) = &self.injector {
                             inj.note_detected_duplicate();
                         }
+                        self.tracer.fault(
+                            self.cluster as u16,
+                            FaultKind::Duplicate,
+                            self.tracer.wall_stamp(),
+                        );
                         return;
                     }
                 }
+                self.tracer.msg_recv(
+                    u16::from(env.from),
+                    self.cluster as u16,
+                    self.tracer.wall_stamp(),
+                );
                 let level = env.payload.level.min(63);
                 self.handle_arrival(specs, visited, queue, env.payload);
                 self.barrier.consumed(level);
@@ -1038,6 +1090,8 @@ impl Worker<'_, '_> {
                     .load(Ordering::Acquire);
                 self.fabric
                     .send_faulty(self.id(), ClusterId(owner as u8), NetMsg::Marker(p.env));
+                self.tracer
+                    .msg_retry(self.cluster as u16, owner as u16, self.tracer.wall_stamp());
                 if let Some(inj) = &self.injector {
                     inj.note_retry();
                 }
@@ -1068,6 +1122,12 @@ impl Worker<'_, '_> {
             self.report_error(e);
             return;
         }
+        if self.tracer.is_enabled() {
+            // Attribute the activation to the region's home cluster (as
+            // the other engines do), not to an adopting worker.
+            self.tracer
+                .activation(self.map.cluster_of(task.node).index() as u16);
+        }
         if visited.should_expand(task.prop, task.state, task.node, task.value, task.origin) {
             self.barrier.created(task.level.min(63));
             queue.push_back(task);
@@ -1082,8 +1142,14 @@ impl Worker<'_, '_> {
         task: &PropTask,
     ) {
         self.steps += 1;
+        self.tracer.expansion(self.cluster as u16);
         if let Some(inj) = &self.injector {
             if inj.should_panic(self.cluster as u8, self.steps as usize) {
+                self.tracer.fault(
+                    self.cluster as u16,
+                    FaultKind::Panic,
+                    self.tracer.wall_stamp(),
+                );
                 panic!(
                     "injected fault-plan panic: cluster {} at step {}",
                     self.cluster, self.steps
@@ -1091,6 +1157,11 @@ impl Worker<'_, '_> {
             }
             let ns = inj.stall_ns(self.cluster as u8, self.steps);
             if ns > 0 {
+                self.tracer.fault(
+                    self.cluster as u16,
+                    FaultKind::Stall,
+                    self.tracer.wall_stamp(),
+                );
                 spin_for(Duration::from_nanos(ns));
             }
         }
@@ -1117,6 +1188,15 @@ impl Worker<'_, '_> {
                 self.handle_arrival(specs, visited, queue, next);
             } else {
                 self.barrier.created(next.level.min(63));
+                if self.tracer.is_enabled() {
+                    let hops = self.fabric.topology().distance(self.id(), dest);
+                    self.tracer.msg_send(
+                        self.cluster as u16,
+                        owner as u16,
+                        hops.min(u8::MAX as usize) as u8,
+                        self.tracer.wall_stamp(),
+                    );
+                }
                 let env = Envelope::seal(self.epoch, self.cluster as u8, self.next_seq, next);
                 self.next_seq += 1;
                 if self.resilient() {
@@ -1234,6 +1314,31 @@ mod tests {
         assert!(thr_report.wall_ns > 0);
         assert!(thr_report.traffic.total_messages > 0);
         assert!(thr_report.faults.is_empty(), "fault-free run");
+    }
+
+    /// Regression: cluster counts the covering cube can't hit exactly
+    /// (5 on a 4x2 cube) allocate more fabric slots than workers; every
+    /// worker must still listen on its own cluster's receiver, or
+    /// cross-cluster markers strand and the barrier watchdog fires.
+    #[test]
+    fn non_power_of_two_cluster_count_delivers_cross_cluster_markers() {
+        let program = workload();
+        for clusters in [5, 6, 7] {
+            let mut cfg = MachineConfig::uniform(clusters, 2);
+            cfg.partition = snap_kb::PartitionScheme::RoundRobin;
+            let mut net1 = grid_network(100);
+            let des_report = des::run(&cfg, &CostModel::snap1(), &mut net1, &program).unwrap();
+            let mut net2 = grid_network(100);
+            let thr_report =
+                run(&cfg, &mut net2, &program).unwrap_or_else(|e| panic!("{clusters}: {e}"));
+            assert!(
+                thr_report.traffic.total_messages > 0,
+                "{clusters} clusters produced no cross-cluster traffic"
+            );
+            for (a, b) in des_report.collects.iter().zip(&thr_report.collects) {
+                assert_eq!(a.node_ids(), b.node_ids(), "{clusters} clusters diverged");
+            }
+        }
     }
 
     #[test]

@@ -53,3 +53,6 @@ pub use report::{CollectOutput, OverheadBreakdown, RunReport, TrafficStats};
 // Fault-injection vocabulary, re-exported so applications can build
 // plans and read reports without depending on snap-fault directly.
 pub use snap_fault::{FaultPlan, FaultReport, PanicSpec, RetryPolicy};
+// Observability vocabulary, re-exported likewise: configure tracing via
+// the builder, read `RunReport::trace`, export with `chrome_trace_json`.
+pub use snap_obs::{chrome_trace_json, ObsConfig, PhaseKind, TraceReport};

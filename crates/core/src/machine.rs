@@ -187,6 +187,14 @@ impl Snap1Builder {
         self
     }
 
+    /// Enables structured event tracing for the run (see
+    /// [`MachineConfig::trace`]; recording also needs the `obs` cargo
+    /// feature).
+    pub fn trace(mut self, cfg: snap_obs::ObsConfig) -> Self {
+        self.config.trace = Some(cfg);
+        self
+    }
+
     /// Finishes the machine.
     ///
     /// # Panics

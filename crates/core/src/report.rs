@@ -11,6 +11,7 @@ use snap_fault::FaultReport;
 use snap_isa::InstrClass;
 use snap_kb::{Color, Link, MarkerValue, NodeId};
 use snap_mem::SimTime;
+use snap_obs::TraceReport;
 use std::collections::BTreeMap;
 
 /// The output of one retrieval (`COLLECT-*`) instruction, in program
@@ -142,6 +143,10 @@ pub struct RunReport {
     /// What the fault subsystem injected and how the engine coped
     /// (empty for fault-free runs).
     pub faults: FaultReport,
+    /// Structured trace aggregates (empty unless the machine was
+    /// configured with tracing and `snap-core` was built with the `obs`
+    /// feature).
+    pub trace: TraceReport,
 }
 
 impl RunReport {

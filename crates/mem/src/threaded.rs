@@ -11,6 +11,7 @@
 use crossbeam::queue::ArrayQueue;
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use snap_fault::FaultInjector;
+use snap_obs::Tracer;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -91,6 +92,10 @@ pub struct Arbiter {
     /// Fault hook: starves grants (holds them back briefly after the
     /// ticket is served) per the attached plan.
     injector: Option<(Arc<FaultInjector>, u8)>,
+    /// Observability hook: reports each grant/deferral decision to the
+    /// cluster's trace track.
+    tracer: Tracer,
+    track: u16,
 }
 
 impl Default for Arbiter {
@@ -102,16 +107,30 @@ impl Default for Arbiter {
 impl Arbiter {
     /// Creates an idle arbiter.
     pub fn new() -> Self {
-        Self::build(None)
+        Self::build(None, Tracer::disabled(), 0)
     }
 
     /// Creates an arbiter whose grants on cluster `cluster` are subject
     /// to `injector`'s starvation plan.
     pub fn with_injector(injector: Arc<FaultInjector>, cluster: u8) -> Self {
-        Self::build(Some((injector, cluster)))
+        Self::build(
+            Some((injector, cluster)),
+            Tracer::disabled(),
+            u16::from(cluster),
+        )
     }
 
-    fn build(injector: Option<(Arc<FaultInjector>, u8)>) -> Self {
+    /// Creates an arbiter with an optional injector and a tracer that
+    /// records every arbitration decision on cluster `cluster`'s track.
+    pub fn with_instruments(
+        injector: Option<Arc<FaultInjector>>,
+        tracer: Tracer,
+        cluster: u8,
+    ) -> Self {
+        Self::build(injector.map(|i| (i, cluster)), tracer, u16::from(cluster))
+    }
+
+    fn build(injector: Option<(Arc<FaultInjector>, u8)>, tracer: Tracer, track: u16) -> Self {
         Arbiter {
             queue: Mutex::new(VecDeque::new()),
             served: Condvar::new(),
@@ -119,17 +138,22 @@ impl Arbiter {
             grants: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
             injector,
+            tracer,
+            track,
         }
     }
 
     /// Blocks until the arbiter grants exclusive access, then runs `f`
     /// inside the critical section and releases the grant.
     pub fn with_grant<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = self.tracer.is_enabled().then(Instant::now);
+        let mut deferred = false;
         let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
         let mut queue = self.queue.lock();
         queue.push_back(ticket);
         if queue.front() != Some(&ticket) {
             self.conflicts.fetch_add(1, Ordering::Relaxed);
+            deferred = true;
         }
         while queue.front() != Some(&ticket) {
             self.served.wait(&mut queue);
@@ -142,8 +166,18 @@ impl Arbiter {
             // tickets just wait longer.
             let ns = injector.starvation_ns(*cluster, ticket as u64);
             if ns > 0 {
+                deferred = true;
                 spin_for(Duration::from_nanos(ns));
             }
+        }
+        if let Some(t0) = t0 {
+            let wait_ns = if deferred {
+                (t0.elapsed().as_nanos() as u64).max(1)
+            } else {
+                0
+            };
+            self.tracer
+                .arbiter(self.track, wait_ns, self.tracer.wall_stamp());
         }
         self.grants.fetch_add(1, Ordering::Relaxed);
         let result = f();

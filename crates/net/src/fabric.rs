@@ -11,6 +11,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use snap_fault::{Corruptible, FaultInjector, SendFate};
 use snap_kb::ClusterId;
+use snap_obs::Tracer;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,13 +35,16 @@ pub struct Fabric<T> {
     /// Per-link decision counter streams for the injector.
     link_seq: Arc<Vec<AtomicU64>>,
     delayed: Arc<Mutex<Vec<Delayed<T>>>>,
+    /// Observability hook: records destination-mailbox depth per
+    /// counted send (the ICN four-port mailbox occupancy).
+    tracer: Tracer,
 }
 
 impl<T> Fabric<T> {
     /// Creates a fabric over `topology`; returns the fabric plus one
     /// receiver per cluster (in cluster order).
     pub fn new(topology: HypercubeTopology) -> (Self, Vec<Receiver<T>>) {
-        Self::build(topology, None)
+        Self::build(topology, None, Tracer::disabled())
     }
 
     /// Creates a fabric whose [`send_faulty`](Self::send_faulty) and
@@ -51,12 +55,23 @@ impl<T> Fabric<T> {
         topology: HypercubeTopology,
         injector: Arc<FaultInjector>,
     ) -> (Self, Vec<Receiver<T>>) {
-        Self::build(topology, Some(injector))
+        Self::build(topology, Some(injector), Tracer::disabled())
+    }
+
+    /// Creates a fabric with an optional injector and a tracer that
+    /// observes destination-mailbox depth on every counted send.
+    pub fn with_instruments(
+        topology: HypercubeTopology,
+        injector: Option<Arc<FaultInjector>>,
+        tracer: Tracer,
+    ) -> (Self, Vec<Receiver<T>>) {
+        Self::build(topology, injector, tracer)
     }
 
     fn build(
         topology: HypercubeTopology,
         injector: Option<Arc<FaultInjector>>,
+        tracer: Tracer,
     ) -> (Self, Vec<Receiver<T>>) {
         let n = topology.cluster_count();
         let mut senders = Vec::with_capacity(n);
@@ -75,6 +90,7 @@ impl<T> Fabric<T> {
                 injector,
                 link_seq: Arc::new((0..n * n).map(|_| AtomicU64::new(0)).collect()),
                 delayed: Arc::new(Mutex::new(Vec::new())),
+                tracer,
             },
             receivers,
         )
@@ -92,12 +108,24 @@ impl<T> Fabric<T> {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.hops.fetch_add(hops, Ordering::Relaxed);
         self.deliver(to.index(), message);
+        self.observe_depth(to.index());
     }
 
     fn deliver(&self, to: usize, message: T) {
         self.senders[to]
             .send(message)
             .expect("fabric receiver dropped while senders alive");
+    }
+
+    /// Reports the destination mailbox's current depth to the tracer.
+    fn observe_depth(&self, to: usize) {
+        if self.tracer.is_enabled() {
+            self.tracer.queue_depth(
+                to as u16,
+                self.senders[to].len() as u64,
+                self.tracer.wall_stamp(),
+            );
+        }
     }
 
     /// The topology the fabric routes over.
@@ -174,6 +202,9 @@ impl<T: Clone + Corruptible> Fabric<T> {
         }
         let Some(injector) = &self.injector else {
             self.deliver(to.index(), message);
+            if counted {
+                self.observe_depth(to.index());
+            }
             return SendFate::default();
         };
         let n = self.senders.len();
@@ -202,6 +233,9 @@ impl<T: Clone + Corruptible> Fabric<T> {
             self.deliver(to.index(), message);
             if let Some(dup) = duplicate {
                 self.deliver(to.index(), dup);
+            }
+            if counted {
+                self.observe_depth(to.index());
             }
         }
         fate

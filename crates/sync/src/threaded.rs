@@ -11,6 +11,7 @@
 
 use crate::model::MAX_LEVELS;
 use snap_fault::FaultInjector;
+use snap_obs::Tracer;
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -65,12 +66,13 @@ pub struct TieredBarrier {
     activity: AtomicU64,
     level_overflows: AtomicU64,
     injector: Option<Arc<FaultInjector>>,
+    tracer: Tracer,
 }
 
 impl TieredBarrier {
     /// Creates the barrier; all PEs start idle.
     pub fn new() -> Arc<Self> {
-        Self::build(None)
+        Self::build(None, Tracer::disabled())
     }
 
     /// Creates the barrier with a fault injector attached: counter
@@ -78,16 +80,24 @@ impl TieredBarrier {
     /// termination invariant is untouched), modeling counter-network
     /// contention.
     pub fn with_injector(injector: Arc<FaultInjector>) -> Arc<Self> {
-        Self::build(Some(injector))
+        Self::build(Some(injector), Tracer::disabled())
     }
 
-    fn build(injector: Option<Arc<FaultInjector>>) -> Arc<Self> {
+    /// Creates the barrier with both an optional injector and a tracer:
+    /// every created-token arrival is reported to the counter-network
+    /// track of the trace (subject to the tracer's sampling).
+    pub fn with_instruments(injector: Option<Arc<FaultInjector>>, tracer: Tracer) -> Arc<Self> {
+        Self::build(injector, tracer)
+    }
+
+    fn build(injector: Option<Arc<FaultInjector>>, tracer: Tracer) -> Arc<Self> {
         Arc::new(TieredBarrier {
             levels: (0..MAX_LEVELS).map(|_| AtomicI64::new(0)).collect(),
             busy_pes: AtomicUsize::new(0),
             activity: AtomicU64::new(0),
             level_overflows: AtomicU64::new(0),
             injector,
+            tracer,
         })
     }
 
@@ -103,6 +113,9 @@ impl TieredBarrier {
             self.level_overflows.fetch_add(1, Ordering::Relaxed);
         }
         self.levels[tier(level)].fetch_add(1, Ordering::SeqCst);
+        if self.tracer.is_enabled() {
+            self.tracer.barrier_arrive(level, self.tracer.wall_stamp());
+        }
         let op = self.touch();
         if let Some(injector) = &self.injector {
             let ns = injector.barrier_stall_ns(level, op);

@@ -14,6 +14,14 @@
 //! ```sh
 //! cargo run --release --example chaos
 //! ```
+//!
+//! With the `obs` feature the chaos run is also traced, and a
+//! Perfetto-loadable chrome trace with one track per cluster lands in
+//! `results/chaos_trace.json`:
+//!
+//! ```sh
+//! cargo run --release --features obs --example chaos
+//! ```
 
 use snap_core::{EngineKind, FaultPlan, Snap1};
 use snap_kb::PartitionScheme;
@@ -59,10 +67,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .stalls(0.05, 50_000)
         .worker_panic(3, 40);
     println!("\ninjecting: {plan:?}\n");
-    let chaos_machine = builder().faults(plan).build();
+    // Full event tracing on the chaotic run; without the `obs` cargo
+    // feature recording is compiled out and this costs nothing.
+    let chaos_machine = builder()
+        .faults(plan)
+        .trace(snap_core::ObsConfig::full())
+        .build();
     let mut chaos_net = kb.network.clone();
 
     let mut survived = snap_core::FaultReport::default();
+    let mut last_trace = snap_core::TraceReport::default();
     for (i, s) in sentences.iter().enumerate() {
         let clean = &clean_results[i];
         let chaotic = parser.parse(&mut chaos_net, &chaos_machine, s)?;
@@ -88,6 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             winner.unwrap_or("<no interpretation>")
         );
         survived = survived.merged(&chaotic.report.faults);
+        last_trace = chaotic.report.trace;
     }
 
     println!("\nevery parse matched the fault-free run. survived:");
@@ -96,5 +111,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         survived.total_injected() > 0,
         "the schedule injected faults"
     );
+
+    // Traced builds: dump the last parse's events as a chrome trace
+    // (one track per cluster) and print the compact phase summary.
+    if !last_trace.is_empty() {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("chaos_trace.json");
+        std::fs::write(&path, snap_core::chrome_trace_json(&last_trace))?;
+        println!("\n{}", last_trace.summary());
+        println!(
+            "perfetto trace written to {} — open it at https://ui.perfetto.dev",
+            path.display()
+        );
+    }
     Ok(())
 }

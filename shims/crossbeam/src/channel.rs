@@ -105,6 +105,16 @@ impl<T> Sender<T> {
         self.shared.ready.notify_one();
         Ok(())
     }
+
+    /// `true` when no message is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
 }
 
 impl<T> Clone for Sender<T> {

@@ -192,7 +192,14 @@ fn chaos_schedules_match_fault_free_sequential_results() {
         .engine(EngineKind::Sequential)
         .build();
     let reference = sequential.run(&mut grid(50), &program).unwrap();
-    for seed in 0..20 {
+    // CI smoke jobs trim the sweep with e.g. CHAOS_SEEDS=5; the full
+    // 20-seed envelope stays the local default. Seed 7 (the worker
+    // panic) is only asserted on when the sweep reaches it.
+    let seeds: u64 = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    for seed in 0..seeds {
         let plan = chaos_plan(seed);
         let machine = Snap1::builder()
             .clusters(4)
