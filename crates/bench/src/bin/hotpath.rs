@@ -1,0 +1,10 @@
+//! Wall-clock hot-path benchmark; writes `BENCH_hotpath.json` at the
+//! repository root. Not part of `run_all` (the figure experiments are
+//! deterministic simulated time; this one measures the current machine).
+
+use snap_bench::experiments::hotpath;
+use snap_bench::output::quick_requested;
+
+fn main() {
+    hotpath::run(quick_requested()).print();
+}

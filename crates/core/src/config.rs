@@ -20,6 +20,22 @@ pub enum EngineKind {
     Threaded,
 }
 
+/// How engines back the propagation visited table (the per-phase
+/// best-`(value, origin)` record per `(prop, state, node)` site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum VisitedStrategy {
+    /// Dense per-`(prop, state)` arrays indexed by node when the node
+    /// space is small enough to allocate flat; the hash map otherwise.
+    #[default]
+    Auto,
+    /// Always dense arrays (O(1) probes, O(nodes) memory per visited
+    /// `(prop, state)` pair).
+    Dense,
+    /// Always the `(prop, state, node)`-keyed hash map (memory
+    /// proportional to the active set, slower probes).
+    Hashed,
+}
+
 /// Geometry and clock configuration of a SNAP-1 machine.
 ///
 /// The constructors encode the paper's configurations:
@@ -69,6 +85,11 @@ pub struct MachineConfig {
     /// inert. The aggregated `TraceReport` lands in the run report next
     /// to the fault report.
     pub trace: Option<ObsConfig>,
+    /// Backing store for the propagation visited table. The strategy
+    /// never changes which nodes are reached — only probe cost — so it
+    /// defaults to picking automatically from the node count.
+    #[serde(default)]
+    pub visited: VisitedStrategy,
 }
 
 impl MachineConfig {
@@ -91,6 +112,7 @@ impl MachineConfig {
             instrument: false,
             fault_plan: None,
             trace: None,
+            visited: VisitedStrategy::Auto,
         }
     }
 

@@ -243,6 +243,11 @@ pub fn exec_single(
         // ----- explicit barrier: no marker work -----
         Instruction::Barrier => {}
     }
+    if out.maintenance_ops > 0 {
+        // Keep the relation table's contiguous index complete so the
+        // next propagation phase stays on the slice-lookup fast path.
+        network.flush_links();
+    }
     Ok(out)
 }
 

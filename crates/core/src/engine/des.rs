@@ -47,6 +47,7 @@ pub(crate) fn run(
     program: &Program,
 ) -> Result<RunReport, CoreError> {
     config.validate();
+    network.flush_links();
     let mut machine = Des::new(config, cost, network);
     for step in plan(program) {
         match step {
@@ -293,7 +294,7 @@ impl<'c> Des<'c> {
         t0: SimTime,
     ) -> Result<SimTime, CoreError> {
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut visited = VisitedMap::new();
+        let mut visited = VisitedMap::with_strategy(self.config.visited, network.node_count());
         let mut phase_end = t0;
 
         // Seed: every cluster scans its marker status table for sources.
@@ -605,7 +606,7 @@ impl<'c> Des<'c> {
         specs: &[PropSpec],
         t0: SimTime,
     ) -> Result<SimTime, CoreError> {
-        let mut visited = VisitedMap::new();
+        let mut visited = VisitedMap::with_strategy(self.config.visited, network.node_count());
         // (cluster, task) pairs of the current wave.
         let mut wave: Vec<(usize, PropTask)> = Vec::new();
         for spec in specs {

@@ -12,7 +12,7 @@ use crate::controller::{plan, PropSpec, Step};
 use crate::cost::CostModel;
 use crate::engine::common::{exec_single, phase_of};
 use crate::error::CoreError;
-use crate::propagate::{expand, PropTask, VisitedMap};
+use crate::propagate::{expand_into, PropArrival, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
 use crate::report::RunReport;
 use snap_isa::{InstrClass, Program};
@@ -28,6 +28,7 @@ pub(crate) fn run(
     network: &mut SemanticNetwork,
     program: &Program,
 ) -> Result<RunReport, CoreError> {
+    network.flush_links();
     let map = RegionMap::build(network, 1, PartitionScheme::Sequential);
     let mut region = Region::new(ClusterId(0), map, network);
     let mut report = RunReport::default();
@@ -121,7 +122,7 @@ fn run_propagate(
     report: &mut RunReport,
     tracer: &Tracer,
 ) -> Result<SimTime, CoreError> {
-    let mut visited = VisitedMap::new();
+    let mut visited = VisitedMap::with_strategy(config.visited, network.node_count());
     let mut queue: VecDeque<PropTask> = VecDeque::new();
     let sources = region.active_nodes(spec.source);
     report.alpha_per_propagate.push(sources.len() as u64);
@@ -140,15 +141,17 @@ fn run_propagate(
     }
 
     let mut ns = cost.pu_decode_ns;
+    let mut arrivals: Vec<PropArrival> = Vec::new();
     while let Some(task) = queue.pop_front() {
-        let exp = expand(network, &spec.rule, spec.func, &task);
+        let (segments, links_scanned) =
+            expand_into(network, &spec.rule, spec.func, &task, &mut arrivals);
         report.expansions += 1;
         tracer.expansion(0);
-        ns += cost.expand_ns(exp.segments, exp.links_scanned, exp.arrivals.len());
+        ns += cost.expand_ns(segments, links_scanned, arrivals.len());
         if task.level >= config.max_hops {
             continue;
         }
-        for arrival in exp.arrivals {
+        for &arrival in &arrivals {
             region.arrive(spec.target, arrival.node, arrival.value, task.origin)?;
             report.traffic.local_activations += 1;
             tracer.activation(0);

@@ -13,10 +13,12 @@
 //! When a [`snap_fault::FaultPlan`] is attached, marker traffic runs a
 //! resilient protocol instead of trusting the channels:
 //!
-//! * every off-cluster marker travels in a sequence-numbered, checksummed
-//!   [`Envelope`]; receivers discard corrupted envelopes, suppress
-//!   duplicates, and acknowledge everything else over the (uncounted but
-//!   still faultable) control path;
+//! * off-cluster markers bound for the same destination cluster are
+//!   coalesced into one sequence-numbered, checksummed batch
+//!   [`Envelope`] per expansion; receivers discard corrupted envelopes,
+//!   suppress duplicates, and acknowledge everything else over the
+//!   (uncounted but still faultable) control path — one ack and one
+//!   barrier token per batch;
 //! * senders hold each message's barrier created-token until the ack
 //!   arrives, retransmitting with bounded exponential backoff
 //!   ([`RetryPolicy`]) — so a dropped message can never produce a false
@@ -29,11 +31,11 @@
 //!   neighbor, and the propagation phase is replayed under a new epoch —
 //!   graceful degradation in place of a crashed run.
 
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, VisitedStrategy};
 use crate::controller::{plan, PropSpec, Step};
 use crate::engine::common::phase_of;
 use crate::error::CoreError;
-use crate::propagate::{expand, PropTask, VisitedMap};
+use crate::propagate::{expand_into, PropArrival, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
 use crate::report::{CollectOutput, RunReport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -45,7 +47,7 @@ use snap_net::{Fabric, HypercubeTopology};
 use snap_obs::{FaultKind, PhaseKind, Tracer, CONTROLLER_TRACK};
 use snap_sync::TieredBarrier;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -107,10 +109,12 @@ enum Reply {
 }
 
 /// Messages crossing the fabric during propagation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum NetMsg {
-    /// An enveloped marker task.
-    Marker(Envelope<PropTask>),
+    /// An enveloped batch of marker tasks, all bound for the same
+    /// destination cluster: one checksum, one ack, one barrier token
+    /// for the whole batch.
+    Marker(Envelope<Vec<PropTask>>),
     /// Receiver → sender acknowledgement, echoing the envelope checksum
     /// so a corrupted ack cannot acknowledge the wrong payload.
     Ack { seq: u64, checksum: u64 },
@@ -127,7 +131,11 @@ impl Corruptible for NetMsg {
 
 /// An unacknowledged envelope awaiting its ack or retransmission.
 struct PendingSend {
-    env: Envelope<PropTask>,
+    env: Envelope<Vec<PropTask>>,
+    /// Destination cluster — every task in the batch shares it.
+    dest: ClusterId,
+    /// Barrier level of the batch's single created-token.
+    level: u8,
     attempts: u32,
     due: Instant,
 }
@@ -149,6 +157,9 @@ pub(crate) fn run(
     program: &Program,
 ) -> Result<RunReport, CoreError> {
     config.validate();
+    // Settle any staged relation-table inserts before regions are built,
+    // so every worker's expansions take the indexed CSR fast path.
+    network.flush_links();
     let started = Instant::now();
     let injector = config
         .fault_plan
@@ -178,6 +189,7 @@ pub(crate) fn run(
         Arc::new(Mutex::new(vec![None; config.clusters]));
     let net = RwLock::new(network);
     let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+    let tasks_sent = Arc::new(AtomicU64::new(0));
 
     let (reply_tx, reply_rx) = unbounded::<Reply>();
     let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(config.clusters);
@@ -217,6 +229,7 @@ pub(crate) fn run(
             let worker = Worker {
                 cluster: c,
                 max_hops: config.max_hops,
+                visited_strategy: config.visited,
                 region,
                 adopted: Vec::new(),
                 map: Arc::clone(&map),
@@ -236,6 +249,8 @@ pub(crate) fn run(
                 pending: HashMap::new(),
                 dedup: DedupTable::new(),
                 steps: 0,
+                arrivals: Vec::new(),
+                tasks_sent: Arc::clone(&tasks_sent),
                 tracer: tracer.clone(),
             };
             let crash_tx = reply_tx.clone();
@@ -294,6 +309,7 @@ pub(crate) fn run(
     let mut report = controller.report;
     report.traffic.total_messages = fabric.messages();
     report.traffic.total_hops = fabric.hops();
+    report.traffic.tasks_sent = tasks_sent.load(Ordering::Relaxed);
     if let Some(inj) = &injector {
         report.faults = inj.report();
     }
@@ -684,6 +700,10 @@ impl Controller {
             }
             _ => unreachable!("not a maintenance instruction"),
         }
+        // Maintenance may stage relation-table inserts; settle them while
+        // the array is quiescent so the next propagation phase expands
+        // over the indexed CSR layout.
+        net.write().flush_links();
         Ok(())
     }
 }
@@ -692,6 +712,7 @@ impl Controller {
 struct Worker<'env, 'net> {
     cluster: usize,
     max_hops: u8,
+    visited_strategy: VisitedStrategy,
     region: Region,
     /// Regions adopted from dead clusters (graceful degradation).
     adopted: Vec<Region>,
@@ -714,6 +735,11 @@ struct Worker<'env, 'net> {
     dedup: DedupTable,
     /// Tasks this worker has executed (the injected-panic step counter).
     steps: u64,
+    /// Reused arrival buffer for [`expand_into`] (no per-task allocation).
+    arrivals: Vec<PropArrival>,
+    /// Run-wide count of individual tasks sent off-cluster (batching
+    /// evidence next to the fabric's envelope count).
+    tasks_sent: Arc<AtomicU64>,
     tracer: Tracer,
 }
 
@@ -889,7 +915,8 @@ impl Worker<'_, '_> {
             self.pending.clear();
             self.dedup.clear();
         }
-        let mut visited = VisitedMap::new();
+        let node_count = self.net.read().node_count();
+        let mut visited = VisitedMap::with_strategy(self.visited_strategy, node_count);
         let mut queue: std::collections::VecDeque<PropTask> = Default::default();
 
         // Seed local sources, then consume the controller's phase token.
@@ -1034,8 +1061,15 @@ impl Worker<'_, '_> {
                     self.cluster as u16,
                     self.tracer.wall_stamp(),
                 );
-                let level = env.payload.level.min(63);
-                self.handle_arrival(specs, visited, queue, env.payload);
+                // One batch = one barrier token: every task in the
+                // envelope shares a level, and the batch is consumed once
+                // after all of its arrivals are processed.
+                let Some(level) = env.payload.first().map(|t| t.level.min(63)) else {
+                    return;
+                };
+                for task in env.payload {
+                    self.handle_arrival(specs, visited, queue, task);
+                }
                 self.barrier.consumed(level);
             }
             NetMsg::Ack { seq, checksum } => {
@@ -1070,26 +1104,27 @@ impl Worker<'_, '_> {
                 continue;
             };
             if self.retry.exhausted(p.attempts) {
-                let dest = self.map.cluster_of(p.env.payload.node);
                 self.report_error(CoreError::WorkerFailed {
                     cluster: self.cluster,
                     cause: format!(
-                        "marker to cluster {} unacknowledged after {} retransmissions",
-                        dest.index(),
+                        "marker batch to cluster {} unacknowledged after {} retransmissions",
+                        p.dest.index(),
                         p.attempts
                     ),
                 });
                 // Release the held token so the phase can close; the
                 // typed error above fails the run.
-                self.barrier.consumed(p.env.payload.level.min(63));
+                self.barrier.consumed(p.level);
             } else {
                 // Retransmission is work: flag the PE busy so the barrier
                 // watchdog sees live recovery activity, not dead air.
                 self.barrier.enter_busy();
-                let owner = self.owners[self.map.cluster_of(p.env.payload.node).index()]
-                    .load(Ordering::Acquire);
-                self.fabric
-                    .send_faulty(self.id(), ClusterId(owner as u8), NetMsg::Marker(p.env));
+                let owner = self.owners[p.dest.index()].load(Ordering::Acquire);
+                self.fabric.send_faulty(
+                    self.id(),
+                    ClusterId(owner as u8),
+                    NetMsg::Marker(p.env.clone()),
+                );
                 self.tracer
                     .msg_retry(self.cluster as u16, owner as u16, self.tracer.wall_stamp());
                 if let Some(inj) = &self.injector {
@@ -1166,14 +1201,21 @@ impl Worker<'_, '_> {
             }
         }
         let spec = &specs[task.prop];
-        let expansion = {
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        {
             let guard = self.net.read();
-            expand(&guard, &spec.rule, spec.func, task)
-        };
+            expand_into(&guard, &spec.rule, spec.func, task, &mut arrivals);
+        }
         if task.level >= self.max_hops {
+            self.arrivals = arrivals;
             return;
         }
-        for arrival in expansion.arrivals {
+        // Local arrivals are applied immediately; off-cluster arrivals
+        // are coalesced per destination cluster into one envelope each —
+        // a single checksum, ack/retry slot, and barrier token covers
+        // the whole batch.
+        let mut batches: Vec<(ClusterId, usize, Vec<PropTask>)> = Vec::new();
+        for arrival in &arrivals {
             let next = PropTask {
                 prop: task.prop,
                 node: arrival.node,
@@ -1186,34 +1228,45 @@ impl Worker<'_, '_> {
             let owner = self.owners[dest.index()].load(Ordering::Acquire);
             if owner == self.cluster {
                 self.handle_arrival(specs, visited, queue, next);
+            } else if let Some((_, _, batch)) = batches.iter_mut().find(|(d, _, _)| *d == dest) {
+                batch.push(next);
             } else {
-                self.barrier.created(next.level.min(63));
-                if self.tracer.is_enabled() {
-                    let hops = self.fabric.topology().distance(self.id(), dest);
-                    self.tracer.msg_send(
-                        self.cluster as u16,
-                        owner as u16,
-                        hops.min(u8::MAX as usize) as u8,
-                        self.tracer.wall_stamp(),
-                    );
-                }
-                let env = Envelope::seal(self.epoch, self.cluster as u8, self.next_seq, next);
-                self.next_seq += 1;
-                if self.resilient() {
-                    self.pending.insert(
-                        env.seq,
-                        PendingSend {
-                            env,
-                            attempts: 0,
-                            due: Instant::now() + self.retry.backoff(0),
-                        },
-                    );
-                    self.fabric
-                        .send_faulty(self.id(), ClusterId(owner as u8), NetMsg::Marker(env));
-                } else {
-                    self.fabric
-                        .send(self.id(), ClusterId(owner as u8), NetMsg::Marker(env));
-                }
+                batches.push((dest, owner, vec![next]));
+            }
+        }
+        self.arrivals = arrivals;
+        let level = (task.level + 1).min(63);
+        for (dest, owner, batch) in batches {
+            self.barrier.created(level);
+            self.tasks_sent
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            if self.tracer.is_enabled() {
+                let hops = self.fabric.topology().distance(self.id(), dest);
+                self.tracer.msg_send(
+                    self.cluster as u16,
+                    owner as u16,
+                    hops.min(u8::MAX as usize) as u8,
+                    self.tracer.wall_stamp(),
+                );
+            }
+            let env = Envelope::seal(self.epoch, self.cluster as u8, self.next_seq, batch);
+            self.next_seq += 1;
+            if self.resilient() {
+                self.pending.insert(
+                    env.seq,
+                    PendingSend {
+                        env: env.clone(),
+                        dest,
+                        level,
+                        attempts: 0,
+                        due: Instant::now() + self.retry.backoff(0),
+                    },
+                );
+                self.fabric
+                    .send_faulty(self.id(), ClusterId(owner as u8), NetMsg::Marker(env));
+            } else {
+                self.fabric
+                    .send(self.id(), ClusterId(owner as u8), NetMsg::Marker(env));
             }
         }
     }
@@ -1313,6 +1366,8 @@ mod tests {
         }
         assert!(thr_report.wall_ns > 0);
         assert!(thr_report.traffic.total_messages > 0);
+        // Batching: envelopes never outnumber the tasks they carry.
+        assert!(thr_report.traffic.tasks_sent >= thr_report.traffic.total_messages);
         assert!(thr_report.faults.is_empty(), "fault-free run");
     }
 

@@ -44,7 +44,7 @@ pub mod exec {
     pub use crate::engine::common::{exec_single, ClusterWork, SingleOutcome};
 }
 
-pub use config::{EngineKind, MachineConfig};
+pub use config::{EngineKind, MachineConfig, VisitedStrategy};
 pub use cost::CostModel;
 pub use error::CoreError;
 pub use machine::{Snap1, Snap1Builder};

@@ -14,7 +14,8 @@
 //! * propagation depth is capped by the machine's `max_hops`, which
 //!   bounds work on cyclic knowledge bases.
 
-use snap_isa::{RuleProgram, StepFunc};
+use crate::config::VisitedStrategy;
+use snap_isa::{RuleProgram, StepFunc, MAX_RULE_STATES};
 use snap_kb::{NodeId, SemanticNetwork};
 use std::collections::HashMap;
 
@@ -76,43 +77,127 @@ impl snap_fault::Corruptible for PropTask {
     }
 }
 
+/// Most rule arcs a single state may have and still take the indexed
+/// merge path; beyond this (only reachable through large custom rules)
+/// expansion falls back to the full link scan.
+const MAX_MERGE_ARCS: usize = MAX_RULE_STATES;
+
 /// Expands `task` one step: for each arc live in the task's rule state,
 /// traverse the matching relation links and apply the step function.
+///
+/// Allocating convenience wrapper around [`expand_into`]; engines on the
+/// hot path reuse one arrival buffer across tasks instead.
 pub fn expand(
     network: &SemanticNetwork,
     rule: &RuleProgram,
     func: StepFunc,
     task: &PropTask,
 ) -> Expansion {
-    let state = rule.state(task.state);
-    let segments = network.segments(task.node);
     let mut arrivals = Vec::new();
-    let mut links_scanned = 0;
-    if state.is_terminal() {
-        return Expansion {
-            arrivals,
-            segments: 0,
-            links_scanned: 0,
-        };
-    }
-    for link in network.links(task.node) {
-        links_scanned += 1;
-        for arc in state.arcs() {
-            if link.relation == arc.relation {
-                arrivals.push(PropArrival {
-                    node: link.destination,
-                    state: arc.next,
-                    value: func.apply(task.value, link.weight),
-                });
-            }
-        }
-    }
+    let (segments, links_scanned) = expand_into(network, rule, func, task, &mut arrivals);
     Expansion {
         arrivals,
         segments,
         links_scanned,
     }
 }
+
+/// Expands `task` one step into a caller-provided arrival buffer (cleared
+/// first), returning the `(segments, links_scanned)` cost units.
+///
+/// Arrivals are produced via the relation table's per-`(node, relation)`
+/// runs — O(arcs · matching links) instead of the historical
+/// O(links · arcs) cross-product scan — but in the *exact* order the scan
+/// produced: ascending `(link insertion rank, arc index)`. Engines depend
+/// on that order for reproducible scheduling, so a single-arc state reads
+/// its run directly and multi-arc states merge their runs by rank. The
+/// cost units are unchanged by construction: the hardware fetches every
+/// relation slot of the node regardless of how many match, so
+/// `links_scanned` stays the node's full fanout and `segments` the
+/// segment-chain length.
+pub fn expand_into(
+    network: &SemanticNetwork,
+    rule: &RuleProgram,
+    func: StepFunc,
+    task: &PropTask,
+    arrivals: &mut Vec<PropArrival>,
+) -> (usize, usize) {
+    arrivals.clear();
+    let state = rule.state(task.state);
+    if state.is_terminal() {
+        return (0, 0);
+    }
+    let segments = network.segments(task.node);
+    let links_scanned = network.fanout(task.node);
+    let arcs = state.arcs();
+    if network.staged_link_count() > 0 || arcs.len() > MAX_MERGE_ARCS {
+        // Staged links are invisible to the indexed runs (and oversized
+        // custom rules overflow the merge cursors): take the legacy scan.
+        for link in network.links(task.node) {
+            for arc in arcs {
+                if link.relation == arc.relation {
+                    arrivals.push(PropArrival {
+                        node: link.destination,
+                        state: arc.next,
+                        value: func.apply(task.value, link.weight),
+                    });
+                }
+            }
+        }
+        return (segments, links_scanned);
+    }
+    if let [arc] = arcs {
+        // One arc: the relation run is already in insertion order.
+        let (run, _) = network.ranked_links_by(task.node, arc.relation);
+        arrivals.reserve(run.len());
+        for link in run {
+            arrivals.push(PropArrival {
+                node: link.destination,
+                state: arc.next,
+                value: func.apply(task.value, link.weight),
+            });
+        }
+        return (segments, links_scanned);
+    }
+    // Merge the per-arc runs back into scan order: ascending
+    // (insertion rank, arc index). Duplicate-relation arcs share ranks
+    // and tie-break on arc index, exactly like the scan's inner loop.
+    let mut runs = [(&[] as &[snap_kb::Link], &[] as &[u32]); MAX_MERGE_ARCS];
+    let mut cursors = [0usize; MAX_MERGE_ARCS];
+    let mut total = 0;
+    for (slot, arc) in runs.iter_mut().zip(arcs) {
+        *slot = network.ranked_links_by(task.node, arc.relation);
+        total += slot.0.len();
+    }
+    arrivals.reserve(total);
+    loop {
+        let mut best: Option<(u32, usize)> = None;
+        for (a, (_, ranks)) in runs[..arcs.len()].iter().enumerate() {
+            if let Some(&rank) = ranks.get(cursors[a]) {
+                if best.is_none_or(|b| (rank, a) < b) {
+                    best = Some((rank, a));
+                }
+            }
+        }
+        let Some((_, a)) = best else { break };
+        let link = &runs[a].0[cursors[a]];
+        cursors[a] += 1;
+        arrivals.push(PropArrival {
+            node: link.destination,
+            state: arcs[a].next,
+            value: func.apply(task.value, link.weight),
+        });
+    }
+    (segments, links_scanned)
+}
+
+/// Node count up to which [`VisitedStrategy::Auto`] picks the dense
+/// backing (8 bytes per node per visited `(prop, state)` pair).
+const DENSE_NODE_CAP: usize = 1 << 20;
+
+/// Sentinel origin marking an untouched dense slot (no real node carries
+/// `NodeId(u32::MAX)` — capacity checks cap IDs far below it).
+const EMPTY_ORIGIN: u32 = u32::MAX;
 
 /// Per-propagation visited map controlling (re-)expansion.
 ///
@@ -122,15 +207,72 @@ pub fn expand(
 /// beyond epsilon, or equal value with a smaller origin ID). Matching
 /// the [`crate::Region::arrive`] merge rule keeps the propagation fixed
 /// point independent of arrival order.
-#[derive(Debug, Default)]
+///
+/// Two backings implement identical decisions: a hash map keyed by
+/// `(prop, state, node)` (memory proportional to the active set) and
+/// dense per-`(prop, state)` arrays indexed by node (one probe, no
+/// hashing). Engines pick via [`VisitedMap::with_strategy`];
+/// [`VisitedMap::new`] keeps the historical hashed behavior.
+#[derive(Debug)]
 pub struct VisitedMap {
-    best: HashMap<(usize, u8, NodeId), (f32, NodeId)>,
+    backing: Backing,
+    visited: usize,
+}
+
+#[derive(Debug)]
+enum Backing {
+    Hashed(HashMap<(usize, u8, NodeId), (f32, NodeId)>),
+    Dense {
+        /// `tables[prop * MAX_RULE_STATES + state]`, allocated lazily on
+        /// the first visit of each `(prop, state)` pair and grown on
+        /// demand when maintenance adds nodes mid-run.
+        tables: Vec<Option<Vec<(f32, u32)>>>,
+        nodes: usize,
+    },
+}
+
+impl Default for VisitedMap {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl VisitedMap {
-    /// Creates an empty map (one per propagation phase).
+    /// Creates an empty hash-backed map (one per propagation phase).
     pub fn new() -> Self {
-        Self::default()
+        VisitedMap {
+            backing: Backing::Hashed(HashMap::new()),
+            visited: 0,
+        }
+    }
+
+    /// Creates an empty dense-backed map for a network of `nodes` nodes.
+    pub fn dense(nodes: usize) -> Self {
+        VisitedMap {
+            backing: Backing::Dense {
+                tables: Vec::new(),
+                nodes,
+            },
+            visited: 0,
+        }
+    }
+
+    /// Creates the map an engine should use for a network of `nodes`
+    /// nodes under the configured strategy. `Auto` goes dense up to
+    /// [`DENSE_NODE_CAP`] nodes and falls back to hashing for node
+    /// spaces too large to allocate flat per visited rule state.
+    pub fn with_strategy(strategy: VisitedStrategy, nodes: usize) -> Self {
+        match strategy {
+            VisitedStrategy::Hashed => Self::new(),
+            VisitedStrategy::Dense => Self::dense(nodes),
+            VisitedStrategy::Auto => {
+                if nodes <= DENSE_NODE_CAP {
+                    Self::dense(nodes)
+                } else {
+                    Self::new()
+                }
+            }
+        }
     }
 
     /// Returns `true` — and records the pair — if `(prop, state, node)`
@@ -145,15 +287,46 @@ impl VisitedMap {
         origin: NodeId,
     ) -> bool {
         const EPS: f32 = crate::region::VALUE_EPSILON;
-        match self.best.get_mut(&(prop, state, node)) {
-            None => {
-                self.best.insert((prop, state, node), (value, origin));
-                true
-            }
-            Some((best, best_origin)) => {
-                if value < *best - EPS || ((value - *best).abs() <= EPS && origin < *best_origin) {
+        match &mut self.backing {
+            Backing::Hashed(best) => match best.get_mut(&(prop, state, node)) {
+                None => {
+                    best.insert((prop, state, node), (value, origin));
+                    self.visited += 1;
+                    true
+                }
+                Some((best, best_origin)) => {
+                    if value < *best - EPS
+                        || ((value - *best).abs() <= EPS && origin < *best_origin)
+                    {
+                        *best = value.min(*best);
+                        *best_origin = origin;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            },
+            Backing::Dense { tables, nodes } => {
+                let idx = prop * MAX_RULE_STATES + state as usize;
+                if idx >= tables.len() {
+                    tables.resize(idx + 1, None);
+                }
+                let size = (*nodes).max(node.index() + 1);
+                let table = tables[idx].get_or_insert_with(Vec::new);
+                if table.len() < size {
+                    table.resize(size, (0.0, EMPTY_ORIGIN));
+                }
+                let (best, best_origin) = &mut table[node.index()];
+                if *best_origin == EMPTY_ORIGIN {
+                    *best = value;
+                    *best_origin = origin.0;
+                    self.visited += 1;
+                    true
+                } else if value < *best - EPS
+                    || ((value - *best).abs() <= EPS && origin.0 < *best_origin)
+                {
                     *best = value.min(*best);
-                    *best_origin = origin;
+                    *best_origin = origin.0;
                     true
                 } else {
                     false
@@ -164,12 +337,12 @@ impl VisitedMap {
 
     /// Number of distinct `(prop, state, node)` sites expanded.
     pub fn len(&self) -> usize {
-        self.best.len()
+        self.visited
     }
 
     /// `true` if nothing has been expanded.
     pub fn is_empty(&self) -> bool {
-        self.best.is_empty()
+        self.visited == 0
     }
 }
 
@@ -250,9 +423,7 @@ mod tests {
         assert!(exp.arrivals.is_empty());
     }
 
-    #[test]
-    fn visited_map_permits_improvements_only() {
-        let mut v = VisitedMap::new();
+    fn exercise_visited(mut v: VisitedMap) {
         let o = NodeId(7);
         assert!(v.should_expand(0, 0, NodeId(3), 5.0, o));
         assert!(!v.should_expand(0, 0, NodeId(3), 5.0, o));
@@ -265,5 +436,84 @@ mod tests {
         assert!(v.should_expand(0, 1, NodeId(3), 9.0, o));
         assert!(v.should_expand(1, 0, NodeId(3), 9.0, o));
         assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn visited_map_permits_improvements_only() {
+        exercise_visited(VisitedMap::new());
+    }
+
+    #[test]
+    fn dense_visited_map_decides_identically() {
+        exercise_visited(VisitedMap::dense(8));
+        exercise_visited(VisitedMap::with_strategy(
+            crate::config::VisitedStrategy::Auto,
+            8,
+        ));
+    }
+
+    #[test]
+    fn dense_visited_map_grows_past_declared_node_count() {
+        // Maintenance can add nodes after an engine snapshots the count.
+        let mut v = VisitedMap::dense(2);
+        assert!(v.should_expand(0, 0, NodeId(900), 1.0, NodeId(0)));
+        assert!(!v.should_expand(0, 0, NodeId(900), 1.0, NodeId(0)));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn expand_into_reuses_buffer_and_matches_expand() {
+        let net = diamond();
+        let rule = PropRule::Star(RelationType(1)).compile();
+        let mut buf = vec![PropArrival {
+            node: NodeId(9),
+            state: 7,
+            value: -1.0,
+        }];
+        for node in 0..4u32 {
+            let task = PropTask {
+                prop: 0,
+                node: NodeId(node),
+                state: 0,
+                value: 0.5,
+                origin: NodeId(0),
+                level: 0,
+            };
+            let exp = expand(&net, &rule, StepFunc::AddWeight, &task);
+            let (segments, scanned) =
+                expand_into(&net, &rule, StepFunc::AddWeight, &task, &mut buf);
+            assert_eq!(buf, exp.arrivals, "buffer is cleared then refilled");
+            assert_eq!(segments, exp.segments);
+            assert_eq!(scanned, exp.links_scanned);
+        }
+    }
+
+    #[test]
+    fn multi_arc_expansion_keeps_scan_order() {
+        // Interleave relations so the merged runs must be reordered by
+        // insertion rank to match the historical full-scan order.
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        for _ in 0..8 {
+            net.add_node(Color(0)).unwrap();
+        }
+        let (r1, r2) = (RelationType(1), RelationType(2));
+        net.add_link(NodeId(0), r2, 1.0, NodeId(4)).unwrap();
+        net.add_link(NodeId(0), r1, 1.0, NodeId(5)).unwrap();
+        net.add_link(NodeId(0), r2, 1.0, NodeId(6)).unwrap();
+        net.add_link(NodeId(0), r1, 1.0, NodeId(7)).unwrap();
+        net.flush_links();
+        let rule = PropRule::Spread(r1, r2).compile();
+        let task = PropTask {
+            prop: 0,
+            node: NodeId(0),
+            state: 0,
+            value: 0.0,
+            origin: NodeId(0),
+            level: 0,
+        };
+        let exp = expand(&net, &rule, StepFunc::AddWeight, &task);
+        let order: Vec<u32> = exp.arrivals.iter().map(|a| a.node.0).collect();
+        assert_eq!(order, vec![4, 5, 6, 7], "insertion order, not run order");
+        assert_eq!(exp.links_scanned, 4);
     }
 }

@@ -81,6 +81,12 @@ pub struct TrafficStats {
     pub messages_per_sync: Vec<u64>,
     /// Total inter-cluster messages.
     pub total_messages: u64,
+    /// Individual marker tasks carried by those messages. The threaded
+    /// engine coalesces same-destination tasks into one envelope, so
+    /// `tasks_sent >= total_messages` there; engines without batching
+    /// leave this zero.
+    #[serde(default)]
+    pub tasks_sent: u64,
     /// Total hypercube hops crossed.
     pub total_hops: u64,
     /// Total intra-cluster marker activations (no network traversal).
@@ -224,6 +230,7 @@ mod tests {
         let t = TrafficStats {
             messages_per_sync: vec![5, 30, 1],
             total_messages: 36,
+            tasks_sent: 36,
             total_hops: 50,
             local_activations: 100,
             blocked_sends: 0,

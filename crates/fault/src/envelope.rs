@@ -25,6 +25,31 @@ pub trait Corruptible {
     fn corrupt(&mut self, salt: u64);
 }
 
+/// A batch fingerprints as an order-sensitive chain over its elements,
+/// so reordering, dropping, or editing any member changes the digest —
+/// one checksum covers the whole coalesced envelope.
+impl<T: Fingerprint> Fingerprint for Vec<T> {
+    fn fingerprint(&self) -> u64 {
+        let mut acc = mix64(self.len() as u64);
+        for item in self {
+            acc = mix64(acc ^ item.fingerprint());
+        }
+        acc
+    }
+}
+
+/// In-flight corruption of a batch damages one salt-chosen element —
+/// enough to invalidate the batch checksum whatever the contents.
+impl<T: Corruptible> Corruptible for Vec<T> {
+    fn corrupt(&mut self, salt: u64) {
+        if self.is_empty() {
+            return;
+        }
+        let idx = (salt as usize) % self.len();
+        self[idx].corrupt(salt);
+    }
+}
+
 /// A sequence-numbered, checksummed wrapper around one marker message.
 ///
 /// The threaded engine sends every off-cluster marker inside an
@@ -183,6 +208,24 @@ mod tests {
         assert_eq!(table.len(), 2);
         table.clear();
         assert!(table.insert((0, 1)));
+    }
+
+    #[test]
+    fn batch_fingerprint_is_order_and_content_sensitive() {
+        let a = vec![Probe(1), Probe(2)].fingerprint();
+        let b = vec![Probe(2), Probe(1)].fingerprint();
+        let c = vec![Probe(1), Probe(2), Probe(3)].fingerprint();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, vec![Probe(1), Probe(2)].fingerprint());
+    }
+
+    #[test]
+    fn corrupted_batch_envelope_is_detected() {
+        let mut env = Envelope::seal(0, 1, 9, vec![Probe(5), Probe(6), Probe(7)]);
+        assert!(env.is_intact());
+        env.corrupt_in_flight(0xBEEF);
+        assert!(!env.is_intact());
     }
 
     #[test]

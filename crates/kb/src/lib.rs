@@ -46,6 +46,7 @@ mod links;
 mod marker;
 mod network;
 mod partition;
+pub mod reference;
 mod status;
 
 pub use error::KbError;

@@ -9,6 +9,24 @@
 //! subnode reached through the reserved subnode link. Marker state is
 //! never attached to subnodes; propagation engines charge one extra table
 //! lookup per segment traversed (see `segments`).
+//!
+//! # Storage layout
+//!
+//! Links live in one contiguous CSR (compressed sparse row) array sorted
+//! by `(node, relation, insertion rank)`: `offsets` gives each node's
+//! range, and because a node's range is relation-sorted, the links of one
+//! `(node, relation)` pair are a contiguous sub-slice found by binary
+//! search ([`RelationTable::relation_run`]). A parallel `ranks` array
+//! records each link's insertion rank within its node, and a per-node
+//! rank-sorted permutation (`by_rank`) drives insertion-order iteration,
+//! so the public accessors behave exactly like the historical
+//! nested-segment representation (see `reference::NestedRelationTable`).
+//!
+//! Mutation is staged: `add_link` appends to a small `pending` buffer
+//! (merged into the CSR arrays geometrically, so construction stays
+//! amortized O(E log E)); [`RelationTable::flush`] forces the merge.
+//! Engines flush before entering the propagation hot path so every
+//! expansion is pure slice arithmetic.
 
 use crate::error::KbError;
 use crate::ids::{NodeId, RelationType};
@@ -41,11 +59,26 @@ pub struct Link {
 /// assert_eq!(table.links(NodeId(0)).count(), 1);
 /// # Ok::<(), snap_kb::KbError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RelationTable {
-    /// Per node: chain of 16-slot segments. `rows[n][0]` is node `n`'s own
-    /// relation row; later segments are overflow subnodes.
-    rows: Vec<Vec<Vec<Link>>>,
+    /// All links, contiguous, sorted by `(node, relation, rank)`.
+    links: Vec<Link>,
+    /// Insertion rank of each link within its node (parallel to `links`).
+    ranks: Vec<u32>,
+    /// Node `n` owns `links[offsets[n]..offsets[n + 1]]`. Empty table has
+    /// an empty offset array; otherwise `offsets.len() == len() + 1`.
+    offsets: Vec<u32>,
+    /// Global link positions grouped per node and sorted by rank within
+    /// each node: drives insertion-order iteration.
+    by_rank: Vec<u32>,
+    /// Next insertion rank per node. Monotone — never reused after a
+    /// removal, so relative order of surviving links is stable.
+    next_rank: Vec<u32>,
+    /// Staged `(node, rank, link)` additions not yet merged into the CSR
+    /// arrays.
+    pending: Vec<(NodeId, u32, Link)>,
+    /// Staged link count per node (keeps `fanout` O(1) while staged).
+    pending_per_node: Vec<u32>,
 }
 
 impl RelationTable {
@@ -56,18 +89,35 @@ impl RelationTable {
 
     /// Number of node rows currently allocated.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.next_rank.len()
     }
 
     /// Returns `true` if no node rows are allocated.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.next_rank.is_empty()
     }
 
     /// Extends the table so that `node` has a row.
     pub fn ensure_node(&mut self, node: NodeId) {
-        if node.index() >= self.rows.len() {
-            self.rows.resize(node.index() + 1, vec![Vec::new()]);
+        let n = node.index() + 1;
+        if self.next_rank.len() < n {
+            if self.offsets.is_empty() {
+                self.offsets.push(0);
+            }
+            let last = *self.offsets.last().expect("offsets seeded above");
+            self.offsets.resize(n + 1, last);
+            self.next_rank.resize(n, 0);
+            self.pending_per_node.resize(n, 0);
+        }
+    }
+
+    /// CSR range of `node`, or `None` for an unallocated row.
+    fn node_range(&self, node: NodeId) -> Option<std::ops::Range<usize>> {
+        let n = node.index();
+        if n < self.len() {
+            Some(self.offsets[n] as usize..self.offsets[n + 1] as usize)
+        } else {
+            None
         }
     }
 
@@ -91,22 +141,82 @@ impl RelationTable {
         }
         self.ensure_node(source);
         self.ensure_node(destination);
-        let segments = &mut self.rows[source.index()];
-        let last = segments.last_mut().expect("node row always has a segment");
-        if last.len() < SLOTS_PER_NODE {
-            last.push(Link {
+        let rank = self.next_rank[source.index()];
+        self.next_rank[source.index()] = rank + 1;
+        self.pending.push((
+            source,
+            rank,
+            Link {
                 relation,
                 destination,
                 weight,
-            });
-        } else {
-            segments.push(vec![Link {
-                relation,
-                destination,
-                weight,
-            }]);
+            },
+        ));
+        self.pending_per_node[source.index()] += 1;
+        if self.pending.len() > 64.max(self.links.len() / 8) {
+            self.flush();
         }
         Ok(())
+    }
+
+    /// Merges all staged additions into the CSR arrays. Idempotent; a
+    /// no-op when nothing is staged. Engines call this before entering
+    /// the propagation hot path so expansions read pure slices.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by_key(|&(node, rank, link)| (node.0, link.relation.0, rank));
+        let nodes = self.len();
+        let total = self.links.len() + pending.len();
+        let mut links = Vec::with_capacity(total);
+        let mut ranks = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        offsets.push(0u32);
+        let mut p = 0;
+        for node in 0..nodes {
+            let mut i = self.offsets[node] as usize;
+            let end = self.offsets[node + 1] as usize;
+            while p < pending.len() && pending[p].0.index() == node {
+                let key = (pending[p].2.relation.0, pending[p].1);
+                while i < end && (self.links[i].relation.0, self.ranks[i]) < key {
+                    links.push(self.links[i]);
+                    ranks.push(self.ranks[i]);
+                    i += 1;
+                }
+                links.push(pending[p].2);
+                ranks.push(pending[p].1);
+                p += 1;
+            }
+            while i < end {
+                links.push(self.links[i]);
+                ranks.push(self.ranks[i]);
+                i += 1;
+            }
+            offsets.push(links.len() as u32);
+        }
+        self.links = links;
+        self.ranks = ranks;
+        self.offsets = offsets;
+        self.pending_per_node.iter_mut().for_each(|c| *c = 0);
+        self.rebuild_by_rank();
+    }
+
+    /// Number of staged (not yet merged) links. The propagation fast path
+    /// requires this to be zero.
+    pub fn staged_links(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Rebuilds the per-node insertion-order permutation from `ranks`.
+    fn rebuild_by_rank(&mut self) {
+        self.by_rank.clear();
+        self.by_rank.extend(0..self.links.len() as u32);
+        for node in 0..self.len() {
+            let (s, e) = (self.offsets[node] as usize, self.offsets[node + 1] as usize);
+            self.by_rank[s..e].sort_by_key(|&i| self.ranks[i as usize]);
+        }
     }
 
     /// Removes the first link matching `(source, relation, destination)`.
@@ -121,67 +231,114 @@ impl RelationTable {
         relation: RelationType,
         destination: NodeId,
     ) -> Result<(), KbError> {
-        let row = self
-            .rows
-            .get_mut(source.index())
-            .ok_or(KbError::UnknownNode(source))?;
-        let mut flat: Vec<Link> = row.iter().flatten().copied().collect();
-        let pos = flat
-            .iter()
-            .position(|l| l.relation == relation && l.destination == destination)
+        if source.index() >= self.len() {
+            return Err(KbError::UnknownNode(source));
+        }
+        self.flush();
+        let range = self.node_range(source).expect("row checked above");
+        // "First" means first in insertion order: the minimum-rank match.
+        let pos = range
+            .filter(|&i| {
+                self.links[i].relation == relation && self.links[i].destination == destination
+            })
+            .min_by_key(|&i| self.ranks[i])
             .ok_or(KbError::LinkNotFound {
                 source,
                 relation,
                 destination,
             })?;
-        flat.remove(pos);
-        *row = repack(flat);
+        self.links.remove(pos);
+        self.ranks.remove(pos);
+        for off in &mut self.offsets[source.index() + 1..] {
+            *off -= 1;
+        }
+        self.rebuild_by_rank();
         Ok(())
     }
 
     /// Iterates every outgoing link of `node`, in insertion order,
     /// transparently crossing subnode segments.
     pub fn links(&self, node: NodeId) -> impl Iterator<Item = &Link> {
-        self.rows
-            .get(node.index())
-            .into_iter()
-            .flat_map(|segments| segments.iter().flatten())
+        let order = self
+            .node_range(node)
+            .map_or(&[] as &[u32], |r| &self.by_rank[r]);
+        order.iter().map(move |&i| &self.links[i as usize]).chain(
+            self.pending
+                .iter()
+                .filter(move |(n, _, _)| *n == node)
+                .map(|(_, _, l)| l),
+        )
     }
 
-    /// Iterates the outgoing links of `node` with the given relation type.
+    /// Iterates the outgoing links of `node` with the given relation type,
+    /// in insertion order.
     pub fn links_by(&self, node: NodeId, relation: RelationType) -> impl Iterator<Item = &Link> {
-        self.links(node).filter(move |l| l.relation == relation)
+        self.relation_run(node, relation).iter().chain(
+            self.pending
+                .iter()
+                .filter(move |(n, _, l)| *n == node && l.relation == relation)
+                .map(|(_, _, l)| l),
+        )
+    }
+
+    /// The contiguous CSR sub-slice of `node`'s links with relation type
+    /// `relation`, in insertion order — the hot-path lookup. Excludes
+    /// staged links (see [`RelationTable::staged_links`]).
+    pub fn relation_run(&self, node: NodeId, relation: RelationType) -> &[Link] {
+        self.ranked_run(node, relation).0
+    }
+
+    /// Like [`RelationTable::relation_run`], also returning the parallel
+    /// insertion-rank slice (used to merge multiple relation runs back
+    /// into global insertion order).
+    pub fn ranked_run(&self, node: NodeId, relation: RelationType) -> (&[Link], &[u32]) {
+        let Some(range) = self.node_range(node) else {
+            return (&[], &[]);
+        };
+        let row = &self.links[range.clone()];
+        let lo = row.partition_point(|l| l.relation.0 < relation.0);
+        let hi = row.partition_point(|l| l.relation.0 <= relation.0);
+        let (s, e) = (range.start + lo, range.start + hi);
+        (&self.links[s..e], &self.ranks[s..e])
     }
 
     /// Number of relation-table segments (1 + overflow subnodes) backing
     /// `node`. Each segment beyond the first costs one extra lookup during
     /// propagation.
     pub fn segments(&self, node: NodeId) -> usize {
-        self.rows.get(node.index()).map_or(0, |s| s.len())
+        if node.index() >= self.len() {
+            return 0;
+        }
+        let fanout = self.fanout(node);
+        if fanout == 0 {
+            1
+        } else {
+            fanout.div_ceil(SLOTS_PER_NODE)
+        }
     }
 
     /// Total outgoing fanout of `node`.
     pub fn fanout(&self, node: NodeId) -> usize {
-        self.rows
-            .get(node.index())
-            .map_or(0, |s| s.iter().map(Vec::len).sum())
+        match self.node_range(node) {
+            Some(r) => r.len() + self.pending_per_node[node.index()] as usize,
+            None => 0,
+        }
     }
 
     /// Total number of links in the table.
     pub fn link_count(&self) -> usize {
-        self.rows
-            .iter()
-            .map(|s| s.iter().map(Vec::len).sum::<usize>())
-            .sum()
+        self.links.len() + self.pending.len()
     }
 }
 
-/// Packs a flat link list back into dense 16-slot segments.
-fn repack(flat: Vec<Link>) -> Vec<Vec<Link>> {
-    if flat.is_empty() {
-        return vec![Vec::new()];
+impl PartialEq for RelationTable {
+    /// Logical equality: same node rows with the same links in the same
+    /// insertion order, regardless of how many additions are still
+    /// staged.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && (0..self.len() as u32).all(|n| self.links(NodeId(n)).eq(other.links(NodeId(n))))
     }
-    flat.chunks(SLOTS_PER_NODE).map(<[Link]>::to_vec).collect()
 }
 
 #[cfg(test)]
@@ -230,6 +387,49 @@ mod tests {
             .map(|l| l.destination.0)
             .collect();
         assert_eq!(dests, vec![1, 3]);
+    }
+
+    #[test]
+    fn relation_run_is_a_flushed_slice_in_insertion_order() {
+        let mut t = RelationTable::new();
+        t.add_link(NodeId(0), rel(2), 0.0, NodeId(9)).unwrap();
+        t.add_link(NodeId(0), rel(1), 0.0, NodeId(1)).unwrap();
+        t.add_link(NodeId(0), rel(1), 0.0, NodeId(3)).unwrap();
+        t.add_link(NodeId(0), rel(3), 0.0, NodeId(4)).unwrap();
+        t.flush();
+        assert_eq!(t.staged_links(), 0);
+        let run = t.relation_run(NodeId(0), rel(1));
+        assert_eq!(
+            run.iter().map(|l| l.destination.0).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert!(t.relation_run(NodeId(0), rel(5)).is_empty());
+        assert!(t.relation_run(NodeId(7), rel(1)).is_empty());
+        let (links, ranks) = t.ranked_run(NodeId(0), rel(1));
+        assert_eq!(links.len(), ranks.len());
+        assert_eq!(ranks, &[1, 2], "ranks are node-wide insertion indices");
+    }
+
+    #[test]
+    fn staged_and_flushed_reads_agree() {
+        let mut t = RelationTable::new();
+        for i in 0..10u32 {
+            t.add_link(NodeId(0), rel((i % 3) as u16), i as f32, NodeId(i + 1))
+                .unwrap();
+        }
+        assert!(t.staged_links() > 0, "small batches stay staged");
+        let staged: Vec<Link> = t.links(NodeId(0)).copied().collect();
+        let staged_by: Vec<Link> = t.links_by(NodeId(0), rel(1)).copied().collect();
+        let (fanout, segs, count) = (t.fanout(NodeId(0)), t.segments(NodeId(0)), t.link_count());
+        t.flush();
+        assert_eq!(t.links(NodeId(0)).copied().collect::<Vec<_>>(), staged);
+        assert_eq!(
+            t.links_by(NodeId(0), rel(1)).copied().collect::<Vec<_>>(),
+            staged_by
+        );
+        assert_eq!(t.fanout(NodeId(0)), fanout);
+        assert_eq!(t.segments(NodeId(0)), segs);
+        assert_eq!(t.link_count(), count);
     }
 
     #[test]

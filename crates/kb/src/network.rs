@@ -12,6 +12,7 @@ use crate::ids::{Color, NodeId, RelationType};
 use crate::links::{Link, RelationTable};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Sizing parameters of a knowledge base, defaulting to the SNAP-1
 /// prototype design point.
@@ -60,8 +61,9 @@ impl Default for NetworkConfig {
 pub struct SemanticNetwork {
     config: NetworkConfig,
     colors: Vec<Color>,
-    names: Vec<Option<String>>,
-    name_index: HashMap<String, NodeId>,
+    /// Node names share one allocation with the `name_index` keys.
+    names: Vec<Option<Arc<str>>>,
+    name_index: HashMap<Arc<str>, NodeId>,
     relations: RelationTable,
 }
 
@@ -123,11 +125,12 @@ impl SemanticNetwork {
         color: Color,
     ) -> Result<NodeId, KbError> {
         let name = name.into();
-        if self.name_index.contains_key(&name) {
+        if self.name_index.contains_key(name.as_str()) {
             return Err(KbError::DuplicateName(name));
         }
         let id = self.add_node(color)?;
-        self.names[id.index()] = Some(name.clone());
+        let name: Arc<str> = name.into();
+        self.names[id.index()] = Some(Arc::clone(&name));
         self.name_index.insert(name, id);
         Ok(id)
     }
@@ -218,6 +221,27 @@ impl SemanticNetwork {
     /// Outgoing links of `node` with relation type `relation`.
     pub fn links_by(&self, node: NodeId, relation: RelationType) -> impl Iterator<Item = &Link> {
         self.relations.links_by(node, relation)
+    }
+
+    /// The contiguous relation-table run of `node`'s links with relation
+    /// type `relation`, with the parallel insertion-rank slice — the
+    /// propagation hot-path lookup. Excludes staged links; call
+    /// [`SemanticNetwork::flush_links`] first.
+    pub fn ranked_links_by(&self, node: NodeId, relation: RelationType) -> (&[Link], &[u32]) {
+        self.relations.ranked_run(node, relation)
+    }
+
+    /// Merges staged link additions into the contiguous relation table so
+    /// the hot-path slice lookups see every link. Engines call this once
+    /// before propagation and after each maintenance instruction.
+    pub fn flush_links(&mut self) {
+        self.relations.flush();
+    }
+
+    /// Number of link additions still staged (invisible to the hot-path
+    /// slice lookups until flushed).
+    pub fn staged_link_count(&self) -> usize {
+        self.relations.staged_links()
     }
 
     /// Relation-table segments backing `node` (1 + overflow subnodes);
