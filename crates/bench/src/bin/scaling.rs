@@ -1,0 +1,12 @@
+//! Speedup-curve benchmark; writes `BENCH_scaling.json` at the
+//! repository root. Not part of `run_all` (the figure experiments are
+//! deterministic simulated time; this one also measures the current
+//! machine). Any collect divergence between engines panics, so a clean
+//! exit certifies result identity across the whole sweep.
+
+use snap_bench::experiments::scaling;
+use snap_bench::output::quick_requested;
+
+fn main() {
+    scaling::run(quick_requested()).print();
+}

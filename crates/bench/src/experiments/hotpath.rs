@@ -263,15 +263,29 @@ fn kernel_compare(
 }
 
 /// One engine's end-to-end wall time on a workload, with the traffic
-/// counters that evidence envelope batching.
+/// counters that evidence envelope batching and the partition context
+/// that explains them (a zero envelope count on a fully-local partition
+/// is locality, not a broken counter).
 struct EngineRun {
     wall_ns: u128,
     envelopes: u64,
     tasks_sent: u64,
+    clusters: usize,
+    partition: String,
+    cut_fraction: f64,
 }
 
 fn engine_machine(kind: EngineKind, clusters: usize) -> Snap1 {
     Snap1::builder().clusters(clusters).engine(kind).build()
+}
+
+fn partition_context(report: &snap_core::RunReport) -> (String, f64) {
+    report
+        .partition
+        .as_ref()
+        .map_or(("unknown".into(), 0.0), |p| {
+            (format!("{:?}", p.scheme), p.cut_fraction)
+        })
 }
 
 fn run_alpha(kind: EngineKind, alpha: usize, depth: usize, clusters: usize) -> EngineRun {
@@ -280,10 +294,14 @@ fn run_alpha(kind: EngineKind, alpha: usize, depth: usize, clusters: usize) -> E
     let program = alpha_program();
     let t0 = Instant::now();
     let report = machine.run(&mut net, &program).expect("alpha run");
+    let (partition, cut_fraction) = partition_context(&report);
     EngineRun {
         wall_ns: t0.elapsed().as_nanos(),
         envelopes: report.traffic.total_messages,
         tasks_sent: report.traffic.tasks_sent,
+        clusters,
+        partition,
+        cut_fraction,
     }
 }
 
@@ -297,10 +315,16 @@ fn run_parse(kind: EngineKind, kb_nodes: usize, sentences: usize, clusters: usiz
         envelopes += r.report.traffic.total_messages;
         tasks_sent += r.report.traffic.tasks_sent;
     }
+    let (partition, cut_fraction) = results
+        .first()
+        .map_or(("unknown".into(), 0.0), |r| partition_context(&r.report));
     EngineRun {
         wall_ns,
         envelopes,
         tasks_sent,
+        clusters,
+        partition,
+        cut_fraction,
     }
 }
 
@@ -349,8 +373,14 @@ fn json_engine(name: &str, runs: &[(EngineKind, EngineRun)]) -> String {
             let mut s = format!("      \"{}_wall_ms\": {:.2}", label, r.wall_ns as f64 / 1e6);
             if *kind == EngineKind::Threaded {
                 s.push_str(&format!(
-                    ",\n      \"threaded_envelopes\": {},\n      \"threaded_tasks_sent\": {}",
-                    r.envelopes, r.tasks_sent
+                    concat!(
+                        ",\n      \"threaded_envelopes\": {},\n",
+                        "      \"threaded_tasks_sent\": {},\n",
+                        "      \"threaded_clusters\": {},\n",
+                        "      \"threaded_partition\": \"{}\",\n",
+                        "      \"threaded_cut_fraction\": {:.4}"
+                    ),
+                    r.envelopes, r.tasks_sent, r.clusters, r.partition, r.cut_fraction
                 ));
             }
             s
@@ -494,16 +524,27 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
         "fig19 large-KB sequential kernel speedup: {} (target >= 2.0)",
         ratio(fig19_kernel.speedup())
     ));
-    if let Some((_, thr)) = fig19_engines
-        .iter()
-        .find(|(k, _)| *k == EngineKind::Threaded)
-    {
+    for (name, engines) in [
+        ("fig16 alpha", &fig16_engines),
+        ("fig19 parse", &fig19_engines),
+    ] {
+        let Some((_, thr)) = engines.iter().find(|(k, _)| *k == EngineKind::Threaded) else {
+            continue;
+        };
         if thr.envelopes > 0 {
             out.note(format!(
-                "threaded batching: {} tasks in {} envelopes ({} tasks/envelope)",
+                "{name} threaded batching: {} tasks in {} envelopes ({} tasks/envelope)",
                 thr.tasks_sent,
                 thr.envelopes,
                 ratio(thr.tasks_sent as f64 / thr.envelopes as f64)
+            ));
+        } else {
+            out.note(format!(
+                "{name} threaded envelopes: 0 — the {} partition over {} clusters \
+                 cut {:.2}% of links, so propagation stayed intra-cluster",
+                thr.partition,
+                thr.clusters,
+                thr.cut_fraction * 100.0
             ));
         }
     }

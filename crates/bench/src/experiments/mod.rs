@@ -13,6 +13,7 @@ pub mod fig20;
 pub mod fig21;
 pub mod hotpath;
 pub mod projection;
+pub mod scaling;
 pub mod table1;
 pub mod table4;
 

@@ -1,0 +1,389 @@
+//! `scaling` — speedup curves for the threaded engine over cluster
+//! count and partition scheme, written to `BENCH_scaling.json` at the
+//! repository root.
+//!
+//! For each workload (the fig16 α chains and the fig19 parse knowledge
+//! base) the sweep runs every `(clusters, partition scheme)` cell on the
+//! threaded engine (wall clock) and the DES (simulated time), checking
+//! each cell's collect results against the sequential oracle — any
+//! divergence panics, which is what the CI smoke job keys on. Wall-clock
+//! numbers are honest about the host: `host_cpus` is recorded in the
+//! JSON, and on a single-core box the simulated-time curve is the
+//! scaling signal while wall time only bounds overhead.
+
+use crate::output::{ms, ratio, ExperimentOutput};
+use crate::workloads::{alpha_network, alpha_program};
+use snap_core::{EngineKind, RunReport, Snap1};
+use snap_isa::{Program, PropRule, StepFunc};
+use snap_kb::{Marker, NodeId, PartitionScheme, SemanticNetwork};
+use snap_nlu::{kb::rel, DomainSpec, PartOfSpeech};
+use snap_stats::Table;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Partition schemes on the sweep axis, in presentation order.
+const SCHEMES: [PartitionScheme; 3] = [
+    PartitionScheme::RoundRobin,
+    PartitionScheme::Semantic,
+    PartitionScheme::EdgeCut,
+];
+
+fn scheme_name(s: PartitionScheme) -> &'static str {
+    match s {
+        PartitionScheme::Sequential => "Sequential",
+        PartitionScheme::RoundRobin => "RoundRobin",
+        PartitionScheme::Semantic => "Semantic",
+        PartitionScheme::EdgeCut => "EdgeCut",
+    }
+}
+
+/// One workload: a prebuilt network and the program to run on it. The
+/// network is cloned outside every timed region, so measurements cover
+/// `Snap1::run` only — not KB construction.
+struct Workload {
+    name: &'static str,
+    net: SemanticNetwork,
+    program: Program,
+}
+
+/// One `(clusters, scheme)` sweep cell.
+struct Cell {
+    clusters: usize,
+    scheme: PartitionScheme,
+    /// Best threaded wall time over the repeat iterations (ns).
+    wall_ns: u128,
+    /// DES simulated time (ns).
+    des_ns: u64,
+    /// Inter-cluster envelopes on the wire (threaded run).
+    envelopes: u64,
+    /// Marker tasks carried by those envelopes (threaded run).
+    tasks_sent: u64,
+    /// Cut fraction of the partition the run used.
+    cut_fraction: f64,
+    /// Load balance (max cluster load over mean) of that partition.
+    load_balance: f64,
+}
+
+/// Builds the fig19-style parse-KB workload: `Spread` over the
+/// subsumption relations from a fixed sample of noun lexicon nodes.
+fn parse_kb_workload(kb_nodes: usize) -> Workload {
+    let kb = DomainSpec::sized(kb_nodes).build().expect("parse KB");
+    let sources: Vec<NodeId> = kb
+        .words(PartOfSpeech::Noun)
+        .iter()
+        .filter_map(|w| kb.word(w))
+        .take(48)
+        .collect();
+    assert!(!sources.is_empty(), "parse KB has no noun lexicon");
+    let mut b = Program::builder();
+    for &node in &sources {
+        b = b.search_node(node, Marker::binary(0), 0.0);
+    }
+    let program = b
+        .propagate(
+            Marker::binary(0),
+            Marker::complex(1),
+            PropRule::Spread(rel::IS_A, rel::ELEM_OF),
+            StepFunc::AddWeight,
+        )
+        .collect_marker(Marker::complex(1))
+        .build();
+    Workload {
+        name: "fig19_parse_kb",
+        net: kb.network,
+        program,
+    }
+}
+
+/// Runs `workload` once on `kind` and returns the report. The collect
+/// outputs of every run are compared against `oracle` (when given);
+/// divergence panics — results must be engine- and partition-invariant.
+fn run_once(
+    workload: &Workload,
+    kind: EngineKind,
+    clusters: usize,
+    scheme: PartitionScheme,
+    oracle: Option<&RunReport>,
+) -> (RunReport, u128) {
+    let machine = Snap1::builder()
+        .clusters(clusters)
+        .partition(scheme)
+        .engine(kind)
+        .build();
+    let mut net = workload.net.clone();
+    let t0 = Instant::now();
+    let report = machine
+        .run(&mut net, &workload.program)
+        .expect("scaling run");
+    let wall_ns = t0.elapsed().as_nanos();
+    if let Some(oracle) = oracle {
+        assert_eq!(
+            oracle.collects,
+            report.collects,
+            "{}: {kind:?} with {clusters} clusters / {} diverged from the sequential oracle",
+            workload.name,
+            scheme_name(scheme),
+        );
+    }
+    (report, wall_ns)
+}
+
+/// Sweeps one `(clusters, scheme)` cell: threaded best-of-`iters` wall
+/// time plus one deterministic DES run, both checked against the oracle.
+fn run_cell(
+    workload: &Workload,
+    clusters: usize,
+    scheme: PartitionScheme,
+    iters: usize,
+    oracle: &RunReport,
+) -> Cell {
+    let mut wall_ns = u128::MAX;
+    let mut envelopes = 0;
+    let mut tasks_sent = 0;
+    let mut cut_fraction = 0.0;
+    let mut load_balance = 0.0;
+    for _ in 0..iters {
+        let (report, ns) = run_once(
+            workload,
+            EngineKind::Threaded,
+            clusters,
+            scheme,
+            Some(oracle),
+        );
+        wall_ns = wall_ns.min(ns);
+        envelopes = report.traffic.total_messages;
+        tasks_sent = report.traffic.tasks_sent;
+        if let Some(p) = &report.partition {
+            cut_fraction = p.cut_fraction;
+            load_balance = p.load_balance;
+        }
+    }
+    let (des_report, _) = run_once(workload, EngineKind::Des, clusters, scheme, Some(oracle));
+    Cell {
+        clusters,
+        scheme,
+        wall_ns,
+        des_ns: des_report.total_ns,
+        envelopes,
+        tasks_sent,
+        cut_fraction,
+        load_balance,
+    }
+}
+
+/// The repository root (two levels above this crate's manifest).
+fn repo_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    std::path::Path::new(&manifest)
+        .join("../..")
+        .components()
+        .collect()
+}
+
+fn json_workload(name: &str, seq_wall_ns: u128, cells: &[Cell]) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let des_base = cells
+                .iter()
+                .find(|b| b.clusters == 1 && b.scheme == c.scheme)
+                .map_or(c.des_ns, |b| b.des_ns);
+            format!(
+                concat!(
+                    "      {{ \"clusters\": {}, \"scheme\": \"{}\", ",
+                    "\"wall_ms\": {:.2}, \"speedup_wall\": {:.2}, ",
+                    "\"des_ms\": {:.3}, \"speedup_des\": {:.2}, ",
+                    "\"envelopes\": {}, \"tasks_sent\": {}, ",
+                    "\"cut_fraction\": {:.4}, \"load_balance\": {:.3} }}"
+                ),
+                c.clusters,
+                scheme_name(c.scheme),
+                c.wall_ns as f64 / 1e6,
+                seq_wall_ns as f64 / c.wall_ns.max(1) as f64,
+                c.des_ns as f64 / 1e6,
+                des_base as f64 / c.des_ns.max(1) as f64,
+                c.envelopes,
+                c.tasks_sent,
+                c.cut_fraction,
+                c.load_balance,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"sequential_wall_ms\": {:.2},\n",
+            "      \"rows\": [\n  {}\n      ]\n",
+            "    }}"
+        ),
+        name,
+        seq_wall_ns as f64 / 1e6,
+        rows.join(",\n  "),
+    )
+}
+
+/// Runs the sweep and writes `BENCH_scaling.json` at the repo root.
+///
+/// # Panics
+///
+/// Panics if any run fails, any engine's collect results diverge from
+/// the sequential oracle, or the JSON file cannot be written.
+pub fn run(quick: bool) -> ExperimentOutput {
+    run_to(quick, repo_root().join("BENCH_scaling.json"))
+}
+
+/// [`run`] with an explicit output path (tests point it at a temp dir so
+/// a test run never overwrites the checked-in baseline).
+fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
+    let iters = if quick { 1 } else { 2 };
+    let cluster_axis: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16] };
+    // α is prime so no swept cluster count divides it: under RoundRobin
+    // every chain link then crosses a cluster boundary, giving the
+    // locality-aware schemes something to win (α = 192 would tile every
+    // power-of-two array perfectly and null the partition axis).
+    let (alpha, depth) = if quick { (31, 24) } else { (191, 96) };
+    let kb_nodes = if quick { 2_500 } else { 12_000 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let workloads = [
+        Workload {
+            name: "fig16_alpha",
+            net: alpha_network(alpha, depth).expect("alpha network"),
+            program: alpha_program(),
+        },
+        parse_kb_workload(kb_nodes),
+    ];
+
+    let mut out = ExperimentOutput::new("scaling", "Threaded-engine speedup curves");
+    let mut json_sections = Vec::new();
+    for workload in &workloads {
+        // Sequential oracle: semantics reference and wall-clock baseline.
+        let mut seq_wall_ns = u128::MAX;
+        let mut oracle = None;
+        for _ in 0..iters {
+            let (report, ns) = run_once(
+                workload,
+                EngineKind::Sequential,
+                1,
+                PartitionScheme::Sequential,
+                None,
+            );
+            seq_wall_ns = seq_wall_ns.min(ns);
+            oracle = Some(report);
+        }
+        let oracle = oracle.expect("at least one sequential iteration");
+
+        let mut cells = Vec::new();
+        for &clusters in cluster_axis {
+            for &scheme in &SCHEMES {
+                cells.push(run_cell(workload, clusters, scheme, iters, &oracle));
+            }
+        }
+
+        let mut table = Table::new(
+            [
+                "clusters",
+                "scheme",
+                "wall ms",
+                "des ms",
+                "des speedup",
+                "envelopes",
+                "cut frac",
+            ]
+            .map(str::to_string)
+            .to_vec(),
+        );
+        for c in &cells {
+            let des_base = cells
+                .iter()
+                .find(|b| b.clusters == 1 && b.scheme == c.scheme)
+                .map_or(c.des_ns, |b| b.des_ns);
+            table.row(vec![
+                c.clusters.to_string(),
+                scheme_name(c.scheme).to_string(),
+                ms(c.wall_ns as u64),
+                format!("{:.3}", c.des_ns as f64 / 1e6),
+                ratio(des_base as f64 / c.des_ns.max(1) as f64),
+                c.envelopes.to_string(),
+                format!("{:.4}", c.cut_fraction),
+            ]);
+        }
+        out.table(
+            format!(
+                "{} (sequential: {} ms)",
+                workload.name,
+                ms(seq_wall_ns as u64)
+            ),
+            table,
+        );
+
+        // Partition-quality note: EdgeCut should cut fewer links than
+        // RoundRobin at the widest array swept.
+        let widest = *cluster_axis.last().expect("non-empty cluster axis");
+        let cut_of = |scheme| {
+            cells
+                .iter()
+                .find(|c| c.clusters == widest && c.scheme == scheme)
+                .map_or(0.0, |c| c.cut_fraction)
+        };
+        out.note(format!(
+            "{} @ {} clusters cut fraction: EdgeCut {:.4} vs RoundRobin {:.4} vs Semantic {:.4}",
+            workload.name,
+            widest,
+            cut_of(PartitionScheme::EdgeCut),
+            cut_of(PartitionScheme::RoundRobin),
+            cut_of(PartitionScheme::Semantic),
+        ));
+        json_sections.push(json_workload(workload.name, seq_wall_ns, &cells));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scaling\",\n",
+            "  \"quick\": {},\n",
+            "  \"host_cpus\": {},\n",
+            "  \"workloads\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        quick,
+        host_cpus,
+        json_sections.join(",\n"),
+    );
+    std::fs::write(&path, &json).expect("write BENCH_scaling.json");
+
+    out.note(format!(
+        "host_cpus: {host_cpus}{}",
+        if host_cpus == 1 {
+            " — wall-clock speedup is core-bound; the DES simulated-time curve carries the scaling signal"
+        } else {
+            ""
+        }
+    ));
+    out.note("all threaded and DES collect results matched the sequential oracle".to_string());
+    out.note(format!("wrote {}", path.display()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_oracle_and_json_is_written() {
+        let dir = std::env::temp_dir().join(format!("snapbench-scaling-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scaling.json");
+        let out = run_to(true, path.clone());
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.contains("matched the sequential oracle")));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"fig16_alpha\""));
+        assert!(json.contains("\"fig19_parse_kb\""));
+        assert!(json.contains("\"EdgeCut\""));
+        assert!(json.contains("\"host_cpus\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

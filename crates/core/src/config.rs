@@ -164,6 +164,12 @@ impl MachineConfig {
     /// cluster has no MU, or there are no clusters.
     pub fn validate(&self) {
         assert!(self.clusters > 0, "machine needs at least one cluster");
+        assert!(
+            self.clusters <= snap_kb::MAX_CLUSTERS,
+            "cluster IDs are a byte: at most {} clusters, got {}",
+            snap_kb::MAX_CLUSTERS,
+            self.clusters
+        );
         assert_eq!(
             self.mus.len(),
             self.clusters,

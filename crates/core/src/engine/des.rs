@@ -127,6 +127,10 @@ struct Des<'c> {
 impl<'c> Des<'c> {
     fn new(config: &'c MachineConfig, cost: &'c CostModel, network: &SemanticNetwork) -> Self {
         let map = RegionMap::build(network, config.clusters, config.partition);
+        let report = RunReport {
+            partition: Some(map.partition().stats(network)),
+            ..RunReport::default()
+        };
         let regions = (0..config.clusters)
             .map(|c| Region::new(ClusterId(c as u8), Arc::clone(&map), network))
             .collect();
@@ -152,7 +156,7 @@ impl<'c> Des<'c> {
             now: 0,
             seq: 0,
             pending_msgs: 0,
-            report: RunReport::default(),
+            report,
         }
     }
 

@@ -20,6 +20,7 @@ use snap_kb::{ClusterId, PartitionScheme, SemanticNetwork};
 use snap_mem::SimTime;
 use snap_obs::{PhaseKind, Stamp, Tracer};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Executes `program` sequentially, returning the measured report.
 pub(crate) fn run(
@@ -30,8 +31,11 @@ pub(crate) fn run(
 ) -> Result<RunReport, CoreError> {
     network.flush_links();
     let map = RegionMap::build(network, 1, PartitionScheme::Sequential);
-    let mut region = Region::new(ClusterId(0), map, network);
-    let mut report = RunReport::default();
+    let mut region = Region::new(ClusterId(0), Arc::clone(&map), network);
+    let mut report = RunReport {
+        partition: Some(map.partition().stats(network)),
+        ..RunReport::default()
+    };
     let mut now: SimTime = 0;
     let tracer = Tracer::from_config(config.trace.as_ref(), 1);
 

@@ -39,14 +39,14 @@ use crate::propagate::{expand_into, PropArrival, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
 use crate::report::{CollectOutput, RunReport};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use snap_fault::{Corruptible, DedupTable, Envelope, FaultInjector, RetryPolicy};
 use snap_isa::{InstrClass, Instruction, Program};
 use snap_kb::{ClusterId, Color, Link, MarkerValue, NodeId, SemanticNetwork};
 use snap_net::{Fabric, HypercubeTopology};
 use snap_obs::{FaultKind, PhaseKind, Tracer, CONTROLLER_TRACK};
-use snap_sync::TieredBarrier;
-use std::collections::HashMap;
+use snap_sync::{BarrierStall, CountingGate, TieredBarrier};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -73,19 +73,104 @@ const MAX_STALL_STRIKES: u32 = 3;
 /// run unrecoverable.
 const MAX_REPLAYS: u32 = 4;
 
+/// Phase-closure protocol, chosen once per run.
+///
+/// Under fault injection or tracing the engine runs the faithful SNAP-1
+/// protocol: per-level counters plus the busy-PE AND-tree
+/// ([`TieredBarrier`], ~8 shared-atomic transitions per task). On the
+/// clean fast path phase closure only needs "every created token was
+/// consumed", so a single packed counter ([`CountingGate`], 2
+/// transitions per task) closes phases instead.
+#[derive(Clone)]
+enum Gate {
+    Fast(Arc<CountingGate>),
+    Tiered(Arc<TieredBarrier>),
+}
+
+impl Gate {
+    #[inline]
+    fn created(&self, level: u8) {
+        match self {
+            Gate::Fast(g) => g.created(),
+            Gate::Tiered(b) => b.created(level),
+        }
+    }
+
+    #[inline]
+    fn consumed(&self, level: u8) {
+        match self {
+            Gate::Fast(g) => g.consumed(),
+            Gate::Tiered(b) => b.consumed(level),
+        }
+    }
+
+    /// The AND-tree busy bit only exists in the tiered protocol; the
+    /// counting gate detects quiescence from the token count alone.
+    #[inline]
+    fn enter_busy(&self) {
+        if let Gate::Tiered(b) = self {
+            b.enter_busy();
+        }
+    }
+
+    #[inline]
+    fn exit_busy(&self) {
+        if let Gate::Tiered(b) = self {
+            b.exit_busy();
+        }
+    }
+
+    fn wait_complete_timeout(&self, stall_after: Duration) -> Result<(), BarrierStall> {
+        match self {
+            Gate::Fast(g) => g.wait_quiescent_timeout(stall_after),
+            Gate::Tiered(b) => b.wait_complete_timeout(stall_after),
+        }
+    }
+
+    fn in_flight(&self) -> i64 {
+        match self {
+            Gate::Fast(g) => g.in_flight(),
+            Gate::Tiered(b) => b.in_flight(),
+        }
+    }
+
+    fn busy_pes(&self) -> usize {
+        match self {
+            Gate::Fast(_) => 0,
+            Gate::Tiered(b) => b.busy_pes(),
+        }
+    }
+
+    fn reset(&self) {
+        match self {
+            Gate::Fast(g) => g.reset(),
+            Gate::Tiered(b) => b.reset(),
+        }
+    }
+}
+
 /// Commands from the controller to the cluster workers.
+///
+/// Commands that read the knowledge base carry the controller's current
+/// network snapshot as an `Arc` clone: workers drop the clone before
+/// replying, so between instructions the controller holds the only
+/// reference and maintenance can mutate in place.
 enum Cmd {
     /// Execute the local part of a non-propagate, non-collect
     /// instruction; reply `Done`.
-    Global(Arc<Instruction>),
+    Global(Arc<Instruction>, Arc<SemanticNetwork>),
     /// Gather the local part of a retrieval; reply with the part.
-    Collect(Arc<Instruction>),
+    Collect(Arc<Instruction>, Arc<SemanticNetwork>),
     /// Report the nodes where a marker is active (marker-node
     /// maintenance support); reply `Active`.
     ActiveNodes(snap_kb::Marker),
     /// Enter propagation mode for these overlapped specs, under the
-    /// given recovery epoch.
-    Prop(Arc<Vec<PropSpec>>, u32),
+    /// given recovery epoch, over the given network snapshot.
+    Prop {
+        specs: Arc<Vec<PropSpec>>,
+        epoch: u32,
+        net: Arc<SemanticNetwork>,
+    },
     /// Leave propagation mode (sent after the barrier completes).
     PhaseEnd,
     /// Abandon the current propagation phase: discard in-flight state,
@@ -166,6 +251,7 @@ pub(crate) fn run(
         .clone()
         .map(|plan| Arc::new(FaultInjector::new(plan)));
     let map = RegionMap::build(network, config.clusters, config.partition);
+    let partition_stats = map.partition().stats(network);
     let topology = HypercubeTopology::covering(config.clusters);
     let tracer = Tracer::from_config(config.trace.as_ref(), config.clusters);
     let (fabric, mut fabric_rxs) =
@@ -181,13 +267,31 @@ pub(crate) fn run(
     // listening on the wrong slot silently strands every message sent to
     // it, which the barrier watchdog then reports as lost.
     fabric_rxs.truncate(config.clusters);
-    let barrier = TieredBarrier::with_instruments(injector.clone(), tracer.clone());
+    // Fault injection and tracing both need the faithful protocol (per-
+    // level counters, injected counter-network stalls, barrier-arrive
+    // events); a clean untraced run closes phases with the cheap
+    // counting gate instead.
+    let gate = if injector.is_some() || tracer.is_enabled() {
+        Gate::Tiered(TieredBarrier::with_instruments(
+            injector.clone(),
+            tracer.clone(),
+        ))
+    } else {
+        Gate::Fast(CountingGate::new())
+    };
     // owners[c] = worker currently holding cluster c's region.
     let owners: Arc<Vec<AtomicUsize>> =
         Arc::new((0..config.clusters).map(AtomicUsize::new).collect());
     let checkpoints: Arc<Mutex<Vec<Option<Region>>>> =
         Arc::new(Mutex::new(vec![None; config.clusters]));
-    let net = RwLock::new(network);
+    // Move the network into a shared snapshot. Workers read it through
+    // Arc clones shipped with each command — the propagation hot path
+    // touches no lock at all — and drop the clone before replying, so
+    // between instructions the controller holds the only reference and
+    // maintenance mutates in place through `Arc::make_mut` (no copy on
+    // the common path).
+    let empty = SemanticNetwork::new(*network.config());
+    let mut shared = Arc::new(std::mem::replace(network, empty));
     let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
     let tasks_sent = Arc::new(AtomicU64::new(0));
 
@@ -209,7 +313,7 @@ pub(crate) fn run(
         live: vec![true; config.clusters],
         owners: Arc::clone(&owners),
         checkpoints: Arc::clone(&checkpoints),
-        barrier: Arc::clone(&barrier),
+        gate: gate.clone(),
         fabric: fabric.clone(),
         rx_backups,
         injector: injector.clone(),
@@ -221,11 +325,11 @@ pub(crate) fn run(
         tracer: tracer.clone(),
     };
 
-    std::thread::scope(|scope| -> Result<(), CoreError> {
+    let scope_result = std::thread::scope(|scope| -> Result<(), CoreError> {
         // Spawn one worker per cluster, each under a panic catcher that
         // reports the crash instead of aborting the whole scope.
         for c in (0..config.clusters).rev() {
-            let region = Region::new(ClusterId(c as u8), Arc::clone(&map), *net.read());
+            let region = Region::new(ClusterId(c as u8), Arc::clone(&map), &shared);
             let worker = Worker {
                 cluster: c,
                 max_hops: config.max_hops,
@@ -237,8 +341,7 @@ pub(crate) fn run(
                 reply_tx: reply_tx.clone(),
                 fabric: fabric.clone(),
                 fabric_rx: fabric_rxs.pop().expect("one fabric rx per cluster"),
-                barrier: Arc::clone(&barrier),
-                net: &net,
+                gate: gate.clone(),
                 first_error: &first_error,
                 injector: injector.clone(),
                 retry: RetryPolicy::default(),
@@ -250,6 +353,9 @@ pub(crate) fn run(
                 dedup: DedupTable::new(),
                 steps: 0,
                 arrivals: Vec::new(),
+                queue: VecDeque::new(),
+                batch_bufs: vec![Vec::new(); config.clusters],
+                batch_order: Vec::new(),
                 tasks_sent: Arc::clone(&tasks_sent),
                 tracer: tracer.clone(),
             };
@@ -271,7 +377,7 @@ pub(crate) fn run(
                         let instr = &program.instructions()[*idx];
                         tracer.phase_start(phase_of(instr.class()), tracer.wall_stamp());
                         let t0 = Instant::now();
-                        controller.exec_instr(instr, &net)?;
+                        controller.exec_instr(instr, &mut shared)?;
                         check_error(&first_error)?;
                         let ns = t0.elapsed().as_nanos() as u64;
                         controller.report.record(instr.class(), ns);
@@ -286,7 +392,7 @@ pub(crate) fn run(
                                 .map(|(g, &idx)| PropSpec::compile(g, &program.instructions()[idx]))
                                 .collect(),
                         );
-                        controller.run_phase(&specs, &first_error)?;
+                        controller.run_phase(&specs, &shared, &first_error)?;
                         let ns = t0.elapsed().as_nanos() as u64;
                         for _ in indices {
                             controller
@@ -304,9 +410,17 @@ pub(crate) fn run(
             }
         }
         result
-    })?;
+    });
+    // Hand the (possibly maintenance-mutated) network back to the caller
+    // even on error. Dropping the command channels first releases any
+    // snapshot clones stranded in a dead worker's queue, so the unwrap
+    // only falls back to a copy after an unrecovered crash.
+    controller.cmd_txs.clear();
+    *network = Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone());
+    scope_result?;
 
     let mut report = controller.report;
+    report.partition = Some(partition_stats);
     report.traffic.total_messages = fabric.messages();
     report.traffic.total_hops = fabric.hops();
     report.traffic.tasks_sent = tasks_sent.load(Ordering::Relaxed);
@@ -333,7 +447,7 @@ struct Controller {
     live: Vec<bool>,
     owners: Arc<Vec<AtomicUsize>>,
     checkpoints: Arc<Mutex<Vec<Option<Region>>>>,
-    barrier: Arc<TieredBarrier>,
+    gate: Gate,
     fabric: Fabric<NetMsg>,
     rx_backups: Vec<Receiver<NetMsg>>,
     injector: Option<Arc<FaultInjector>>,
@@ -408,6 +522,7 @@ impl Controller {
     fn run_phase(
         &mut self,
         specs: &Arc<Vec<PropSpec>>,
+        shared: &Arc<SemanticNetwork>,
         first_error: &Mutex<Option<CoreError>>,
     ) -> Result<(), CoreError> {
         let window = if self.injector.is_some() {
@@ -426,19 +541,26 @@ impl Controller {
                 if self.live[c] {
                     // One phase token per worker prevents completion
                     // before every cluster has seeded its sources.
-                    self.barrier.created(0);
-                    self.send_cmd(c, Cmd::Prop(Arc::clone(specs), self.epoch))?;
+                    self.gate.created(0);
+                    self.send_cmd(
+                        c,
+                        Cmd::Prop {
+                            specs: Arc::clone(specs),
+                            epoch: self.epoch,
+                            net: Arc::clone(shared),
+                        },
+                    )?;
                 }
             }
             let wait_t0 = Instant::now();
             let mut strikes = 0;
             loop {
-                match self.barrier.wait_complete_timeout(window) {
+                match self.gate.wait_complete_timeout(window) {
                     Ok(()) => break,
                     Err(stall) => {
                         self.tracer.barrier_stall(
-                            self.barrier.in_flight(),
-                            self.barrier.busy_pes() as u64,
+                            self.gate.in_flight(),
+                            self.gate.busy_pes() as u64,
                             self.tracer.wall_stamp(),
                         );
                         if let Some(dead) = self.poll_crash() {
@@ -521,7 +643,7 @@ impl Controller {
         *first_error.lock() = None;
         // Abandon the dead phase's barrier accounting and any traffic
         // still queued for the dead worker.
-        self.barrier.reset();
+        self.gate.reset();
         while self.rx_backups[dead].try_recv().is_ok() {}
         // Prefer a hypercube neighbor (cheapest adoption in the modelled
         // network); fall back to any live worker.
@@ -570,7 +692,7 @@ impl Controller {
     fn exec_instr(
         &mut self,
         instr: &Instruction,
-        net: &RwLock<&mut SemanticNetwork>,
+        net: &mut Arc<SemanticNetwork>,
     ) -> Result<(), CoreError> {
         match instr.class() {
             InstrClass::Maintenance => self.exec_maintenance(instr, net),
@@ -578,7 +700,7 @@ impl Controller {
                 let shared = Arc::new(instr.clone());
                 for c in 0..self.clusters {
                     if self.live[c] {
-                        self.send_cmd(c, Cmd::Collect(Arc::clone(&shared)))?;
+                        self.send_cmd(c, Cmd::Collect(Arc::clone(&shared), Arc::clone(net)))?;
                     }
                 }
                 let mut nodes = Vec::new();
@@ -618,7 +740,7 @@ impl Controller {
                 let shared = Arc::new(instr.clone());
                 for c in 0..self.clusters {
                     if self.live[c] {
-                        self.send_cmd(c, Cmd::Global(Arc::clone(&shared)))?;
+                        self.send_cmd(c, Cmd::Global(Arc::clone(&shared), Arc::clone(net)))?;
                     }
                 }
                 self.collect_done(self.live_count())
@@ -645,10 +767,16 @@ impl Controller {
 
     /// Node/marker maintenance runs on the controller while the array is
     /// quiescent (the paper's "housekeeping when the pipeline is empty").
+    ///
+    /// Workers drop their snapshot clones before replying to each
+    /// command, so by the time a maintenance instruction executes the
+    /// controller normally holds the only reference and `Arc::make_mut`
+    /// mutates in place; it only falls back to a copy when a crashed
+    /// worker stranded a clone.
     fn exec_maintenance(
         &mut self,
         instr: &Instruction,
-        net: &RwLock<&mut SemanticNetwork>,
+        net: &mut Arc<SemanticNetwork>,
     ) -> Result<(), CoreError> {
         match instr {
             Instruction::Create {
@@ -656,15 +784,13 @@ impl Controller {
                 relation,
                 weight,
                 destination,
-            } => net
-                .write()
-                .add_link(*source, *relation, *weight, *destination)?,
+            } => Arc::make_mut(net).add_link(*source, *relation, *weight, *destination)?,
             Instruction::Delete {
                 source,
                 relation,
                 destination,
-            } => net.write().remove_link(*source, *relation, *destination)?,
-            Instruction::SetColor { node, color } => net.write().set_color(*node, *color)?,
+            } => Arc::make_mut(net).remove_link(*source, *relation, *destination)?,
+            Instruction::SetColor { node, color } => Arc::make_mut(net).set_color(*node, *color)?,
             Instruction::MarkerCreate {
                 marker,
                 forward,
@@ -672,10 +798,10 @@ impl Controller {
                 reverse,
             } => {
                 let nodes = self.active_marked(*marker)?;
-                let mut guard = net.write();
+                let net = Arc::make_mut(net);
                 for n in nodes {
-                    guard.add_link(n, *forward, 0.0, *end)?;
-                    guard.add_link(*end, *reverse, 0.0, n)?;
+                    net.add_link(n, *forward, 0.0, *end)?;
+                    net.add_link(*end, *reverse, 0.0, n)?;
                 }
             }
             Instruction::MarkerDelete {
@@ -685,17 +811,17 @@ impl Controller {
                 reverse,
             } => {
                 let nodes = self.active_marked(*marker)?;
-                let mut guard = net.write();
+                let net = Arc::make_mut(net);
                 for n in nodes {
-                    guard.remove_link(n, *forward, *end)?;
-                    guard.remove_link(*end, *reverse, n)?;
+                    net.remove_link(n, *forward, *end)?;
+                    net.remove_link(*end, *reverse, n)?;
                 }
             }
             Instruction::MarkerSetColor { marker, color } => {
                 let nodes = self.active_marked(*marker)?;
-                let mut guard = net.write();
+                let net = Arc::make_mut(net);
                 for n in nodes {
-                    guard.set_color(n, *color)?;
+                    net.set_color(n, *color)?;
                 }
             }
             _ => unreachable!("not a maintenance instruction"),
@@ -703,13 +829,13 @@ impl Controller {
         // Maintenance may stage relation-table inserts; settle them while
         // the array is quiescent so the next propagation phase expands
         // over the indexed CSR layout.
-        net.write().flush_links();
+        Arc::make_mut(net).flush_links();
         Ok(())
     }
 }
 
 /// One cluster's worker thread.
-struct Worker<'env, 'net> {
+struct Worker<'env> {
     cluster: usize,
     max_hops: u8,
     visited_strategy: VisitedStrategy,
@@ -721,8 +847,7 @@ struct Worker<'env, 'net> {
     reply_tx: Sender<Reply>,
     fabric: Fabric<NetMsg>,
     fabric_rx: Receiver<NetMsg>,
-    barrier: Arc<TieredBarrier>,
-    net: &'env RwLock<&'net mut SemanticNetwork>,
+    gate: Gate,
     first_error: &'env Mutex<Option<CoreError>>,
     injector: Option<Arc<FaultInjector>>,
     retry: RetryPolicy,
@@ -737,13 +862,22 @@ struct Worker<'env, 'net> {
     steps: u64,
     /// Reused arrival buffer for [`expand_into`] (no per-task allocation).
     arrivals: Vec<PropArrival>,
+    /// Reused propagation work queue (cleared, not dropped, per phase).
+    queue: VecDeque<PropTask>,
+    /// Per-destination-cluster send staging, indexed by cluster; paired
+    /// with `batch_order` so expansion routes off-cluster arrivals in
+    /// O(1) instead of a linear scan per arrival.
+    batch_bufs: Vec<Vec<PropTask>>,
+    /// Destinations touched by the current expansion, in first-touch
+    /// order (which fixes envelope sequence numbering).
+    batch_order: Vec<ClusterId>,
     /// Run-wide count of individual tasks sent off-cluster (batching
     /// evidence next to the fabric's envelope count).
     tasks_sent: Arc<AtomicU64>,
     tracer: Tracer,
 }
 
-impl Worker<'_, '_> {
+impl Worker<'_> {
     fn id(&self) -> ClusterId {
         ClusterId(self.cluster as u8)
     }
@@ -754,16 +888,21 @@ impl Worker<'_, '_> {
 
     fn run(mut self) {
         while let Ok(cmd) = self.cmd_rx.recv() {
+            // Every arm drops its snapshot clone (`net`) before replying:
+            // the reply releases the reference back to the controller,
+            // which lets maintenance mutate the network without copying.
             match cmd {
                 Cmd::Shutdown => return,
-                Cmd::Global(instr) => {
-                    if let Err(e) = self.exec_local(&instr) {
+                Cmd::Global(instr, net) => {
+                    if let Err(e) = self.exec_local(&instr, &net) {
                         self.report_error(e);
                     }
+                    drop(net);
                     let _ = self.reply_tx.send(Reply::Done);
                 }
-                Cmd::Collect(instr) => {
-                    let reply = self.exec_collect(&instr);
+                Cmd::Collect(instr, net) => {
+                    let reply = self.exec_collect(&instr, &net);
+                    drop(net);
                     let _ = self.reply_tx.send(reply);
                 }
                 Cmd::ActiveNodes(marker) => {
@@ -777,9 +916,11 @@ impl Worker<'_, '_> {
                     self.adopted.push(*region);
                     let _ = self.reply_tx.send(Reply::Done);
                 }
-                Cmd::Prop(specs, epoch) => {
+                Cmd::Prop { specs, epoch, net } => {
                     self.epoch = epoch;
-                    match self.propagation_phase(&specs) {
+                    let exit = self.propagation_phase(&specs, &net);
+                    drop(net);
+                    match exit {
                         PhaseExit::Shutdown => return,
                         PhaseExit::Ended | PhaseExit::Aborted => {
                             let _ = self.reply_tx.send(Reply::Done);
@@ -804,8 +945,7 @@ impl Worker<'_, '_> {
         self.adopted.iter_mut().find(|r| r.cluster() == cluster)
     }
 
-    fn exec_collect(&mut self, instr: &Instruction) -> Reply {
-        let guard = self.net.read();
+    fn exec_collect(&mut self, instr: &Instruction, net: &SemanticNetwork) -> Reply {
         let mut regions: Vec<&Region> = Vec::with_capacity(1 + self.adopted.len());
         regions.push(&self.region);
         regions.extend(self.adopted.iter());
@@ -819,25 +959,24 @@ impl Worker<'_, '_> {
             Instruction::CollectRelation { marker, relation } => Reply::Links(
                 regions
                     .iter()
-                    .flat_map(|r| r.collect_relation(&guard, *marker, *relation))
+                    .flat_map(|r| r.collect_relation(net, *marker, *relation))
                     .collect(),
             ),
             Instruction::CollectColor { marker } => Reply::Colors(
                 regions
                     .iter()
-                    .flat_map(|r| r.collect_color(&guard, *marker))
+                    .flat_map(|r| r.collect_color(net, *marker))
                     .collect(),
             ),
             _ => Reply::Done,
         }
     }
 
-    fn exec_local(&mut self, instr: &Instruction) -> Result<(), CoreError> {
+    fn exec_local(&mut self, instr: &Instruction, net: &SemanticNetwork) -> Result<(), CoreError> {
         // Adopted regions execute the same local part: the heir does the
         // work of the cluster it covers.
         let adopted = &mut self.adopted;
         let own = &mut self.region;
-        let net = self.net;
         let mut for_each = |f: &mut dyn FnMut(&mut Region) -> Result<(), CoreError>| {
             f(own)?;
             for r in adopted.iter_mut() {
@@ -855,21 +994,15 @@ impl Worker<'_, '_> {
                 relation,
                 marker,
                 value,
-            } => {
-                let guard = net.read();
-                for_each(&mut |r| {
-                    r.search_relation(&guard, *relation, *marker, *value)
-                        .map(|_| ())
-                })
-            }
+            } => for_each(&mut |r| {
+                r.search_relation(net, *relation, *marker, *value)
+                    .map(|_| ())
+            }),
             Instruction::SearchColor {
                 color,
                 marker,
                 value,
-            } => {
-                let guard = net.read();
-                for_each(&mut |r| r.search_color(&guard, *color, *marker, *value).map(|_| ()))
-            }
+            } => for_each(&mut |r| r.search_color(net, *color, *marker, *value).map(|_| ())),
             Instruction::AndMarker {
                 a,
                 b,
@@ -898,10 +1031,10 @@ impl Worker<'_, '_> {
         }
     }
 
-    /// MIMD propagation under local control, with tiered accounting:
+    /// MIMD propagation under local control, with counted accounting:
     /// every task/message is counted created before it becomes visible
     /// and consumed after it is fully processed.
-    fn propagation_phase(&mut self, specs: &[PropSpec]) -> PhaseExit {
+    fn propagation_phase(&mut self, specs: &[PropSpec], net: &SemanticNetwork) -> PhaseExit {
         if self.resilient() {
             // Checkpoint every region this worker holds so the phase can
             // be replayed (by us or by an heir) after a crash.
@@ -915,12 +1048,25 @@ impl Worker<'_, '_> {
             self.pending.clear();
             self.dedup.clear();
         }
-        let node_count = self.net.read().node_count();
-        let mut visited = VisitedMap::with_strategy(self.visited_strategy, node_count);
-        let mut queue: std::collections::VecDeque<PropTask> = Default::default();
+        let mut visited = VisitedMap::with_strategy(self.visited_strategy, net.node_count());
+        // The work queue persists across phases; only its contents are
+        // per-phase.
+        let mut queue = std::mem::take(&mut self.queue);
+        let exit = self.phase_loop(specs, net, &mut visited, &mut queue);
+        queue.clear();
+        self.queue = queue;
+        exit
+    }
 
+    fn phase_loop(
+        &mut self,
+        specs: &[PropSpec],
+        net: &SemanticNetwork,
+        visited: &mut VisitedMap,
+        queue: &mut VecDeque<PropTask>,
+    ) -> PhaseExit {
         // Seed local sources, then consume the controller's phase token.
-        self.barrier.enter_busy();
+        self.gate.enter_busy();
         for spec in specs {
             let mut sources: Vec<(NodeId, f32)> = Vec::new();
             for r in std::iter::once(&self.region).chain(self.adopted.iter()) {
@@ -930,7 +1076,7 @@ impl Worker<'_, '_> {
             }
             for (node, value) in sources {
                 if visited.should_expand(spec.prop, 0, node, value, node) {
-                    self.barrier.created(0);
+                    self.gate.created(0);
                     queue.push_back(PropTask {
                         prop: spec.prop,
                         node,
@@ -942,8 +1088,8 @@ impl Worker<'_, '_> {
                 }
             }
         }
-        self.barrier.consumed(0);
-        self.barrier.exit_busy();
+        self.gate.consumed(0);
+        self.gate.exit_busy();
 
         loop {
             if self.resilient() {
@@ -952,9 +1098,9 @@ impl Worker<'_, '_> {
             }
             // Remote arrivals first, then local work.
             if let Ok(msg) = self.fabric_rx.try_recv() {
-                self.barrier.enter_busy();
-                self.handle_net(specs, &mut visited, &mut queue, msg);
-                self.barrier.exit_busy();
+                self.gate.enter_busy();
+                self.handle_net(specs, visited, queue, msg);
+                self.gate.exit_busy();
                 continue;
             }
             if let Some(task) = queue.pop_front() {
@@ -965,10 +1111,10 @@ impl Worker<'_, '_> {
                         self.tracer.wall_stamp(),
                     );
                 }
-                self.barrier.enter_busy();
-                self.expand_task(specs, &mut visited, &mut queue, &task);
-                self.barrier.consumed(task.level.min(63));
-                self.barrier.exit_busy();
+                self.gate.enter_busy();
+                self.expand_task(specs, net, visited, queue, &task);
+                self.gate.consumed(task.level.min(63));
+                self.gate.exit_busy();
                 continue;
             }
             if self.resilient() && self.drive_retries() {
@@ -1008,7 +1154,7 @@ impl Worker<'_, '_> {
         &mut self,
         specs: &[PropSpec],
         visited: &mut VisitedMap,
-        queue: &mut std::collections::VecDeque<PropTask>,
+        queue: &mut VecDeque<PropTask>,
         msg: NetMsg,
     ) {
         match msg {
@@ -1070,7 +1216,7 @@ impl Worker<'_, '_> {
                 for task in env.payload {
                     self.handle_arrival(specs, visited, queue, task);
                 }
-                self.barrier.consumed(level);
+                self.gate.consumed(level);
             }
             NetMsg::Ack { seq, checksum } => {
                 if self
@@ -1114,11 +1260,11 @@ impl Worker<'_, '_> {
                 });
                 // Release the held token so the phase can close; the
                 // typed error above fails the run.
-                self.barrier.consumed(p.level);
+                self.gate.consumed(p.level);
             } else {
                 // Retransmission is work: flag the PE busy so the barrier
                 // watchdog sees live recovery activity, not dead air.
-                self.barrier.enter_busy();
+                self.gate.enter_busy();
                 let owner = self.owners[p.dest.index()].load(Ordering::Acquire);
                 self.fabric.send_faulty(
                     self.id(),
@@ -1133,7 +1279,7 @@ impl Worker<'_, '_> {
                 p.attempts += 1;
                 p.due = Instant::now() + self.retry.backoff(p.attempts);
                 self.pending.insert(seq, p);
-                self.barrier.exit_busy();
+                self.gate.exit_busy();
             }
         }
         true
@@ -1143,7 +1289,7 @@ impl Worker<'_, '_> {
         &mut self,
         specs: &[PropSpec],
         visited: &mut VisitedMap,
-        queue: &mut std::collections::VecDeque<PropTask>,
+        queue: &mut VecDeque<PropTask>,
         task: PropTask,
     ) {
         let spec = &specs[task.prop];
@@ -1164,7 +1310,7 @@ impl Worker<'_, '_> {
                 .activation(self.map.cluster_of(task.node).index() as u16);
         }
         if visited.should_expand(task.prop, task.state, task.node, task.value, task.origin) {
-            self.barrier.created(task.level.min(63));
+            self.gate.created(task.level.min(63));
             queue.push_back(task);
         }
     }
@@ -1172,8 +1318,9 @@ impl Worker<'_, '_> {
     fn expand_task(
         &mut self,
         specs: &[PropSpec],
+        net: &SemanticNetwork,
         visited: &mut VisitedMap,
-        queue: &mut std::collections::VecDeque<PropTask>,
+        queue: &mut VecDeque<PropTask>,
         task: &PropTask,
     ) {
         self.steps += 1;
@@ -1202,10 +1349,7 @@ impl Worker<'_, '_> {
         }
         let spec = &specs[task.prop];
         let mut arrivals = std::mem::take(&mut self.arrivals);
-        {
-            let guard = self.net.read();
-            expand_into(&guard, &spec.rule, spec.func, task, &mut arrivals);
-        }
+        expand_into(net, &spec.rule, spec.func, task, &mut arrivals);
         if task.level >= self.max_hops {
             self.arrivals = arrivals;
             return;
@@ -1213,8 +1357,10 @@ impl Worker<'_, '_> {
         // Local arrivals are applied immediately; off-cluster arrivals
         // are coalesced per destination cluster into one envelope each —
         // a single checksum, ack/retry slot, and barrier token covers
-        // the whole batch.
-        let mut batches: Vec<(ClusterId, usize, Vec<PropTask>)> = Vec::new();
+        // the whole batch. Staging is indexed by destination cluster
+        // (O(1) routing); `batch_order` preserves first-touch order so
+        // envelope sequence numbers are assigned as before.
+        debug_assert!(self.batch_order.is_empty());
         for arrival in &arrivals {
             let next = PropTask {
                 prop: task.prop,
@@ -1228,16 +1374,21 @@ impl Worker<'_, '_> {
             let owner = self.owners[dest.index()].load(Ordering::Acquire);
             if owner == self.cluster {
                 self.handle_arrival(specs, visited, queue, next);
-            } else if let Some((_, _, batch)) = batches.iter_mut().find(|(d, _, _)| *d == dest) {
-                batch.push(next);
             } else {
-                batches.push((dest, owner, vec![next]));
+                let buf = &mut self.batch_bufs[dest.index()];
+                if buf.is_empty() {
+                    self.batch_order.push(dest);
+                }
+                buf.push(next);
             }
         }
         self.arrivals = arrivals;
         let level = (task.level + 1).min(63);
-        for (dest, owner, batch) in batches {
-            self.barrier.created(level);
+        for i in 0..self.batch_order.len() {
+            let dest = self.batch_order[i];
+            let batch = std::mem::take(&mut self.batch_bufs[dest.index()]);
+            let owner = self.owners[dest.index()].load(Ordering::Acquire);
+            self.gate.created(level);
             self.tasks_sent
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
             if self.tracer.is_enabled() {
@@ -1269,6 +1420,7 @@ impl Worker<'_, '_> {
                     .send(self.id(), ClusterId(owner as u8), NetMsg::Marker(env));
             }
         }
+        self.batch_order.clear();
     }
 }
 

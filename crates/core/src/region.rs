@@ -61,6 +61,11 @@ impl RegionMap {
     pub fn cluster_count(&self) -> usize {
         self.partition.cluster_count()
     }
+
+    /// The underlying partition (for locality/balance reporting).
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
 }
 
 /// Outcome of a marker arrival at a node.

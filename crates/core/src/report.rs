@@ -153,6 +153,10 @@ pub struct RunReport {
     /// configured with tracing and `snap-core` was built with the `obs`
     /// feature).
     pub trace: TraceReport,
+    /// Locality/balance statistics of the knowledge-base partition the
+    /// run used (`None` only in reports predating the field).
+    #[serde(default)]
+    pub partition: Option<snap_kb::PartitionStats>,
 }
 
 impl RunReport {

@@ -55,5 +55,7 @@ pub use io::ParseNetworkError;
 pub use links::{Link, RelationTable, SLOTS_PER_NODE};
 pub use marker::{Marker, MarkerKind, MarkerState, MarkerValue};
 pub use network::{NetworkConfig, SemanticNetwork};
-pub use partition::{Partition, PartitionScheme, MAX_NODES_PER_CLUSTER};
+pub use partition::{
+    ClusterLinks, Partition, PartitionScheme, PartitionStats, MAX_CLUSTERS, MAX_NODES_PER_CLUSTER,
+};
 pub use status::{SetBits, StatusRow, WORD_BITS};

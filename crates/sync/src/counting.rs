@@ -1,0 +1,271 @@
+//! Counting-based termination detection for fault-free propagation phases.
+//!
+//! The tiered barrier ([`TieredBarrier`](crate::TieredBarrier)) is the
+//! faithful SNAP-1 protocol: per-level counters plus a busy-PE AND-tree,
+//! roughly eight shared-atomic transitions per task. When no faults are
+//! injected the engine does not need per-level attribution or the
+//! AND-tree — quiescence is exactly "every created token was consumed" —
+//! so the fast path closes phases with a single shared counter instead:
+//! two atomic transitions per task.
+//!
+//! The no-false-termination invariant carries over unchanged: a creation
+//! is counted **before** the token (message or queued task) becomes
+//! visible to any other thread, and consumption is counted only **after**
+//! the token is fully processed, including counting any children it
+//! created. All operations hit one atomic word, so they have a single
+//! total modification order; if the controller reads zero, every create
+//! that happened before any consume it paired with has been matched — no
+//! token can still be in flight.
+//!
+//! The word packs two fields to keep the watchdog honest with one RMW
+//! per operation: the low 32 bits hold the net in-flight count and the
+//! high 32 bits a monotone total-created count. Net zero means quiescent;
+//! a frozen total while tokens remain in flight means a stall.
+
+use crate::threaded::BarrierStall;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One `created` bumps both the monotone high half and the net low half.
+const CREATED: u64 = (1 << 32) | 1;
+/// Mask selecting the net in-flight count.
+const NET_MASK: u64 = 0xFFFF_FFFF;
+
+/// Shared phase-closure counter for the fault-free threaded fast path.
+#[derive(Debug, Default)]
+pub struct CountingGate {
+    /// High 32 bits: total tokens ever created (monotone, watchdog clock).
+    /// Low 32 bits: tokens currently in flight.
+    word: AtomicU64,
+}
+
+impl CountingGate {
+    /// Creates the gate with no tokens outstanding.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CountingGate::default())
+    }
+
+    /// Records a token creation. Call **before** publishing the token.
+    pub fn created(&self) {
+        self.word.fetch_add(CREATED, Ordering::SeqCst);
+    }
+
+    /// Records `n` token creations in one transition. Call **before**
+    /// publishing any of them.
+    pub fn created_n(&self, n: u64) {
+        debug_assert!(n < 1 << 32, "batch too large for the packed word");
+        self.word
+            .fetch_add(n.wrapping_mul(CREATED), Ordering::SeqCst);
+    }
+
+    /// Records a token consumption. Call **after** fully processing the
+    /// token, including counting any children it created.
+    pub fn consumed(&self) {
+        let prev = self.word.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev & NET_MASK > 0, "token consumed more than created");
+    }
+
+    /// Tokens currently accounted as in flight.
+    pub fn in_flight(&self) -> i64 {
+        (self.word.load(Ordering::SeqCst) & NET_MASK) as i64
+    }
+
+    /// Total tokens ever created (wraps at 2^32; only deltas matter).
+    pub fn created_total(&self) -> u64 {
+        self.word.load(Ordering::SeqCst) >> 32
+    }
+
+    /// Snapshot check: every created token has been consumed.
+    pub fn is_quiescent(&self) -> bool {
+        self.word.load(Ordering::SeqCst) & NET_MASK == 0
+    }
+
+    /// Controller-side blocking wait (spin with yields) until quiescent.
+    /// Unbounded: prefer [`wait_quiescent_timeout`](Self::wait_quiescent_timeout)
+    /// when a hang should be diagnosed rather than waited out.
+    pub fn wait_quiescent(&self) {
+        while !self.is_quiescent() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Waits for quiescence with a watchdog: returns `Ok(())` once the
+    /// in-flight count reaches zero, or [`BarrierStall::MessagesLost`]
+    /// when no token has been created *or* consumed for `stall_after`
+    /// while some remain unconsumed. Progress resets the clock, so
+    /// long-but-live propagations never trip it. The packed word makes
+    /// the proxy exact: a creation bumps the monotone high half, and
+    /// with zero creations the net count only decreases — so an
+    /// unchanged word means no operation happened at all.
+    ///
+    /// # Errors
+    ///
+    /// [`BarrierStall::MessagesLost`] carrying the stuck in-flight count.
+    /// The fast path has no busy/AND-tree notion, so a wedged worker
+    /// holding unconsumed tokens classifies the same way.
+    pub fn wait_quiescent_timeout(&self, stall_after: Duration) -> Result<(), BarrierStall> {
+        let mut last_word = self.word.load(Ordering::SeqCst);
+        let mut last_progress = Instant::now();
+        loop {
+            let word = self.word.load(Ordering::SeqCst);
+            if word & NET_MASK == 0 {
+                return Ok(());
+            }
+            if word != last_word {
+                last_word = word;
+                last_progress = Instant::now();
+            } else if last_progress.elapsed() >= stall_after {
+                return Err(BarrierStall::MessagesLost {
+                    in_flight: (word & NET_MASK) as i64,
+                });
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Zeroes the in-flight count, abandoning outstanding accounting.
+    /// Only call from the controller while no worker is touching the
+    /// gate.
+    pub fn reset(&self) {
+        self.word.fetch_and(!NET_MASK, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn starts_quiescent() {
+        let g = CountingGate::new();
+        assert!(g.is_quiescent());
+        assert_eq!(g.in_flight(), 0);
+        assert_eq!(g.created_total(), 0);
+    }
+
+    #[test]
+    fn in_flight_token_blocks_quiescence() {
+        let g = CountingGate::new();
+        g.created();
+        assert!(!g.is_quiescent());
+        assert_eq!(g.in_flight(), 1);
+        g.consumed();
+        assert!(g.is_quiescent());
+        assert_eq!(g.created_total(), 1);
+    }
+
+    #[test]
+    fn batch_creation_counts_each_token() {
+        let g = CountingGate::new();
+        g.created_n(5);
+        assert_eq!(g.in_flight(), 5);
+        assert_eq!(g.created_total(), 5);
+        for _ in 0..5 {
+            g.consumed();
+        }
+        assert!(g.is_quiescent());
+    }
+
+    /// End-to-end: worker threads forward tokens in chains; the
+    /// controller's wait must not return until every token has been
+    /// fully processed.
+    #[test]
+    fn wait_quiescent_never_fires_early() {
+        const WORKERS: usize = 4;
+        const SEEDS: u32 = 200;
+        let gate = CountingGate::new();
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..WORKERS).map(|_| unbounded::<u32>()).unzip();
+        let processed = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for (w, rx) in rxs.into_iter().enumerate() {
+            let gate = Arc::clone(&gate);
+            let txs = txs.clone();
+            let processed = Arc::clone(&processed);
+            let done = Arc::clone(&done);
+            handles.push(thread::spawn(move || loop {
+                match rx.try_recv() {
+                    Ok(hop) => {
+                        if hop > 0 {
+                            let next = (w + 1) % WORKERS;
+                            gate.created();
+                            txs[next].send(hop - 1).unwrap();
+                        }
+                        processed.fetch_add(1, Ordering::SeqCst);
+                        gate.consumed();
+                    }
+                    Err(_) => {
+                        if done.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        thread::yield_now();
+                    }
+                }
+            }));
+        }
+
+        let mut expected = 0usize;
+        for i in 0..SEEDS {
+            gate.created();
+            txs[(i % WORKERS as u32) as usize].send(3).unwrap();
+            expected += 4; // each seed is processed once per hop 3..=0
+        }
+        gate.wait_quiescent();
+        assert_eq!(processed.load(Ordering::SeqCst), expected);
+        assert_eq!(gate.in_flight(), 0);
+        done.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_stuck_tokens() {
+        let g = CountingGate::new();
+        g.created();
+        g.created();
+        let err = g
+            .wait_quiescent_timeout(Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, BarrierStall::MessagesLost { in_flight: 2 });
+    }
+
+    #[test]
+    fn watchdog_tolerates_slow_but_live_traffic() {
+        let g = CountingGate::new();
+        g.created();
+        let worker = {
+            let g = Arc::clone(&g);
+            thread::spawn(move || {
+                for _ in 0..5 {
+                    thread::sleep(Duration::from_millis(5));
+                    g.created();
+                    g.consumed();
+                }
+                thread::sleep(Duration::from_millis(5));
+                g.consumed();
+            })
+        };
+        g.wait_quiescent_timeout(Duration::from_millis(250))
+            .unwrap();
+        worker.join().unwrap();
+        assert!(g.is_quiescent());
+    }
+
+    #[test]
+    fn reset_abandons_outstanding_accounting() {
+        let g = CountingGate::new();
+        g.created();
+        g.created();
+        assert!(!g.is_quiescent());
+        g.reset();
+        assert!(g.is_quiescent());
+        // The monotone created-total survives the reset.
+        assert_eq!(g.created_total(), 2);
+    }
+}
