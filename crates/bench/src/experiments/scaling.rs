@@ -180,7 +180,7 @@ fn repo_root() -> PathBuf {
         .collect()
 }
 
-fn json_workload(name: &str, seq_wall_ns: u128, cells: &[Cell]) -> String {
+fn json_workload(name: &str, seq_wall_ns: u128, cells: &[Cell], host_cpus: usize) -> String {
     let rows: Vec<String> = cells
         .iter()
         .map(|c| {
@@ -191,7 +191,7 @@ fn json_workload(name: &str, seq_wall_ns: u128, cells: &[Cell]) -> String {
             format!(
                 concat!(
                     "      {{ \"clusters\": {}, \"scheme\": \"{}\", ",
-                    "\"wall_ms\": {:.2}, \"speedup_wall\": {:.2}, ",
+                    "\"wall_ms\": {:.2}, \"speedup_wall\": {:.2}, \"wall_reliable\": {}, ",
                     "\"des_ms\": {:.3}, \"speedup_des\": {:.2}, ",
                     "\"envelopes\": {}, \"tasks_sent\": {}, ",
                     "\"cut_fraction\": {:.4}, \"load_balance\": {:.3} }}"
@@ -200,6 +200,7 @@ fn json_workload(name: &str, seq_wall_ns: u128, cells: &[Cell]) -> String {
                 scheme_name(c.scheme),
                 c.wall_ns as f64 / 1e6,
                 seq_wall_ns as f64 / c.wall_ns.max(1) as f64,
+                host_cpus >= c.clusters,
                 c.des_ns as f64 / 1e6,
                 des_base as f64 / c.des_ns.max(1) as f64,
                 c.envelopes,
@@ -334,7 +335,7 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
             cut_of(PartitionScheme::RoundRobin),
             cut_of(PartitionScheme::Semantic),
         ));
-        json_sections.push(json_workload(workload.name, seq_wall_ns, &cells));
+        json_sections.push(json_workload(workload.name, seq_wall_ns, &cells, host_cpus));
     }
 
     let json = format!(
@@ -360,6 +361,21 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
             ""
         }
     ));
+    // Honesty flag: a threaded cell wider than the host oversubscribes
+    // cores, so its wall time measures contention, not scaling. The JSON
+    // rows carry the same verdict per cell as `wall_reliable`.
+    let oversubscribed: Vec<String> = cluster_axis
+        .iter()
+        .filter(|&&c| c > host_cpus)
+        .map(|c| c.to_string())
+        .collect();
+    if !oversubscribed.is_empty() {
+        out.note(format!(
+            "WARNING: cluster counts [{}] exceed host_cpus={host_cpus}; their wall_ms rows are \
+             marked \"wall_reliable\": false — read speedup_des for those cells",
+            oversubscribed.join(", "),
+        ));
+    }
     out.note("all threaded and DES collect results matched the sequential oracle".to_string());
     out.note(format!("wrote {}", path.display()));
     out
@@ -384,6 +400,18 @@ mod tests {
         assert!(json.contains("\"fig19_parse_kb\""));
         assert!(json.contains("\"EdgeCut\""));
         assert!(json.contains("\"host_cpus\""));
+        // Every threaded row carries the wall-clock honesty verdict, and
+        // it must agree with the host: a single-threaded cell is always
+        // reliable, a cell wider than the host never is.
+        assert!(json.contains("\"wall_reliable\": true"));
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if host < 4 {
+            assert!(json.contains("\"wall_reliable\": false"));
+            assert!(out
+                .notes
+                .iter()
+                .any(|n| n.contains("WARNING") && n.contains("wall_reliable")));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,5 +1,6 @@
 //! Machine configuration: array geometry and clocks.
 
+use crate::engine::sched::ScheduleStrategy;
 use serde::{Deserialize, Serialize};
 use snap_fault::FaultPlan;
 use snap_kb::PartitionScheme;
@@ -90,6 +91,16 @@ pub struct MachineConfig {
     /// defaults to picking automatically from the node count.
     #[serde(default)]
     pub visited: VisitedStrategy,
+    /// How the engines order ready work. The default
+    /// ([`ScheduleStrategy::Fifo`]) reproduces the historical
+    /// deterministic orders bit for bit; a seeded
+    /// [`ScheduleStrategy::Fuzzed`] schedule permutes the orderings a
+    /// legal machine leaves unspecified (ready-task picks, equal-time
+    /// event ties, worker polling order, gate selection) so the
+    /// interleaving fuzzer can hunt ordering bugs. Results must be
+    /// identical either way.
+    #[serde(default)]
+    pub schedule: ScheduleStrategy,
 }
 
 impl MachineConfig {
@@ -113,6 +124,7 @@ impl MachineConfig {
             fault_plan: None,
             trace: None,
             visited: VisitedStrategy::Auto,
+            schedule: ScheduleStrategy::Fifo,
         }
     }
 

@@ -25,6 +25,7 @@ use crate::config::MachineConfig;
 use crate::controller::{plan, PropSpec, Step};
 use crate::cost::CostModel;
 use crate::engine::common::{exec_single, phase_of};
+use crate::engine::sched::{apply_arrival, EventQueue, Picker, CONTROL_STREAM};
 use crate::error::CoreError;
 use crate::propagate::{expand, Expansion, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
@@ -65,7 +66,11 @@ pub(crate) fn run(
     Ok(machine.finish())
 }
 
-/// One scheduled event of the propagation phase.
+/// One scheduled event of the propagation phase. Ordering lives in the
+/// shared [`EventQueue`]: `(time, tie, insertion seq)`, where the tie is
+/// zero under FIFO — restoring the historical `(time, seq)` total order
+/// — and a seeded draw under a fuzzed schedule, permuting exactly the
+/// equal-time orderings concurrent hardware leaves unspecified.
 #[derive(Debug, Clone)]
 enum EventKind {
     /// An MU finishes expanding a task; its arrivals take effect.
@@ -76,30 +81,6 @@ enum EventKind {
     },
     /// A marker message arrives at its destination cluster.
     Delivery { cluster: usize, task: PropTask },
-}
-
-#[derive(Debug, Clone)]
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        (self.time, self.seq) == (other.time, other.seq)
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
 }
 
 struct Des<'c> {
@@ -118,6 +99,10 @@ struct Des<'c> {
     perf: Option<PerfCollector>,
     injector: Option<snap_fault::FaultInjector>,
     tracer: Tracer,
+    /// Schedule decision stream (event tie-breaks). Distinct from `seq`,
+    /// which keys fault-injection draws and must stay untouched so a
+    /// seeded fault plan reproduces bit-identically under any schedule.
+    picker: Picker,
     now: SimTime,
     seq: u64,
     pending_msgs: u64,
@@ -153,6 +138,7 @@ impl<'c> Des<'c> {
                 .clone()
                 .map(snap_fault::FaultInjector::new),
             tracer: Tracer::from_config(config.trace.as_ref(), config.clusters),
+            picker: Picker::new(config.schedule, CONTROL_STREAM),
             now: 0,
             seq: 0,
             pending_msgs: 0,
@@ -162,6 +148,7 @@ impl<'c> Des<'c> {
 
     fn finish(mut self) -> RunReport {
         self.report.total_ns = self.now;
+        self.report.schedule_digest = self.picker.digest();
         if let Some(inj) = &self.injector {
             self.report.faults = inj.report();
         }
@@ -297,7 +284,7 @@ impl<'c> Des<'c> {
         specs: &[PropSpec],
         t0: SimTime,
     ) -> Result<SimTime, CoreError> {
-        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut heap: EventQueue<EventKind> = EventQueue::new();
         let mut visited = VisitedMap::with_strategy(self.config.visited, network.node_count());
         let mut phase_end = t0;
 
@@ -325,9 +312,9 @@ impl<'c> Des<'c> {
             self.report.alpha_per_propagate.push(alpha);
         }
 
-        while let Some(Reverse(ev)) = heap.pop() {
-            phase_end = phase_end.max(ev.time);
-            match ev.kind {
+        while let Some((ev_time, kind)) = heap.pop() {
+            phase_end = phase_end.max(ev_time);
+            match kind {
                 EventKind::Completion {
                     cluster,
                     task,
@@ -360,7 +347,7 @@ impl<'c> Des<'c> {
                                 &mut visited,
                                 dest,
                                 next,
-                                ev.time,
+                                ev_time,
                             )?;
                         } else {
                             // Off-cluster: CU serializes, hypercube carries.
@@ -374,11 +361,11 @@ impl<'c> Des<'c> {
                             // the sender blocks until a delivery frees a
                             // slot (§II-C).
                             let capacity = self.config.cu_outbox_capacity;
-                            let mut ready = ev.time;
+                            let mut ready = ev_time;
                             let mut blocked = false;
                             {
                                 let ob = &mut self.outbox[cluster];
-                                while ob.peek().is_some_and(|Reverse(t)| *t <= ev.time) {
+                                while ob.peek().is_some_and(|Reverse(t)| *t <= ev_time) {
                                     ob.pop();
                                 }
                                 if ob.len() >= capacity {
@@ -420,7 +407,7 @@ impl<'c> Des<'c> {
                                 cluster as u16,
                                 dest as u16,
                                 hops.min(u8::MAX as usize) as u8,
-                                Stamp::Sim(ev.time),
+                                Stamp::Sim(ev_time),
                             );
                             if let Some(inj) = &self.injector {
                                 let fate = inj.fate(cluster as u8, dest as u8, self.seq);
@@ -467,22 +454,22 @@ impl<'c> Des<'c> {
                                 self.tracer.queue_depth(
                                     cluster as u16,
                                     self.outbox[cluster].len() as u64,
-                                    Stamp::Sim(ev.time),
+                                    Stamp::Sim(ev_time),
                                 );
                             }
                             self.tracer
                                 .msg_recv(cluster as u16, dest as u16, Stamp::Sim(deliver));
-                            self.report.overhead.communication_ns += deliver - ev.time;
+                            self.report.overhead.communication_ns += deliver - ev_time;
                             self.sync.created(level.min(63));
                             self.seq += 1;
-                            heap.push(Reverse(Event {
-                                time: deliver,
-                                seq: self.seq,
-                                kind: EventKind::Delivery {
+                            heap.push(
+                                deliver,
+                                EventKind::Delivery {
                                     cluster: dest,
                                     task: next,
                                 },
-                            }));
+                                &mut self.picker,
+                            );
                             if duplicated {
                                 // The duplicate copy also arrives; the
                                 // receiver's idempotent merge absorbs it.
@@ -496,14 +483,14 @@ impl<'c> Des<'c> {
                                 );
                                 self.sync.created(level.min(63));
                                 self.seq += 1;
-                                heap.push(Reverse(Event {
-                                    time: deliver + self.cost.cu_service_ns,
-                                    seq: self.seq,
-                                    kind: EventKind::Delivery {
+                                heap.push(
+                                    deliver + self.cost.cu_service_ns,
+                                    EventKind::Delivery {
                                         cluster: dest,
                                         task: next,
                                     },
-                                }));
+                                    &mut self.picker,
+                                );
                             }
                         }
                     }
@@ -518,7 +505,7 @@ impl<'c> Des<'c> {
                         &mut visited,
                         cluster,
                         task,
-                        ev.time,
+                        ev_time,
                     )?;
                     self.sync.consumed(level.min(63));
                 }
@@ -535,17 +522,26 @@ impl<'c> Des<'c> {
         &mut self,
         network: &SemanticNetwork,
         specs: &[PropSpec],
-        heap: &mut BinaryHeap<Reverse<Event>>,
+        heap: &mut EventQueue<EventKind>,
         visited: &mut VisitedMap,
         cluster: usize,
         task: PropTask,
         now: SimTime,
     ) -> Result<(), CoreError> {
         let spec = &specs[task.prop];
-        self.regions[cluster].arrive(spec.target, task.node, task.value, task.origin)?;
+        let expand = apply_arrival(
+            &mut self.regions[cluster],
+            visited,
+            spec.target,
+            task.prop,
+            task.state,
+            task.node,
+            task.value,
+            task.origin,
+        )?;
         self.report.traffic.local_activations += 1;
         self.tracer.activation(cluster as u16);
-        if visited.should_expand(task.prop, task.state, task.node, task.value, task.origin) {
+        if expand {
             self.schedule_task(network, specs, heap, cluster, task, now);
         }
         Ok(())
@@ -557,7 +553,7 @@ impl<'c> Des<'c> {
         &mut self,
         network: &SemanticNetwork,
         specs: &[PropSpec],
-        heap: &mut BinaryHeap<Reverse<Event>>,
+        heap: &mut EventQueue<EventKind>,
         cluster: usize,
         task: PropTask,
         ready: SimTime,
@@ -590,15 +586,15 @@ impl<'c> Des<'c> {
         self.mu_free[cluster][mu] = done;
         self.sync.created(task.level.min(63));
         self.seq += 1;
-        heap.push(Reverse(Event {
-            time: done,
-            seq: self.seq,
-            kind: EventKind::Completion {
+        heap.push(
+            done,
+            EventKind::Completion {
                 cluster,
                 task,
                 expansion,
             },
-        }));
+            &mut self.picker,
+        );
     }
 
     /// SIMD-only ablation: a global barrier plus controller round-trip

@@ -1,6 +1,7 @@
 //! Execution engines sharing one instruction semantics.
 
 pub(crate) mod common;
+pub(crate) mod sched;
 
 pub(crate) mod des;
 pub(crate) mod sequential;

@@ -1,0 +1,786 @@
+//! The shared scheduler core: one ordering discipline for three engines.
+//!
+//! Every engine runs the same phase shape — seed sources, drain a pool
+//! of ready work, apply arrivals, close the phase with a gate — but each
+//! used to hand-roll the ordering of that pool. This module centralizes
+//! the *choice of what fires next* behind a [`ScheduleStrategy`]:
+//!
+//! * [`ReadyQueue`] orders the ready-task pool of the sequential engine
+//!   and of each threaded worker;
+//! * [`EventQueue`] orders the discrete-event simulator's event heap,
+//!   breaking ties between equal-time events;
+//! * [`PhaseGate`] is the phase-closure protocol (the former
+//!   `threaded::Gate`), with strategy-aware selection between the
+//!   counting fast path and the faithful tiered barrier;
+//! * [`Picker`] is the per-stream deterministic decision source behind
+//!   all of them.
+//!
+//! Under [`ScheduleStrategy::Fifo`] (the default) every primitive
+//! reproduces the historical orders bit for bit: `ReadyQueue` pops the
+//! front, `EventQueue` orders by `(time, seq)`, and the gate selection
+//! matches the old injector/tracer rule. Under
+//! [`ScheduleStrategy::Fuzzed`] a seeded RNG permutes exactly the
+//! decisions that a legal but adversarial machine could make — which
+//! ready task runs next, which of two equal-time events fires first,
+//! whether a worker drains the fabric or its local queue, which gate
+//! protocol closes the phase — while the propagation semantics
+//! (min-`(value, origin)` convergence) guarantee the *results* must not
+//! change. The interleaving fuzzer in the integration-test crate sweeps
+//! seeds through the differential grid and shrinks any divergence to a
+//! minimal decision prefix via the strategy's `limit` knob.
+//!
+//! The [`Component`]/[`ComponentScheduler`] pair is the forward-looking
+//! surface of the same idea: a transport-agnostic cooperative scheduler
+//! in which components expose `next_tick`/`tick` and the strategy picks
+//! among simultaneously-ready components. A future async or
+//! multi-process engine implements [`Component`] and inherits the whole
+//! fuzzing discipline for free.
+
+use crate::propagate::PropArrival;
+use crate::region::Region;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use snap_fault::FaultInjector;
+use snap_kb::{Marker, NodeId};
+use snap_obs::Tracer;
+use snap_sync::{BarrierStall, CountingGate, TieredBarrier};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the scheduler core orders ready work.
+///
+/// Lives on [`crate::MachineConfig::schedule`]; every engine consults it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScheduleStrategy {
+    /// Deterministic first-in-first-out: the historical order of every
+    /// engine, preserved bit for bit.
+    #[default]
+    Fifo,
+    /// Seeded adversarial order: a [`Picker`] derived from `seed`
+    /// permutes ready-task picks, equal-time event ties, worker
+    /// fabric-vs-queue polling, and gate selection. Only the first
+    /// `limit` decisions of each stream are fuzzed; later ones fall back
+    /// to the FIFO default, which is the shrinking knob the fuzz harness
+    /// bisects (`limit = u64::MAX` fuzzes everything).
+    Fuzzed {
+        /// RNG seed; same seed ⇒ same decision stream per picker stream.
+        seed: u64,
+        /// Number of leading decisions to fuzz before reverting to FIFO.
+        limit: u64,
+    },
+}
+
+impl ScheduleStrategy {
+    /// A fully-fuzzed strategy (no decision limit).
+    pub fn fuzzed(seed: u64) -> Self {
+        ScheduleStrategy::Fuzzed {
+            seed,
+            limit: u64::MAX,
+        }
+    }
+
+    /// True when any decision may deviate from FIFO.
+    pub fn is_fuzzed(&self) -> bool {
+        matches!(self, ScheduleStrategy::Fuzzed { .. })
+    }
+}
+
+/// SplitMix64: tiny, seedable, and good enough to decorrelate decision
+/// streams (same generator snap-fault uses for injection draws).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One deterministic decision stream of the schedule.
+///
+/// Each concurrent consumer (the sequential engine, the DES event heap,
+/// every threaded worker, the controller) owns a picker salted with its
+/// own `stream` id, so decisions taken by one never perturb another's —
+/// the property that makes a threaded fuzzed run replayable per stream
+/// even though real threads race.
+#[derive(Debug, Clone)]
+pub struct Picker {
+    strategy: ScheduleStrategy,
+    rng: u64,
+    /// Decisions drawn so far (compared against the strategy's limit).
+    decisions: u64,
+    /// FNV-style fold of every decision, for replay fingerprinting.
+    digest: u64,
+    /// Whether the most recent pick deviated from the FIFO default.
+    reordered: bool,
+}
+
+/// Stream id of the controller / single-threaded engines.
+pub const CONTROL_STREAM: u64 = 0;
+
+impl Picker {
+    /// Creates the picker for decision stream `stream`.
+    pub fn new(strategy: ScheduleStrategy, stream: u64) -> Self {
+        let seed = match strategy {
+            ScheduleStrategy::Fifo => 0,
+            ScheduleStrategy::Fuzzed { seed, .. } => seed,
+        };
+        let mut state = seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+        // Warm the state so small seeds and streams decorrelate.
+        let rng = splitmix64(&mut state) ^ state;
+        Picker {
+            strategy,
+            rng,
+            decisions: 0,
+            digest: 0,
+            reordered: false,
+        }
+    }
+
+    /// True while fuzzed decisions are still being issued.
+    fn fuzzing(&self) -> bool {
+        match self.strategy {
+            ScheduleStrategy::Fifo => false,
+            ScheduleStrategy::Fuzzed { limit, .. } => self.decisions < limit,
+        }
+    }
+
+    fn draw(&mut self) -> u64 {
+        self.decisions += 1;
+        let v = splitmix64(&mut self.rng);
+        self.digest = (self.digest ^ v).wrapping_mul(0x0000_0100_0000_01B3);
+        v
+    }
+
+    /// Picks an index in `0..len`. FIFO always answers `0` (the front);
+    /// a fuzzed pick is uniform over the pool.
+    pub fn pick(&mut self, len: usize) -> usize {
+        if len <= 1 || !self.fuzzing() {
+            self.reordered = false;
+            return 0;
+        }
+        let idx = (self.draw() % len as u64) as usize;
+        self.reordered = idx != 0;
+        idx
+    }
+
+    /// A boolean decision whose FIFO default is `true`.
+    pub fn coin(&mut self) -> bool {
+        if !self.fuzzing() {
+            return true;
+        }
+        self.draw() & 1 == 0
+    }
+
+    /// Tie-break key for equal-time events: FIFO answers `0` for every
+    /// event (preserving arrival order), fuzzed draws a random key.
+    pub fn tie_key(&mut self) -> u64 {
+        if !self.fuzzing() {
+            return 0;
+        }
+        self.draw()
+    }
+
+    /// Whether the most recent [`pick`](Self::pick) deviated from FIFO.
+    pub fn last_reordered(&self) -> bool {
+        self.reordered
+    }
+
+    /// Decisions drawn so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Replay fingerprint: a fold of every decision drawn. Two runs of a
+    /// deterministic engine with the same seed must produce the same
+    /// digest (asserted by the fuzz harness).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The planted ordering bug (test-only, behind the `fuzz-bug`
+    /// feature): reports whether the last ready-pool pick was reordered,
+    /// in which case the engine drops that expansion's arrivals —
+    /// truncating propagation without disturbing gate accounting, so the
+    /// differential grid sees a clean result divergence instead of a
+    /// hang. Never fires under FIFO, so the feature is inert for the
+    /// normal test suite.
+    #[cfg(feature = "fuzz-bug")]
+    pub fn bug_armed(&self) -> bool {
+        self.reordered
+    }
+
+    /// Without the `fuzz-bug` feature the planted bug does not exist.
+    #[cfg(not(feature = "fuzz-bug"))]
+    #[inline(always)]
+    pub fn bug_armed(&self) -> bool {
+        false
+    }
+}
+
+/// Strategy-aware pool of ready tasks.
+///
+/// FIFO pops the front — exactly the `VecDeque` the engines used before
+/// — while fuzzed picks uniformly among everything ready, modelling a
+/// marker unit that may legally grab any queued task.
+#[derive(Debug)]
+pub struct ReadyQueue<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> Default for ReadyQueue<T> {
+    fn default() -> Self {
+        ReadyQueue {
+            items: VecDeque::new(),
+        }
+    }
+}
+
+impl<T> ReadyQueue<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a ready task.
+    pub fn push(&mut self, item: T) {
+        self.items.push_back(item);
+    }
+
+    /// Removes and returns the task the strategy fires next.
+    pub fn pop(&mut self, picker: &mut Picker) -> Option<T> {
+        let idx = picker.pick(self.items.len());
+        if idx == 0 {
+            self.items.pop_front()
+        } else {
+            // swap_remove_front keeps this O(1); the pool is unordered
+            // under a fuzzed strategy anyway.
+            self.items.swap_remove_front(idx)
+        }
+    }
+
+    /// Tasks currently ready.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is ready.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drops all queued tasks.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+/// One entry of the discrete-event queue.
+#[derive(Debug)]
+struct EventEntry<T> {
+    time: u64,
+    /// Strategy tie-break between equal-time events (0 under FIFO).
+    tie: u64,
+    /// Insertion order, the final tie-break (restores the historical
+    /// `(time, seq)` total order when `tie` is uniformly zero).
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for EventEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.tie, self.seq) == (other.time, other.tie, other.seq)
+    }
+}
+impl<T> Eq for EventEntry<T> {}
+impl<T> PartialOrd for EventEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for EventEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.tie, self.seq).cmp(&(other.time, other.tie, other.seq))
+    }
+}
+
+/// Strategy-aware discrete-event queue ordered by `(time, tie, seq)`.
+///
+/// Simulated time is authoritative: fuzzing never reorders events across
+/// distinct timestamps — only the *tie-breaks between equal-time events*
+/// are permuted, which are exactly the orderings real concurrent
+/// hardware leaves unspecified.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<EventEntry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `item` at `time`; the picker draws its tie-break key.
+    pub fn push(&mut self, time: u64, item: T, picker: &mut Picker) {
+        let tie = picker.tie_key();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(EventEntry {
+            time,
+            tie,
+            seq,
+            item,
+        }));
+    }
+
+    /// Fires the next event, returning `(time, item)`.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.item))
+    }
+
+    /// Events still scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Applies one propagation arrival at its home region and decides
+/// whether it warrants a follow-on expansion.
+///
+/// This is the single arrival discipline every engine shares: merge the
+/// value into the marker table (min-`(value, origin)` cost semantics),
+/// then consult the visited map. Returns `Ok(true)` when the arrival
+/// improved its site and the caller should schedule the expansion.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_arrival(
+    region: &mut Region,
+    visited: &mut crate::propagate::VisitedMap,
+    target: Marker,
+    prop: usize,
+    state: u8,
+    node: NodeId,
+    value: f32,
+    origin: NodeId,
+) -> Result<bool, CoreError> {
+    region.arrive(target, node, value, origin)?;
+    Ok(visited.should_expand(prop, state, node, value, origin))
+}
+
+/// Drops a reordered expansion's arrivals when the planted ordering bug
+/// (`fuzz-bug` feature) is armed. Inert — and fully optimized out — in
+/// normal builds.
+#[inline]
+pub(crate) fn maybe_plant_bug(picker: &Picker, arrivals: &mut Vec<PropArrival>) {
+    if picker.bug_armed() {
+        arrivals.clear();
+    }
+}
+
+/// Phase-closure protocol, chosen once per run.
+///
+/// Under fault injection or tracing the engine runs the faithful SNAP-1
+/// protocol: per-level counters plus the busy-PE AND-tree
+/// ([`TieredBarrier`], ~8 shared-atomic transitions per task). On the
+/// clean fast path phase closure only needs "every created token was
+/// consumed", so a single packed counter ([`CountingGate`], 2
+/// transitions per task) closes phases instead. A fuzzed schedule may
+/// force either protocol, so the fuzzer exercises both closure paths
+/// against the same workload.
+#[derive(Clone)]
+pub(crate) enum PhaseGate {
+    Fast(Arc<CountingGate>),
+    Tiered(Arc<TieredBarrier>),
+}
+
+impl PhaseGate {
+    /// Picks the protocol for this run. Injection and tracing *require*
+    /// the tiered barrier (per-level attribution, injected
+    /// counter-network stalls, barrier-arrive events); otherwise FIFO
+    /// takes the counting fast path and a fuzzed strategy flips a coin —
+    /// gate-close timing is one of the orderings under test.
+    pub(crate) fn select(
+        injector: Option<&Arc<FaultInjector>>,
+        tracer: &Tracer,
+        picker: &mut Picker,
+    ) -> Self {
+        if injector.is_some() || tracer.is_enabled() {
+            PhaseGate::Tiered(TieredBarrier::with_instruments(
+                injector.cloned(),
+                tracer.clone(),
+            ))
+        } else if picker.coin() {
+            PhaseGate::Fast(CountingGate::new())
+        } else {
+            PhaseGate::Tiered(TieredBarrier::with_instruments(None, tracer.clone()))
+        }
+    }
+
+    #[inline]
+    pub(crate) fn created(&self, level: u8) {
+        match self {
+            PhaseGate::Fast(g) => g.created(),
+            PhaseGate::Tiered(b) => b.created(level),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn consumed(&self, level: u8) {
+        match self {
+            PhaseGate::Fast(g) => g.consumed(),
+            PhaseGate::Tiered(b) => b.consumed(level),
+        }
+    }
+
+    /// The AND-tree busy bit only exists in the tiered protocol; the
+    /// counting gate detects quiescence from the token count alone.
+    #[inline]
+    pub(crate) fn enter_busy(&self) {
+        if let PhaseGate::Tiered(b) = self {
+            b.enter_busy();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn exit_busy(&self) {
+        if let PhaseGate::Tiered(b) = self {
+            b.exit_busy();
+        }
+    }
+
+    pub(crate) fn wait_complete_timeout(&self, stall_after: Duration) -> Result<(), BarrierStall> {
+        match self {
+            PhaseGate::Fast(g) => g.wait_quiescent_timeout(stall_after),
+            PhaseGate::Tiered(b) => b.wait_complete_timeout(stall_after),
+        }
+    }
+
+    /// Snapshot check that the phase is (still) closed.
+    pub(crate) fn is_complete(&self) -> bool {
+        match self {
+            PhaseGate::Fast(g) => g.is_quiescent(),
+            PhaseGate::Tiered(b) => b.is_complete(),
+        }
+    }
+
+    /// Fuzzed gate-close timing: after the gate first reports closure,
+    /// yield the controller a strategy-chosen number of times and
+    /// re-verify. A protocol that can close while a token is still in
+    /// flight (false termination) is caught here as re-opened
+    /// quiescence; a correct protocol never re-opens once the phase is
+    /// quiet, because workers create tokens only while consuming one.
+    pub(crate) fn confirm_complete(&self, picker: &mut Picker) -> bool {
+        let rounds = picker.pick(4);
+        for _ in 0..rounds {
+            std::thread::yield_now();
+        }
+        self.is_complete()
+    }
+
+    pub(crate) fn in_flight(&self) -> i64 {
+        match self {
+            PhaseGate::Fast(g) => g.in_flight(),
+            PhaseGate::Tiered(b) => b.in_flight(),
+        }
+    }
+
+    pub(crate) fn busy_pes(&self) -> usize {
+        match self {
+            PhaseGate::Fast(_) => 0,
+            PhaseGate::Tiered(b) => b.busy_pes(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        match self {
+            PhaseGate::Fast(g) => g.reset(),
+            PhaseGate::Tiered(b) => b.reset(),
+        }
+    }
+}
+
+/// A schedulable unit of a future transport: anything that can report
+/// when it next has work and perform one step of it.
+///
+/// The three built-in engines special-case their scheduling for speed,
+/// but they follow this exact discipline; an async or multi-process
+/// engine implements `Component` directly and drives its parts with a
+/// [`ComponentScheduler`], inheriting FIFO determinism and seeded
+/// fuzzing without re-deriving either.
+pub trait Component {
+    /// The next virtual time this component has work, or `None` when it
+    /// is drained.
+    fn next_tick(&self) -> Option<u64>;
+    /// Performs one step of work at virtual time `now`.
+    fn tick(&mut self, now: u64);
+}
+
+/// Drives a set of [`Component`]s to quiescence under a
+/// [`ScheduleStrategy`].
+///
+/// At each step every component due at the earliest pending tick is
+/// *ready*; the strategy picks which of them fires. FIFO always fires
+/// the lowest-indexed ready component; a fuzzed strategy permutes the
+/// choice — the component-level analogue of the engines' ready-queue
+/// and event-tie fuzzing.
+pub struct ComponentScheduler {
+    picker: Picker,
+}
+
+impl ComponentScheduler {
+    /// A scheduler drawing decisions from `strategy` on `stream`.
+    pub fn new(strategy: ScheduleStrategy, stream: u64) -> Self {
+        ComponentScheduler {
+            picker: Picker::new(strategy, stream),
+        }
+    }
+
+    /// Runs `components` until none reports a next tick, returning the
+    /// number of ticks fired. `max_ticks` bounds runaway components.
+    pub fn run(&mut self, components: &mut [Box<dyn Component + '_>], max_ticks: u64) -> u64 {
+        let mut fired = 0;
+        while fired < max_ticks {
+            let Some(now) = components.iter().filter_map(|c| c.next_tick()).min() else {
+                break;
+            };
+            let ready: Vec<usize> = components
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.next_tick() == Some(now))
+                .map(|(i, _)| i)
+                .collect();
+            let choice = ready[self.picker.pick(ready.len())];
+            components[choice].tick(now);
+            fired += 1;
+        }
+        fired
+    }
+
+    /// The decision fingerprint accumulated so far.
+    pub fn digest(&self) -> u64 {
+        self.picker.digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_picker_never_reorders_and_never_draws() {
+        let mut p = Picker::new(ScheduleStrategy::Fifo, CONTROL_STREAM);
+        for len in [0, 1, 2, 100] {
+            assert_eq!(p.pick(len), 0);
+            assert!(!p.last_reordered());
+        }
+        assert!(p.coin());
+        assert_eq!(p.tie_key(), 0);
+        assert_eq!(p.decisions(), 0);
+        assert_eq!(p.digest(), 0);
+    }
+
+    #[test]
+    fn fuzzed_picker_is_deterministic_per_seed_and_stream() {
+        let draws = |seed, stream| {
+            let mut p = Picker::new(ScheduleStrategy::fuzzed(seed), stream);
+            let v: Vec<usize> = (0..64).map(|_| p.pick(10)).collect();
+            (v, p.digest())
+        };
+        assert_eq!(draws(7, 0), draws(7, 0));
+        assert_ne!(draws(7, 0).0, draws(8, 0).0, "seed must matter");
+        assert_ne!(draws(7, 0).0, draws(7, 1).0, "stream must matter");
+    }
+
+    #[test]
+    fn fuzzed_limit_reverts_to_fifo() {
+        let mut p = Picker::new(
+            ScheduleStrategy::Fuzzed { seed: 3, limit: 5 },
+            CONTROL_STREAM,
+        );
+        for _ in 0..5 {
+            p.pick(100);
+        }
+        assert_eq!(p.decisions(), 5);
+        // Decision budget exhausted: everything is FIFO from here on.
+        for _ in 0..20 {
+            assert_eq!(p.pick(100), 0);
+            assert!(p.coin());
+            assert_eq!(p.tie_key(), 0);
+        }
+        assert_eq!(p.decisions(), 5);
+    }
+
+    #[test]
+    fn ready_queue_fifo_matches_vecdeque() {
+        let mut p = Picker::new(ScheduleStrategy::Fifo, CONTROL_STREAM);
+        let mut q = ReadyQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop(&mut p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ready_queue_fuzzed_permutes_but_loses_nothing() {
+        let mut p = Picker::new(ScheduleStrategy::fuzzed(42), 1);
+        let mut q = ReadyQueue::new();
+        for i in 0..64 {
+            q.push(i);
+        }
+        let mut order: Vec<i32> = std::iter::from_fn(|| q.pop(&mut p)).collect();
+        assert_ne!(order, (0..64).collect::<Vec<_>>(), "seed 42 reorders");
+        order.sort_unstable();
+        assert_eq!(order, (0..64).collect::<Vec<_>>(), "every task fires");
+    }
+
+    #[test]
+    fn event_queue_fifo_orders_by_time_then_insertion() {
+        let mut p = Picker::new(ScheduleStrategy::Fifo, CONTROL_STREAM);
+        let mut q = EventQueue::new();
+        q.push(20, "c", &mut p);
+        q.push(10, "a", &mut p);
+        q.push(10, "b", &mut p);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, i)| i)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn event_queue_fuzzed_permutes_only_equal_times() {
+        // Distinct timestamps must stay in time order whatever the seed.
+        for seed in 0..20 {
+            let mut p = Picker::new(ScheduleStrategy::fuzzed(seed), 2);
+            let mut q = EventQueue::new();
+            for t in [30u64, 10, 20, 10, 20, 10] {
+                q.push(t, t, &mut p);
+            }
+            let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+            assert_eq!(times, vec![10, 10, 10, 20, 20, 30], "seed {seed}");
+        }
+        // And some seed does permute equal-time insertion order.
+        let permuted = (0..50).any(|seed| {
+            let mut p = Picker::new(ScheduleStrategy::fuzzed(seed), 2);
+            let mut q = EventQueue::new();
+            for i in 0..8 {
+                q.push(5, i, &mut p);
+            }
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, i)| i)).collect();
+            order != (0..8).collect::<Vec<_>>()
+        });
+        assert!(permuted, "no seed permuted equal-time events");
+    }
+
+    #[test]
+    fn gate_selection_is_strategy_aware() {
+        let tracer = Tracer::disabled();
+        let mut fifo = Picker::new(ScheduleStrategy::Fifo, CONTROL_STREAM);
+        assert!(matches!(
+            PhaseGate::select(None, &tracer, &mut fifo),
+            PhaseGate::Fast(_)
+        ));
+        // Some fuzz seed picks the tiered protocol even without faults.
+        let tiered = (0..64).any(|seed| {
+            let mut p = Picker::new(ScheduleStrategy::fuzzed(seed), CONTROL_STREAM);
+            matches!(
+                PhaseGate::select(None, &tracer, &mut p),
+                PhaseGate::Tiered(_)
+            )
+        });
+        assert!(tiered, "no seed selected the tiered gate");
+        // Injection always forces the faithful protocol.
+        let inj = Arc::new(FaultInjector::new(snap_fault::FaultPlan::seeded(1)));
+        let mut p = Picker::new(ScheduleStrategy::fuzzed(0), CONTROL_STREAM);
+        assert!(matches!(
+            PhaseGate::select(Some(&inj), &tracer, &mut p),
+            PhaseGate::Tiered(_)
+        ));
+    }
+
+    #[test]
+    fn gate_confirm_complete_holds_on_quiet_gate() {
+        let mut p = Picker::new(ScheduleStrategy::fuzzed(9), CONTROL_STREAM);
+        let gate = PhaseGate::select(None, &Tracer::disabled(), &mut p);
+        gate.created(0);
+        gate.consumed(0);
+        assert!(gate.wait_complete_timeout(Duration::from_secs(1)).is_ok());
+        assert!(gate.confirm_complete(&mut p));
+    }
+
+    /// A toy race: two producers append to a shared log; the schedule
+    /// decides the interleaving. FIFO is stable; fuzzing permutes it —
+    /// exactly the kind of ordering dependence the fuzzer exists to
+    /// expose in components that (incorrectly) depend on it.
+    #[test]
+    fn component_scheduler_fuzzes_interleaving() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Producer {
+            id: u8,
+            remaining: u64,
+            log: Rc<RefCell<Vec<u8>>>,
+        }
+        impl Component for Producer {
+            fn next_tick(&self) -> Option<u64> {
+                (self.remaining > 0).then_some(0)
+            }
+            fn tick(&mut self, _now: u64) {
+                self.remaining -= 1;
+                self.log.borrow_mut().push(self.id);
+            }
+        }
+
+        let run = |strategy| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut parts: Vec<Box<dyn Component>> = (0..3u8)
+                .map(|id| {
+                    Box::new(Producer {
+                        id,
+                        remaining: 4,
+                        log: Rc::clone(&log),
+                    }) as Box<dyn Component>
+                })
+                .collect();
+            let mut sched = ComponentScheduler::new(strategy, CONTROL_STREAM);
+            let fired = sched.run(&mut parts, 1_000);
+            assert_eq!(fired, 12, "every tick runs to quiescence");
+            let order = log.borrow().clone();
+            order
+        };
+        let fifo = run(ScheduleStrategy::Fifo);
+        assert_eq!(fifo, run(ScheduleStrategy::Fifo), "FIFO is stable");
+        let fuzzed = run(ScheduleStrategy::fuzzed(5));
+        assert_eq!(
+            fuzzed,
+            run(ScheduleStrategy::fuzzed(5)),
+            "same seed replays the same interleaving"
+        );
+        assert_ne!(fifo, fuzzed, "seed 5 interleaves differently");
+        let mut sorted = fuzzed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, fifo, "fuzzing loses no work");
+    }
+
+    #[test]
+    fn strategy_default_is_fifo() {
+        assert_eq!(ScheduleStrategy::default(), ScheduleStrategy::Fifo);
+        assert!(ScheduleStrategy::fuzzed(1).is_fuzzed());
+        assert!(!ScheduleStrategy::Fifo.is_fuzzed());
+    }
+}

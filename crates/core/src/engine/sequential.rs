@@ -11,6 +11,7 @@ use crate::config::MachineConfig;
 use crate::controller::{plan, PropSpec, Step};
 use crate::cost::CostModel;
 use crate::engine::common::{exec_single, phase_of};
+use crate::engine::sched::{apply_arrival, maybe_plant_bug, Picker, ReadyQueue, CONTROL_STREAM};
 use crate::error::CoreError;
 use crate::propagate::{expand_into, PropArrival, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
@@ -19,7 +20,6 @@ use snap_isa::{InstrClass, Program};
 use snap_kb::{ClusterId, PartitionScheme, SemanticNetwork};
 use snap_mem::SimTime;
 use snap_obs::{PhaseKind, Stamp, Tracer};
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Executes `program` sequentially, returning the measured report.
@@ -38,6 +38,9 @@ pub(crate) fn run(
     };
     let mut now: SimTime = 0;
     let tracer = Tracer::from_config(config.trace.as_ref(), 1);
+    // One decision stream for the whole run: the single PE is the only
+    // scheduling consumer, so every ready-pool pick draws from it.
+    let mut picker = Picker::new(config.schedule, CONTROL_STREAM);
 
     for step in plan(program) {
         match step {
@@ -94,6 +97,7 @@ pub(crate) fn run(
                         &spec,
                         &mut report,
                         &tracer,
+                        &mut picker,
                     )?;
                     now += ns;
                     report.record(InstrClass::Propagate, ns);
@@ -112,11 +116,17 @@ pub(crate) fn run(
     }
     report.total_ns = now;
     report.trace = tracer.report();
+    report.schedule_digest = picker.digest();
     Ok(report)
 }
 
 /// Breadth-first propagation with value re-relaxation (SPFA-style),
-/// entirely local to the single region.
+/// entirely local to the single region. Ready-task order comes from the
+/// shared scheduler core: FIFO preserves the historical breadth-first
+/// order exactly, a fuzzed strategy picks any ready task — which the
+/// min-`(value, origin)` convergence must absorb without changing the
+/// result.
+#[allow(clippy::too_many_arguments)]
 fn run_propagate(
     config: &MachineConfig,
     cost: &CostModel,
@@ -125,15 +135,16 @@ fn run_propagate(
     spec: &PropSpec,
     report: &mut RunReport,
     tracer: &Tracer,
+    picker: &mut Picker,
 ) -> Result<SimTime, CoreError> {
     let mut visited = VisitedMap::with_strategy(config.visited, network.node_count());
-    let mut queue: VecDeque<PropTask> = VecDeque::new();
+    let mut queue: ReadyQueue<PropTask> = ReadyQueue::new();
     let sources = region.active_nodes(spec.source);
     report.alpha_per_propagate.push(sources.len() as u64);
     for node in sources {
         let value = region.source_value(spec.source, node);
         if visited.should_expand(spec.prop, 0, node, value, node) {
-            queue.push_back(PropTask {
+            queue.push(PropTask {
                 prop: spec.prop,
                 node,
                 state: 0,
@@ -146,9 +157,10 @@ fn run_propagate(
 
     let mut ns = cost.pu_decode_ns;
     let mut arrivals: Vec<PropArrival> = Vec::new();
-    while let Some(task) = queue.pop_front() {
+    while let Some(task) = queue.pop(picker) {
         let (segments, links_scanned) =
             expand_into(network, &spec.rule, spec.func, &task, &mut arrivals);
+        maybe_plant_bug(picker, &mut arrivals);
         report.expansions += 1;
         tracer.expansion(0);
         ns += cost.expand_ns(segments, links_scanned, arrivals.len());
@@ -156,19 +168,22 @@ fn run_propagate(
             continue;
         }
         for &arrival in &arrivals {
-            region.arrive(spec.target, arrival.node, arrival.value, task.origin)?;
-            report.traffic.local_activations += 1;
-            tracer.activation(0);
-            let level = task.level + 1;
-            report.max_propagation_depth = report.max_propagation_depth.max(level);
-            if visited.should_expand(
+            let expand = apply_arrival(
+                region,
+                &mut visited,
+                spec.target,
                 spec.prop,
                 arrival.state,
                 arrival.node,
                 arrival.value,
                 task.origin,
-            ) {
-                queue.push_back(PropTask {
+            )?;
+            report.traffic.local_activations += 1;
+            tracer.activation(0);
+            let level = task.level + 1;
+            report.max_propagation_depth = report.max_propagation_depth.max(level);
+            if expand {
+                queue.push(PropTask {
                     prop: spec.prop,
                     node: arrival.node,
                     state: arrival.state,

@@ -34,6 +34,9 @@
 use crate::config::{MachineConfig, VisitedStrategy};
 use crate::controller::{plan, PropSpec, Step};
 use crate::engine::common::phase_of;
+use crate::engine::sched::{
+    apply_arrival, maybe_plant_bug, PhaseGate, Picker, ReadyQueue, ScheduleStrategy, CONTROL_STREAM,
+};
 use crate::error::CoreError;
 use crate::propagate::{expand_into, PropArrival, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
@@ -45,8 +48,7 @@ use snap_isa::{InstrClass, Instruction, Program};
 use snap_kb::{ClusterId, Color, Link, MarkerValue, NodeId, SemanticNetwork};
 use snap_net::{Fabric, HypercubeTopology};
 use snap_obs::{FaultKind, PhaseKind, Tracer, CONTROLLER_TRACK};
-use snap_sync::{BarrierStall, CountingGate, TieredBarrier};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -72,82 +74,6 @@ const MAX_STALL_STRIKES: u32 = 3;
 /// Phase replays (cluster recoveries) before the controller declares the
 /// run unrecoverable.
 const MAX_REPLAYS: u32 = 4;
-
-/// Phase-closure protocol, chosen once per run.
-///
-/// Under fault injection or tracing the engine runs the faithful SNAP-1
-/// protocol: per-level counters plus the busy-PE AND-tree
-/// ([`TieredBarrier`], ~8 shared-atomic transitions per task). On the
-/// clean fast path phase closure only needs "every created token was
-/// consumed", so a single packed counter ([`CountingGate`], 2
-/// transitions per task) closes phases instead.
-#[derive(Clone)]
-enum Gate {
-    Fast(Arc<CountingGate>),
-    Tiered(Arc<TieredBarrier>),
-}
-
-impl Gate {
-    #[inline]
-    fn created(&self, level: u8) {
-        match self {
-            Gate::Fast(g) => g.created(),
-            Gate::Tiered(b) => b.created(level),
-        }
-    }
-
-    #[inline]
-    fn consumed(&self, level: u8) {
-        match self {
-            Gate::Fast(g) => g.consumed(),
-            Gate::Tiered(b) => b.consumed(level),
-        }
-    }
-
-    /// The AND-tree busy bit only exists in the tiered protocol; the
-    /// counting gate detects quiescence from the token count alone.
-    #[inline]
-    fn enter_busy(&self) {
-        if let Gate::Tiered(b) = self {
-            b.enter_busy();
-        }
-    }
-
-    #[inline]
-    fn exit_busy(&self) {
-        if let Gate::Tiered(b) = self {
-            b.exit_busy();
-        }
-    }
-
-    fn wait_complete_timeout(&self, stall_after: Duration) -> Result<(), BarrierStall> {
-        match self {
-            Gate::Fast(g) => g.wait_quiescent_timeout(stall_after),
-            Gate::Tiered(b) => b.wait_complete_timeout(stall_after),
-        }
-    }
-
-    fn in_flight(&self) -> i64 {
-        match self {
-            Gate::Fast(g) => g.in_flight(),
-            Gate::Tiered(b) => b.in_flight(),
-        }
-    }
-
-    fn busy_pes(&self) -> usize {
-        match self {
-            Gate::Fast(_) => 0,
-            Gate::Tiered(b) => b.busy_pes(),
-        }
-    }
-
-    fn reset(&self) {
-        match self {
-            Gate::Fast(g) => g.reset(),
-            Gate::Tiered(b) => b.reset(),
-        }
-    }
-}
 
 /// Commands from the controller to the cluster workers.
 ///
@@ -267,18 +193,17 @@ pub(crate) fn run(
     // listening on the wrong slot silently strands every message sent to
     // it, which the barrier watchdog then reports as lost.
     fabric_rxs.truncate(config.clusters);
-    // Fault injection and tracing both need the faithful protocol (per-
-    // level counters, injected counter-network stalls, barrier-arrive
-    // events); a clean untraced run closes phases with the cheap
-    // counting gate instead.
-    let gate = if injector.is_some() || tracer.is_enabled() {
-        Gate::Tiered(TieredBarrier::with_instruments(
-            injector.clone(),
-            tracer.clone(),
-        ))
-    } else {
-        Gate::Fast(CountingGate::new())
-    };
+    // Phase-closure protocol and every controller-side schedule decision
+    // draw from the control stream's picker; a fuzzed schedule may also
+    // flip the gate choice (see `PhaseGate::select`).
+    let mut ctrl_picker = Picker::new(config.schedule, CONTROL_STREAM);
+    let gate = PhaseGate::select(injector.as_ref(), &tracer, &mut ctrl_picker);
+    // A fuzzed schedule additionally permutes fabric delivery order:
+    // counted marker envelopes may be held back one-deep per destination
+    // until overtaken or flushed by an idle worker.
+    if let ScheduleStrategy::Fuzzed { seed, .. } = config.schedule {
+        fabric.enable_reorder(seed);
+    }
     // owners[c] = worker currently holding cluster c's region.
     let owners: Arc<Vec<AtomicUsize>> =
         Arc::new((0..config.clusters).map(AtomicUsize::new).collect());
@@ -323,6 +248,7 @@ pub(crate) fn run(
         msgs_before_phase: 0,
         replays: 0,
         tracer: tracer.clone(),
+        picker: ctrl_picker,
     };
 
     let scope_result = std::thread::scope(|scope| -> Result<(), CoreError> {
@@ -353,7 +279,8 @@ pub(crate) fn run(
                 dedup: DedupTable::new(),
                 steps: 0,
                 arrivals: Vec::new(),
-                queue: VecDeque::new(),
+                queue: ReadyQueue::new(),
+                picker: Picker::new(config.schedule, c as u64 + 1),
                 batch_bufs: vec![Vec::new(); config.clusters],
                 batch_order: Vec::new(),
                 tasks_sent: Arc::clone(&tasks_sent),
@@ -420,6 +347,10 @@ pub(crate) fn run(
     scope_result?;
 
     let mut report = controller.report;
+    // Replay fingerprint: the control stream's decisions only. Worker
+    // streams are individually deterministic per seed, but which worker
+    // draws how many decisions depends on real thread timing.
+    report.schedule_digest = controller.picker.digest();
     report.partition = Some(partition_stats);
     report.traffic.total_messages = fabric.messages();
     report.traffic.total_hops = fabric.hops();
@@ -447,7 +378,7 @@ struct Controller {
     live: Vec<bool>,
     owners: Arc<Vec<AtomicUsize>>,
     checkpoints: Arc<Mutex<Vec<Option<Region>>>>,
-    gate: Gate,
+    gate: PhaseGate,
     fabric: Fabric<NetMsg>,
     rx_backups: Vec<Receiver<NetMsg>>,
     injector: Option<Arc<FaultInjector>>,
@@ -457,6 +388,8 @@ struct Controller {
     msgs_before_phase: u64,
     replays: u32,
     tracer: Tracer,
+    /// Control-stream schedule decisions (gate choice, close re-checks).
+    picker: Picker,
 }
 
 impl Controller {
@@ -556,8 +489,24 @@ impl Controller {
             let mut strikes = 0;
             loop {
                 match self.gate.wait_complete_timeout(window) {
-                    Ok(()) => break,
+                    Ok(()) => {
+                        // Fuzzed gate-close timing: yield a strategy-
+                        // chosen number of times and re-verify. A closure
+                        // protocol that can report quiescence with a
+                        // token still in flight (a false termination)
+                        // re-opens here and fails typed.
+                        if self.gate.confirm_complete(&mut self.picker) {
+                            break;
+                        }
+                        return Err(CoreError::BarrierStalled {
+                            reason: "gate re-opened after reporting completion (false termination)"
+                                .into(),
+                        });
+                    }
                     Err(stall) => {
+                        // A held-back envelope must never be mistaken for
+                        // a stall: release the reorder hook's slots.
+                        self.fabric.flush_held();
                         self.tracer.barrier_stall(
                             self.gate.in_flight(),
                             self.gate.busy_pes() as u64,
@@ -847,7 +796,7 @@ struct Worker<'env> {
     reply_tx: Sender<Reply>,
     fabric: Fabric<NetMsg>,
     fabric_rx: Receiver<NetMsg>,
-    gate: Gate,
+    gate: PhaseGate,
     first_error: &'env Mutex<Option<CoreError>>,
     injector: Option<Arc<FaultInjector>>,
     retry: RetryPolicy,
@@ -863,7 +812,10 @@ struct Worker<'env> {
     /// Reused arrival buffer for [`expand_into`] (no per-task allocation).
     arrivals: Vec<PropArrival>,
     /// Reused propagation work queue (cleared, not dropped, per phase).
-    queue: VecDeque<PropTask>,
+    queue: ReadyQueue<PropTask>,
+    /// This worker's schedule decision stream (stream id `cluster + 1`;
+    /// stream 0 is the controller's).
+    picker: Picker,
     /// Per-destination-cluster send staging, indexed by cluster; paired
     /// with `batch_order` so expansion routes off-cluster arrivals in
     /// O(1) instead of a linear scan per arrival.
@@ -1063,7 +1015,7 @@ impl Worker<'_> {
         specs: &[PropSpec],
         net: &SemanticNetwork,
         visited: &mut VisitedMap,
-        queue: &mut VecDeque<PropTask>,
+        queue: &mut ReadyQueue<PropTask>,
     ) -> PhaseExit {
         // Seed local sources, then consume the controller's phase token.
         self.gate.enter_busy();
@@ -1077,7 +1029,7 @@ impl Worker<'_> {
             for (node, value) in sources {
                 if visited.should_expand(spec.prop, 0, node, value, node) {
                     self.gate.created(0);
-                    queue.push_back(PropTask {
+                    queue.push(PropTask {
                         prop: spec.prop,
                         node,
                         state: 0,
@@ -1096,14 +1048,22 @@ impl Worker<'_> {
                 // Deliver any injected-delay traffic that has come due.
                 self.fabric.poll_delayed();
             }
-            // Remote arrivals first, then local work.
-            if let Ok(msg) = self.fabric_rx.try_recv() {
-                self.gate.enter_busy();
-                self.handle_net(specs, visited, queue, msg);
-                self.gate.exit_busy();
-                continue;
+            // Remote arrivals first, then local work — unless a fuzzed
+            // schedule flips the coin and lets queued work overtake the
+            // fabric. FIFO's coin is always `true`, so the historical
+            // fabric-first order is preserved bit for bit; the coin is
+            // only drawn while local work exists, so idle spinning never
+            // burns fuzz-decision budget.
+            let queue_first = !queue.is_empty() && !self.picker.coin();
+            if !queue_first {
+                if let Ok(msg) = self.fabric_rx.try_recv() {
+                    self.gate.enter_busy();
+                    self.handle_net(specs, visited, queue, msg);
+                    self.gate.exit_busy();
+                    continue;
+                }
             }
-            if let Some(task) = queue.pop_front() {
+            if let Some(task) = queue.pop(&mut self.picker) {
                 if self.tracer.is_enabled() {
                     self.tracer.queue_depth(
                         self.cluster as u16,
@@ -1127,7 +1087,13 @@ impl Worker<'_> {
                     return PhaseExit::Aborted;
                 }
                 Ok(Cmd::Shutdown) => return PhaseExit::Shutdown,
-                _ => std::thread::yield_now(),
+                _ => {
+                    // Idle: release any envelopes the fuzzer's reorder
+                    // hook is holding back, so held traffic cannot be
+                    // mistaken for quiescence or a stall.
+                    self.fabric.flush_held();
+                    std::thread::yield_now()
+                }
             }
         }
     }
@@ -1154,7 +1120,7 @@ impl Worker<'_> {
         &mut self,
         specs: &[PropSpec],
         visited: &mut VisitedMap,
-        queue: &mut VecDeque<PropTask>,
+        queue: &mut ReadyQueue<PropTask>,
         msg: NetMsg,
     ) {
         match msg {
@@ -1289,7 +1255,7 @@ impl Worker<'_> {
         &mut self,
         specs: &[PropSpec],
         visited: &mut VisitedMap,
-        queue: &mut VecDeque<PropTask>,
+        queue: &mut ReadyQueue<PropTask>,
         task: PropTask,
     ) {
         let spec = &specs[task.prop];
@@ -1299,19 +1265,31 @@ impl Worker<'_> {
             // re-derives it at the new owner.
             return;
         };
-        if let Err(e) = region.arrive(spec.target, task.node, task.value, task.origin) {
-            self.report_error(e);
-            return;
-        }
+        let expand = match apply_arrival(
+            region,
+            visited,
+            spec.target,
+            task.prop,
+            task.state,
+            task.node,
+            task.value,
+            task.origin,
+        ) {
+            Ok(expand) => expand,
+            Err(e) => {
+                self.report_error(e);
+                return;
+            }
+        };
         if self.tracer.is_enabled() {
             // Attribute the activation to the region's home cluster (as
             // the other engines do), not to an adopting worker.
             self.tracer
                 .activation(self.map.cluster_of(task.node).index() as u16);
         }
-        if visited.should_expand(task.prop, task.state, task.node, task.value, task.origin) {
+        if expand {
             self.gate.created(task.level.min(63));
-            queue.push_back(task);
+            queue.push(task);
         }
     }
 
@@ -1320,7 +1298,7 @@ impl Worker<'_> {
         specs: &[PropSpec],
         net: &SemanticNetwork,
         visited: &mut VisitedMap,
-        queue: &mut VecDeque<PropTask>,
+        queue: &mut ReadyQueue<PropTask>,
         task: &PropTask,
     ) {
         self.steps += 1;
@@ -1350,6 +1328,7 @@ impl Worker<'_> {
         let spec = &specs[task.prop];
         let mut arrivals = std::mem::take(&mut self.arrivals);
         expand_into(net, &spec.rule, spec.func, task, &mut arrivals);
+        maybe_plant_bug(&self.picker, &mut arrivals);
         if task.level >= self.max_hops {
             self.arrivals = arrivals;
             return;

@@ -46,6 +46,9 @@ pub mod exec {
 
 pub use config::{EngineKind, MachineConfig, VisitedStrategy};
 pub use cost::CostModel;
+pub use engine::sched::{
+    Component, ComponentScheduler, EventQueue, Picker, ReadyQueue, ScheduleStrategy, CONTROL_STREAM,
+};
 pub use error::CoreError;
 pub use machine::{Snap1, Snap1Builder};
 pub use region::{Arrival, Region, RegionMap, VALUE_EPSILON};

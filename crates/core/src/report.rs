@@ -157,6 +157,14 @@ pub struct RunReport {
     /// run used (`None` only in reports predating the field).
     #[serde(default)]
     pub partition: Option<snap_kb::PartitionStats>,
+    /// Fingerprint of the schedule decisions the run drew (zero under
+    /// the default FIFO strategy, which draws none). For the
+    /// deterministic engines (sequential, DES) the same seed must
+    /// reproduce the same digest — the fuzz harness's replay check. The
+    /// threaded engine records only its controller stream (worker
+    /// decision consumption is wall-clock-dependent).
+    #[serde(default)]
+    pub schedule_digest: u64,
 }
 
 impl RunReport {

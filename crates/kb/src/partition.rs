@@ -504,6 +504,122 @@ mod tests {
         net
     }
 
+    /// Preferential-attachment (Barabási–Albert) network: each node
+    /// past the seed chain links to `m` distinct earlier nodes drawn
+    /// proportional to degree via endpoint-list sampling, producing the
+    /// power-law hub structure of a real knowledge base.
+    fn scale_free_network(n: usize, m: usize, seed: u64) -> SemanticNetwork {
+        assert!(n > m && m >= 1, "need more nodes than attachments");
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(net.add_node(Color(0)).unwrap());
+        }
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        // Every link endpoint lands on this list, so sampling it
+        // uniformly is sampling nodes proportional to degree.
+        let mut endpoints: Vec<usize> = Vec::new();
+        for v in 1..=m {
+            net.add_link(ids[v - 1], RelationType(0), 0.0, ids[v])
+                .unwrap();
+            endpoints.push(v - 1);
+            endpoints.push(v);
+        }
+        for v in (m + 1)..n {
+            let mut targets: Vec<usize> = Vec::new();
+            while targets.len() < m {
+                let t = endpoints[next() % endpoints.len()];
+                if t != v && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            for t in targets {
+                net.add_link(ids[v], RelationType(0), 0.0, ids[t]).unwrap();
+                endpoints.push(v);
+                endpoints.push(t);
+            }
+        }
+        net
+    }
+
+    /// One hub (node 0, so EdgeCut seeds there) fanning out to `leaves`
+    /// spokes: the worst case for balanced partitioning — a `p`-way
+    /// balanced split must cut every spoke leaving the hub's cluster.
+    fn star_network(leaves: usize) -> SemanticNetwork {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let hub = net.add_node(Color(0)).unwrap();
+        for _ in 0..leaves {
+            let leaf = net.add_node(Color(0)).unwrap();
+            net.add_link(hub, RelationType(0), 0.0, leaf).unwrap();
+        }
+        net
+    }
+
+    /// `communities` chorded line segments of `size` nodes, consecutive
+    /// segments joined by a single bridge link: the minimum balanced cut
+    /// at `clusters == communities` is exactly the bridges.
+    fn bridge_network(communities: usize, size: usize) -> SemanticNetwork {
+        assert!(size >= 2, "a community needs at least two nodes");
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let mut ids = Vec::with_capacity(communities * size);
+        for _ in 0..communities * size {
+            ids.push(net.add_node(Color(0)).unwrap());
+        }
+        for c in 0..communities {
+            let base = c * size;
+            for i in 0..size - 1 {
+                net.add_link(ids[base + i], RelationType(0), 0.0, ids[base + i + 1])
+                    .unwrap();
+                if i + 2 < size {
+                    net.add_link(ids[base + i], RelationType(1), 0.0, ids[base + i + 2])
+                        .unwrap();
+                }
+            }
+            if c + 1 < communities {
+                net.add_link(ids[base + size - 1], RelationType(2), 0.0, ids[base + size])
+                    .unwrap();
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn edge_cut_on_star_achieves_the_minimum_balanced_cut() {
+        // 1 hub + 63 leaves over 4 clusters of 16: any balanced split
+        // strands 48 spokes outside the hub's cluster, and hub-seeded
+        // greedy growth hits that floor exactly.
+        let net = star_network(63);
+        let p = Partition::build(&net, 4, PartitionScheme::EdgeCut);
+        let stats = p.stats(&net);
+        assert_eq!(stats.total_links, 63);
+        assert_eq!(stats.cut_links, 63 - 15);
+        assert_eq!(stats.max_load, 16);
+        assert!((stats.load_balance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_cut_on_bridged_communities_cuts_only_bridges() {
+        let (k, size) = (4usize, 16usize);
+        let net = bridge_network(k, size);
+        let p = Partition::build(&net, k, PartitionScheme::EdgeCut);
+        let stats = p.stats(&net);
+        assert_eq!(stats.cut_links, (k - 1) as u64);
+        assert_eq!(stats.max_load, size);
+        // Each community lands wholly in one cluster.
+        for c in 0..k {
+            let owner = p.cluster_of(NodeId((c * size) as u32));
+            for i in 1..size {
+                assert_eq!(p.cluster_of(NodeId((c * size + i) as u32)), owner);
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_every_node_assigned_exactly_once(
@@ -557,6 +673,82 @@ mod tests {
             prop_assert_eq!(stats.max_load, edge_cut.max_cluster_load());
             let assigned: usize = stats.per_cluster.iter().map(|c| c.nodes).sum();
             prop_assert_eq!(assigned, n);
+        }
+
+        /// Power-law KBs (the degree distribution real semantic networks
+        /// have): EdgeCut must keep the ceiling-balanced load bound even
+        /// when hubs concentrate most links, and its cut can never lose
+        /// to the locality-blind round-robin baseline.
+        #[test]
+        fn prop_scale_free_edge_cut_cut_and_load_bounds(
+            n in 24usize..160,
+            m in 1usize..4,
+            clusters in 2usize..9,
+            seed in 0u64..1_000,
+        ) {
+            let net = scale_free_network(n, m, seed);
+            // Preferential attachment actually produced hubs: some node's
+            // undirected degree dwarfs the attachment constant.
+            let mut degree = vec![0usize; n];
+            for node in net.nodes() {
+                for link in net.links(node) {
+                    degree[node.index()] += 1;
+                    degree[link.destination.index()] += 1;
+                }
+            }
+            let max_degree = degree.iter().copied().max().unwrap_or(0);
+            prop_assert!(
+                max_degree >= 3 * m,
+                "no hub emerged: max degree {} with m={}", max_degree, m
+            );
+
+            let p = Partition::build(&net, clusters, PartitionScheme::EdgeCut);
+            let stats = p.stats(&net);
+            prop_assert!(stats.max_load <= n.div_ceil(clusters).max(1));
+            let rr = Partition::build(&net, clusters, PartitionScheme::RoundRobin);
+            prop_assert!(
+                stats.cut_fraction <= rr.cut_fraction(&net) + 1e-12,
+                "EdgeCut {} lost to RoundRobin {}", stats.cut_fraction, rr.cut_fraction(&net)
+            );
+            // A hub-heavy graph still has locality to find.
+            prop_assert!(stats.cut_fraction < 1.0);
+            let assigned: usize = stats.per_cluster.iter().map(|c| c.nodes).sum();
+            prop_assert_eq!(assigned, n);
+        }
+
+        /// Star and bridge topologies: assignment stays total and
+        /// ceiling-balanced on every scheme, and EdgeCut never loses to
+        /// round-robin on the cut.
+        #[test]
+        fn prop_hub_and_bridge_topologies_stay_total_and_balanced(
+            leaves in 8usize..120,
+            communities in 2usize..7,
+            size in 4usize..24,
+            clusters in 2usize..9,
+        ) {
+            for net in [star_network(leaves), bridge_network(communities, size)] {
+                let n = net.node_count();
+                for scheme in [
+                    PartitionScheme::Sequential,
+                    PartitionScheme::RoundRobin,
+                    PartitionScheme::Semantic,
+                    PartitionScheme::EdgeCut,
+                ] {
+                    let p = Partition::build(&net, clusters, scheme);
+                    let mut seen = vec![false; n];
+                    for c in 0..clusters {
+                        for &node in p.members(ClusterId(c as u8)) {
+                            prop_assert!(!seen[node.index()], "{:?}: double assignment", scheme);
+                            seen[node.index()] = true;
+                        }
+                    }
+                    prop_assert!(seen.into_iter().all(|s| s), "{:?}: node unassigned", scheme);
+                    prop_assert!(p.max_cluster_load() <= n.div_ceil(clusters).max(1));
+                }
+                let edge_cut = Partition::build(&net, clusters, PartitionScheme::EdgeCut);
+                let rr = Partition::build(&net, clusters, PartitionScheme::RoundRobin);
+                prop_assert!(edge_cut.cut_fraction(&net) <= rr.cut_fraction(&net) + 1e-12);
+            }
         }
     }
 }

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 use snap_fault::{Corruptible, FaultInjector, SendFate};
 use snap_kb::ClusterId;
 use snap_obs::Tracer;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,6 +22,26 @@ struct Delayed<T> {
     due: Instant,
     to: usize,
     message: T,
+}
+
+/// Seeded delivery-order permutation state: one holdback slot per
+/// destination cluster plus a SplitMix64 stream deciding, per counted
+/// send, whether the message overtakes the currently held one.
+#[derive(Debug)]
+struct Reorder<T> {
+    rng: u64,
+    /// At most one in-flight message held back per destination.
+    held: Vec<Option<T>>,
+}
+
+impl<T> Reorder<T> {
+    fn next(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 /// Sending half of the fabric, cloneable across cluster threads.
@@ -35,6 +55,11 @@ pub struct Fabric<T> {
     /// Per-link decision counter streams for the injector.
     link_seq: Arc<Vec<AtomicU64>>,
     delayed: Arc<Mutex<Vec<Delayed<T>>>>,
+    /// Delivery-order hook for the interleaving fuzzer (disabled by
+    /// default; see [`enable_reorder`](Self::enable_reorder)).
+    reorder: Arc<Mutex<Option<Reorder<T>>>>,
+    /// Cheap hot-path check so the disabled case never takes the lock.
+    reorder_on: Arc<AtomicBool>,
     /// Observability hook: records destination-mailbox depth per
     /// counted send (the ICN four-port mailbox occupancy).
     tracer: Tracer,
@@ -90,6 +115,8 @@ impl<T> Fabric<T> {
                 injector,
                 link_seq: Arc::new((0..n * n).map(|_| AtomicU64::new(0)).collect()),
                 delayed: Arc::new(Mutex::new(Vec::new())),
+                reorder: Arc::new(Mutex::new(None)),
+                reorder_on: Arc::new(AtomicBool::new(false)),
                 tracer,
             },
             receivers,
@@ -107,8 +134,59 @@ impl<T> Fabric<T> {
         let hops = self.topology.distance(from, to) as u64;
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.hops.fetch_add(hops, Ordering::Relaxed);
-        self.deliver(to.index(), message);
+        self.dispatch(to.index(), message);
         self.observe_depth(to.index());
+    }
+
+    /// Counted-marker delivery point: when the fuzzer's reorder hook is
+    /// armed, a seeded coin per message decides whether it is held back
+    /// in the destination's one-deep holdback slot (any previously held
+    /// message is released) or delivered at once, overtaking whatever
+    /// the slot still holds. With the hook off this is `deliver`.
+    fn dispatch(&self, to: usize, message: T) {
+        if self.reorder_on.load(Ordering::Relaxed) {
+            let mut guard = self.reorder.lock();
+            if let Some(state) = guard.as_mut() {
+                if state.next() & 1 == 0 {
+                    if let Some(prev) = state.held[to].replace(message) {
+                        self.deliver(to, prev);
+                    }
+                    return;
+                }
+            }
+        }
+        self.deliver(to, message);
+    }
+
+    /// Arms the seeded delivery-order permutation used by the
+    /// interleaving fuzzer. Only counted marker sends are shaped;
+    /// control traffic (acks) and injector-delayed deliveries always
+    /// pass straight through. Callers that can go idle while markers
+    /// are in flight must call [`flush_held`](Self::flush_held) from
+    /// their receive loops, exactly like [`poll_delayed`](Self::poll_delayed).
+    pub fn enable_reorder(&self, seed: u64) {
+        let n = self.senders.len();
+        *self.reorder.lock() = Some(Reorder {
+            rng: seed ^ 0x5851_F42D_4C95_7F2D,
+            held: (0..n).map(|_| None).collect(),
+        });
+        self.reorder_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Releases every message currently held back by the reorder hook.
+    /// No-op when the hook is disarmed.
+    pub fn flush_held(&self) {
+        if !self.reorder_on.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut guard = self.reorder.lock();
+        if let Some(state) = guard.as_mut() {
+            for to in 0..state.held.len() {
+                if let Some(message) = state.held[to].take() {
+                    self.deliver(to, message);
+                }
+            }
+        }
     }
 
     fn deliver(&self, to: usize, message: T) {
@@ -201,9 +279,11 @@ impl<T: Clone + Corruptible> Fabric<T> {
             self.hops.fetch_add(hops, Ordering::Relaxed);
         }
         let Some(injector) = &self.injector else {
-            self.deliver(to.index(), message);
             if counted {
+                self.dispatch(to.index(), message);
                 self.observe_depth(to.index());
+            } else {
+                self.deliver(to.index(), message);
             }
             return SendFate::default();
         };
@@ -229,13 +309,16 @@ impl<T: Clone + Corruptible> Fabric<T> {
                     message: dup,
                 });
             }
+        } else if counted {
+            self.dispatch(to.index(), message);
+            if let Some(dup) = duplicate {
+                self.dispatch(to.index(), dup);
+            }
+            self.observe_depth(to.index());
         } else {
             self.deliver(to.index(), message);
             if let Some(dup) = duplicate {
                 self.deliver(to.index(), dup);
-            }
-            if counted {
-                self.observe_depth(to.index());
             }
         }
         fate
@@ -278,6 +361,37 @@ mod tests {
         sender.join().unwrap();
         assert_eq!(sum, (0..100).sum());
         assert_eq!(fabric.messages(), 100);
+    }
+
+    #[test]
+    fn reorder_hook_permutes_but_loses_nothing() {
+        let drain = |rx: &Receiver<u32>| {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.try_recv() {
+                got.push(v);
+            }
+            got
+        };
+        let run = |seed: u64| {
+            let (fabric, receivers) = Fabric::new(HypercubeTopology::snap1());
+            fabric.enable_reorder(seed);
+            for i in 0..50u32 {
+                fabric.send(ClusterId(0), ClusterId(9), i);
+            }
+            fabric.flush_held();
+            drain(&receivers[9])
+        };
+        let got = run(42);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..50).collect::<Vec<_>>(),
+            "nothing lost or duplicated"
+        );
+        assert_ne!(got, sorted, "delivery order was permuted");
+        assert_eq!(got, run(42), "same seed replays the same order");
+        assert_ne!(got, run(43), "different seed permutes differently");
     }
 
     use snap_fault::{Corruptible, FaultInjector, FaultPlan};

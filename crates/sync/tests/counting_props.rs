@@ -1,0 +1,222 @@
+//! Property tests for the counting gate's packed `AtomicU64` word near
+//! the high-half boundary.
+//!
+//! The word packs a monotone created-total (high 32 bits) above the net
+//! in-flight count (low 32 bits). The created-total is allowed to wrap
+//! at 2^32 — only deltas matter to the watchdog — and the wrap must be
+//! completely benign: the carry falls off the top of the u64, so it can
+//! never bleed into the in-flight half, quiescence detection stays
+//! exact, and the watchdog keeps seeing progress through the wrap.
+//! These tests seed the total right at the boundary (via the hidden
+//! `seeded_created_total` constructor) and drive creations across it,
+//! both deterministically interleaved and from genuinely racing
+//! threads, asserting the gate never closes early and always closes
+//! exactly when everything drains.
+
+use proptest::prelude::*;
+use snap_sync::CountingGate;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Deterministically interleaves consumptions among later creations
+/// (same schedule encoding as the tiered-barrier property tests):
+/// `delays[i]` creates a token and schedules its consumption that many
+/// operations later, capped at the end of the run.
+fn run_schedule(gate: &CountingGate, delays: &[u8]) {
+    let mut due: Vec<u32> = vec![0; delays.len() + 1];
+    let mut outstanding = 0u32;
+    for (i, &delay) in delays.iter().enumerate() {
+        gate.created();
+        outstanding += 1;
+        assert!(
+            !gate.is_quiescent(),
+            "quiescent with a token outstanding at op {i}"
+        );
+        due[(i + 1 + delay as usize).min(delays.len())] += 1;
+        for _ in 0..due[i + 1] {
+            gate.consumed();
+            outstanding -= 1;
+        }
+        assert_eq!(
+            gate.in_flight(),
+            outstanding as i64,
+            "in-flight drifted from the schedule at op {i}"
+        );
+        assert_eq!(gate.is_quiescent(), outstanding == 0);
+    }
+    // The min-cap routes every consumption to a slot no later than
+    // `delays.len()`, and slot `i + 1` drains inside iteration `i`, so
+    // the loop leaves nothing behind.
+    assert_eq!(outstanding, 0, "schedule left tokens undrained");
+}
+
+proptest! {
+    /// For any creation/drain interleaving starting anywhere around the
+    /// high-half boundary: quiescence holds exactly when the schedule
+    /// says zero tokens are outstanding — never earlier, never later —
+    /// and the created-total advances by exactly the number of
+    /// creations, modulo 2^32.
+    #[test]
+    fn quiescence_is_exact_across_the_wrap(
+        // Bias the start so most cases actually cross the wrap.
+        back in 0u32..64,
+        delays in proptest::collection::vec(0u8..32, 1..120),
+    ) {
+        let start = u32::MAX - back;
+        let gate = CountingGate::seeded_created_total(start);
+        run_schedule(&gate, &delays);
+        prop_assert!(gate.is_quiescent());
+        prop_assert_eq!(gate.in_flight(), 0);
+        let expected = (start as u64 + delays.len() as u64) & 0xFFFF_FFFF;
+        prop_assert_eq!(gate.created_total(), expected);
+    }
+
+    /// The wrap carry is lost off the top of the u64, not shifted into
+    /// the low half: creating `n` tokens with the total parked exactly
+    /// at `u32::MAX` leaves precisely `n` in flight, and draining them
+    /// closes the gate.
+    #[test]
+    fn wrap_carry_never_corrupts_in_flight(n in 1u32..200) {
+        let gate = CountingGate::seeded_created_total(u32::MAX);
+        for _ in 0..n {
+            gate.created();
+        }
+        prop_assert_eq!(gate.in_flight(), n as i64);
+        // MAX + n wraps to n - 1.
+        prop_assert_eq!(gate.created_total(), (n - 1) as u64);
+        prop_assert!(!gate.is_quiescent());
+        for left in (0..n).rev() {
+            gate.consumed();
+            prop_assert_eq!(gate.in_flight(), left as i64);
+        }
+        prop_assert!(gate.is_quiescent());
+    }
+}
+
+/// Racing create/finish traffic across the boundary: while worker
+/// threads hammer balanced created/consumed pairs through the wrap, a
+/// sentinel token held by the controller must keep the gate open at
+/// every sample — a false close here would terminate a phase with work
+/// in flight. Once the sentinel drains the gate must close exactly,
+/// with the created-total advanced by the precise operation count.
+#[test]
+fn racing_create_finish_never_close_the_gate_early() {
+    const WORKERS: usize = 4;
+    const PAIRS: u64 = 40_000;
+    let start = u32::MAX - 1_000; // wraps mid-race
+    let gate = CountingGate::seeded_created_total(start);
+
+    gate.created(); // the controller's sentinel
+    let racing = Arc::new(AtomicBool::new(true));
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || {
+                for i in 0..PAIRS {
+                    // Vary the local imbalance: sometimes hold a few
+                    // tokens open before draining, so the low half
+                    // jitters while the high half marches over the wrap.
+                    let burst = 1 + ((i ^ w as u64) % 3);
+                    for _ in 0..burst {
+                        gate.created();
+                    }
+                    for _ in 0..burst {
+                        gate.consumed();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let sampler = {
+        let gate = Arc::clone(&gate);
+        let racing = Arc::clone(&racing);
+        thread::spawn(move || {
+            let mut samples = 0u64;
+            while racing.load(Ordering::SeqCst) {
+                assert!(
+                    !gate.is_quiescent(),
+                    "gate closed with the sentinel still in flight"
+                );
+                assert!(
+                    gate.in_flight() >= 1,
+                    "in-flight dropped below the sentinel"
+                );
+                samples += 1;
+                thread::yield_now();
+            }
+            samples
+        })
+    };
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    racing.store(false, Ordering::SeqCst);
+    assert!(
+        sampler.join().unwrap() > 0,
+        "sampler never observed the race"
+    );
+
+    // Every worker pair is balanced; only the sentinel remains.
+    assert!(!gate.is_quiescent());
+    assert_eq!(gate.in_flight(), 1);
+    gate.consumed();
+    assert!(gate.is_quiescent());
+    assert_eq!(gate.in_flight(), 0);
+
+    // Exact accounting through the wrap: sentinel + every burst token.
+    let mut created = 1u64;
+    for w in 0..WORKERS as u64 {
+        for i in 0..PAIRS {
+            created += 1 + ((i ^ w) % 3);
+        }
+    }
+    assert_eq!(gate.created_total(), (start as u64 + created) & 0xFFFF_FFFF);
+    assert!(created > 1_000, "race did not cross the wrap");
+}
+
+/// The watchdog's progress proxy (any change to the packed word) must
+/// keep working while the created-total wraps: slow-but-live traffic
+/// crossing the boundary resets the stall clock, so the wait returns
+/// `Ok` instead of reporting lost messages.
+#[test]
+fn watchdog_sees_progress_through_the_wrap() {
+    let gate = CountingGate::seeded_created_total(u32::MAX - 2);
+    gate.created();
+    let worker = {
+        let gate = Arc::clone(&gate);
+        thread::spawn(move || {
+            // Six slow pairs walk the total from MAX-2 across zero.
+            for _ in 0..6 {
+                thread::sleep(Duration::from_millis(5));
+                gate.created();
+                gate.consumed();
+            }
+            thread::sleep(Duration::from_millis(5));
+            gate.consumed();
+        })
+    };
+    gate.wait_quiescent_timeout(Duration::from_millis(250))
+        .expect("live traffic across the wrap misreported as a stall");
+    worker.join().unwrap();
+    assert!(gate.is_quiescent());
+    assert_eq!(gate.created_total(), 4); // MAX-2 + 7 ≡ 4 (mod 2^32)
+}
+
+/// And the converse: tokens genuinely stuck just past the wrap still
+/// trip the watchdog with the exact in-flight count — the wrap does not
+/// masquerade as progress.
+#[test]
+fn watchdog_still_trips_when_stuck_past_the_wrap() {
+    let gate = CountingGate::seeded_created_total(u32::MAX);
+    gate.created(); // total wraps to 0 here, then freezes
+    gate.created();
+    gate.consumed();
+    let err = gate
+        .wait_quiescent_timeout(Duration::from_millis(20))
+        .unwrap_err();
+    assert_eq!(err, snap_sync::BarrierStall::MessagesLost { in_flight: 1 });
+}

@@ -4,229 +4,22 @@
 //! observed through collects must agree exactly on node sets and
 //! within float tolerance on values.
 //!
+//! The grid itself (knowledge bases, programs, cell runners, the
+//! equivalence check) lives in `snap_integration_tests::grid` so the
+//! interleaving fuzzer (`fuzz_interleave.rs`) sweeps the exact same
+//! cells under adversarial schedules.
+//!
 //! With the `obs` feature the harness additionally compares the
 //! engines' `TraceReport` phase sequences: identical runs must have no
 //! diverging phase, and an intentionally perturbed run (propagation
 //! hop budget cut to 1) must be localized to the first `Propagate`
 //! phase by `TraceReport::first_diverging_phase`.
 
-use snap_core::{CollectOutput, EngineKind, FaultPlan, MachineConfig, RunReport, Snap1};
-use snap_isa::{Cmp, CombineFunc, Program, PropRule, StepFunc, ValueFunc};
-use snap_kb::{
-    Color, Marker, NetworkConfig, NodeId, PartitionScheme, RelationType, SemanticNetwork,
+use snap_core::{EngineKind, FaultPlan};
+use snap_integration_tests::grid::{
+    assert_equivalent, programs, run_cell, run_cell_cfg, CLUSTER_COUNTS, KBS,
 };
-
-// ---------------------------------------------------------------------------
-// Knowledge bases: three deterministic topologies with different
-// connectivity character (deep chain, balanced tree, dense web).
-// ---------------------------------------------------------------------------
-
-/// A 24-node chain (`i --rel0--> i+1`) with skip links every third
-/// node (`i --rel2--> i+3`): deep propagation paths.
-fn kb_chain() -> SemanticNetwork {
-    let mut net = SemanticNetwork::new(NetworkConfig::default());
-    let n = 24u32;
-    for i in 0..n {
-        net.add_node(Color((i % 5) as u8)).unwrap();
-    }
-    for i in 0..n - 1 {
-        net.add_link(NodeId(i), RelationType(0), 1.0, NodeId(i + 1))
-            .unwrap();
-    }
-    for i in (0..n - 3).step_by(3) {
-        net.add_link(NodeId(i), RelationType(2), 0.5, NodeId(i + 3))
-            .unwrap();
-    }
-    net
-}
-
-/// A 31-node complete binary tree; left edges are `rel0`, right edges
-/// `rel1`, and every leaf points back at the root via `rel2`. Every
-/// node has a unique path from the root for any {rel0, rel1} walk.
-fn kb_tree() -> SemanticNetwork {
-    let mut net = SemanticNetwork::new(NetworkConfig::default());
-    let n = 31u32;
-    for i in 0..n {
-        net.add_node(Color((i % 5) as u8)).unwrap();
-    }
-    for i in 0..n {
-        let (l, r) = (2 * i + 1, 2 * i + 2);
-        if l < n {
-            net.add_link(NodeId(i), RelationType(0), 1.0, NodeId(l))
-                .unwrap();
-        }
-        if r < n {
-            net.add_link(NodeId(i), RelationType(1), 2.0, NodeId(r))
-                .unwrap();
-        }
-        if l >= n {
-            // Leaf: close the loop back to the root.
-            net.add_link(NodeId(i), RelationType(2), 0.25, NodeId(0))
-                .unwrap();
-        }
-    }
-    net
-}
-
-/// A 20-node pseudo-random web generated by a fixed LCG: many short
-/// cycles and converging paths.
-fn kb_web() -> SemanticNetwork {
-    let mut net = SemanticNetwork::new(NetworkConfig::default());
-    let n = 20u32;
-    for i in 0..n {
-        net.add_node(Color((i % 5) as u8)).unwrap();
-    }
-    let mut state = 0x2545_f491u64;
-    let mut next = || {
-        state = state
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1);
-        (state >> 33) as u32
-    };
-    for _ in 0..n * 2 {
-        let s = next() % n;
-        let d = next() % n;
-        let r = next() % 4;
-        let w = 1 + next() % 3000;
-        net.add_link(
-            NodeId(s),
-            RelationType(r as u16),
-            w as f32 / 1000.0,
-            NodeId(d),
-        )
-        .unwrap();
-    }
-    net
-}
-
-// ---------------------------------------------------------------------------
-// Programs: a parse-style pipeline (searches feeding overlapped
-// propagations joined by AND) and a marker-algebra pipeline
-// (boolean/set/clear/threshold ops around a propagation).
-// ---------------------------------------------------------------------------
-
-fn mk(i: u8) -> Marker {
-    Marker::complex(i)
-}
-
-fn collect_all(mut b: snap_isa::ProgramBuilder) -> Program {
-    for m in 0..8 {
-        b = b.collect_marker(mk(m));
-    }
-    b.build()
-}
-
-fn program_parse() -> Program {
-    let b = Program::builder()
-        .search_color(Color(0), mk(0), 1.0)
-        .search_color(Color(1), mk(1), 1.0)
-        .propagate(
-            mk(0),
-            mk(2),
-            PropRule::Star(RelationType(0)),
-            StepFunc::AddWeight,
-        )
-        .propagate(
-            mk(1),
-            mk(3),
-            PropRule::Once(RelationType(1)),
-            StepFunc::AddWeight,
-        )
-        .and_marker(mk(2), mk(3), mk(4), CombineFunc::Min)
-        .propagate(
-            mk(4),
-            mk(5),
-            PropRule::Spread(RelationType(0), RelationType(2)),
-            StepFunc::AddWeight,
-        );
-    collect_all(b)
-}
-
-fn program_algebra() -> Program {
-    let b = Program::builder()
-        .search_node(NodeId(0), mk(0), 1.0)
-        .search_color(Color(2), mk(1), 0.5)
-        .set_marker(mk(6), 1.0)
-        .or_marker(mk(0), mk(1), mk(2), CombineFunc::Min)
-        .propagate(
-            mk(2),
-            mk(3),
-            PropRule::Union(RelationType(0), RelationType(1)),
-            StepFunc::AddWeight,
-        )
-        .not_marker(mk(3), mk(4))
-        .func_marker(mk(3), ValueFunc::ClearIf(Cmp::Gt, 2.5))
-        .clear_marker(mk(6))
-        .propagate(
-            mk(0),
-            mk(7),
-            PropRule::Star(RelationType(2)),
-            StepFunc::AddWeight,
-        );
-    collect_all(b)
-}
-
-// ---------------------------------------------------------------------------
-// Harness
-// ---------------------------------------------------------------------------
-
-/// Runs one (kb, program, clusters) cell on `engine`. `max_hops`
-/// overrides the propagation hop budget when given (the perturbation
-/// knob for the localization test); `trace` enables counters-only
-/// tracing so phase sequences land in the report.
-fn run_cell(
-    kb: fn() -> SemanticNetwork,
-    program: &Program,
-    clusters: usize,
-    engine: EngineKind,
-    max_hops: Option<u8>,
-    trace: bool,
-) -> RunReport {
-    let mut config = MachineConfig::uniform(clusters, 3);
-    if let Some(hops) = max_hops {
-        config.max_hops = hops;
-    }
-    if trace {
-        config.trace = Some(snap_core::ObsConfig::counters_only());
-    }
-    let machine = Snap1::builder().config(config).engine(engine).build();
-    let mut net = kb();
-    machine
-        .run(&mut net, program)
-        .unwrap_or_else(|e| panic!("{engine:?} run failed (clusters={clusters}): {e:?}"))
-}
-
-/// Collect outputs must match exactly on node sets and within 1e-3 on
-/// values (engines order float additions differently).
-fn assert_equivalent(label: &str, a: &[CollectOutput], b: &[CollectOutput]) {
-    assert_eq!(a.len(), b.len(), "[{label}] collect count");
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert_eq!(
-            x.node_ids(),
-            y.node_ids(),
-            "[{label}] collect #{i} node sets"
-        );
-        if let (CollectOutput::Nodes(xs), CollectOutput::Nodes(ys)) = (x, y) {
-            for ((n1, v1), (n2, v2)) in xs.iter().zip(ys) {
-                assert_eq!(n1, n2);
-                let (v1, v2) = (v1.map_or(0.0, |v| v.value), v2.map_or(0.0, |v| v.value));
-                assert!(
-                    (v1 - v2).abs() < 1e-3,
-                    "[{label}] collect #{i} value at {n1}: {v1} vs {v2}"
-                );
-            }
-        }
-    }
-}
-
-type KbBuilder = fn() -> SemanticNetwork;
-
-const KBS: &[(&str, KbBuilder)] = &[("chain", kb_chain), ("tree", kb_tree), ("web", kb_web)];
-const CLUSTER_COUNTS: &[usize] = &[2, 5];
-
-fn programs() -> Vec<(&'static str, Program)> {
-    vec![("parse", program_parse()), ("algebra", program_algebra())]
-}
+use snap_kb::PartitionScheme;
 
 /// The full differential grid: every engine must agree with the
 /// sequential oracle on every cell. 3 KBs × 2 programs × 2 cluster
@@ -292,12 +85,8 @@ fn differential_grid_visited_backings_agree() {
                 EngineKind::Threaded,
             ] {
                 let run_with = |strategy: VisitedStrategy| {
-                    let mut config = MachineConfig::uniform(CLUSTER_COUNTS[0], 3);
-                    config.visited = strategy;
-                    let machine = Snap1::builder().config(config).engine(engine).build();
-                    let mut net = kb();
-                    machine.run(&mut net, program).unwrap_or_else(|e| {
-                        panic!("{engine:?}/{strategy:?} run failed ({kb_name}/{prog_name}): {e:?}")
+                    run_cell_cfg(kb, program, CLUSTER_COUNTS[0], engine, |c| {
+                        c.visited = strategy;
                     })
                 };
                 let dense = run_with(VisitedStrategy::Dense);
@@ -310,24 +99,6 @@ fn differential_grid_visited_backings_agree() {
             }
         }
     }
-}
-
-/// Runs one cell with an arbitrary config tweak applied before the
-/// machine is built (partition scheme, fault plan, …).
-fn run_cell_cfg(
-    kb: fn() -> SemanticNetwork,
-    program: &Program,
-    clusters: usize,
-    engine: EngineKind,
-    tweak: impl FnOnce(&mut MachineConfig),
-) -> RunReport {
-    let mut config = MachineConfig::uniform(clusters, 3);
-    tweak(&mut config);
-    let machine = Snap1::builder().config(config).engine(engine).build();
-    let mut net = kb();
-    machine
-        .run(&mut net, program)
-        .unwrap_or_else(|e| panic!("{engine:?} run failed (clusters={clusters}): {e:?}"))
 }
 
 /// Every partition scheme — including the locality-aware `EdgeCut` —
@@ -417,6 +188,7 @@ fn differential_fast_gate_and_tiered_barrier_agree() {
 mod obs {
     use super::*;
     use snap_core::PhaseKind;
+    use snap_integration_tests::grid::{kb_chain, kb_tree, program_parse};
 
     /// On unique-path topologies the per-phase activation counts are
     /// engine-independent, so equivalent engines must produce fully
