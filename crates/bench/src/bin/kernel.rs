@@ -1,0 +1,11 @@
+//! Scalar-vs-bitset propagation kernel benchmark; writes
+//! `BENCH_kernel.json` at the repository root. Not part of `run_all`
+//! (the figure experiments are deterministic simulated time; this one
+//! measures the current machine).
+
+use snap_bench::experiments::kernel;
+use snap_bench::output::quick_requested;
+
+fn main() {
+    kernel::run(quick_requested()).print();
+}

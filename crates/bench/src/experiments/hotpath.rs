@@ -273,6 +273,23 @@ struct EngineRun {
     clusters: usize,
     partition: String,
     cut_fraction: f64,
+    collects: Vec<snap_core::CollectOutput>,
+}
+
+/// Panics unless every engine's collect results are identical to the
+/// sequential run's — a timing bench must never paper over a count
+/// mismatch with a table footnote.
+fn assert_engines_agree(name: &str, runs: &[(EngineKind, EngineRun)]) {
+    let (_, oracle) = runs
+        .iter()
+        .find(|(k, _)| *k == EngineKind::Sequential)
+        .expect("sequential engine in sweep");
+    for (kind, run) in runs {
+        assert_eq!(
+            oracle.collects, run.collects,
+            "{name}: {kind:?} collect results diverged from the sequential engine"
+        );
+    }
 }
 
 fn engine_machine(kind: EngineKind, clusters: usize) -> Snap1 {
@@ -302,6 +319,7 @@ fn run_alpha(kind: EngineKind, alpha: usize, depth: usize, clusters: usize) -> E
         clusters,
         partition,
         cut_fraction,
+        collects: report.collects,
     }
 }
 
@@ -311,9 +329,11 @@ fn run_parse(kind: EngineKind, kb_nodes: usize, sentences: usize, clusters: usiz
     let results = parse_batch(kb_nodes, sentences, &machine, 0x4001_BEEF).expect("parse batch");
     let wall_ns = t0.elapsed().as_nanos();
     let (mut envelopes, mut tasks_sent) = (0u64, 0u64);
+    let mut collects = Vec::new();
     for r in &results {
         envelopes += r.report.traffic.total_messages;
         tasks_sent += r.report.traffic.tasks_sent;
+        collects.extend(r.report.collects.iter().cloned());
     }
     let (partition, cut_fraction) = results
         .first()
@@ -325,6 +345,7 @@ fn run_parse(kind: EngineKind, kb_nodes: usize, sentences: usize, clusters: usiz
         clusters,
         partition,
         cut_fraction,
+        collects,
     }
 }
 
@@ -454,6 +475,8 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
         .iter()
         .map(|&k| (k, run_parse(k, kb_nodes, sentences, clusters)))
         .collect();
+    assert_engines_agree("fig16 alpha", &fig16_engines);
+    assert_engines_agree("fig19 parse", &fig19_engines);
 
     // BENCH_hotpath.json at the repo root.
     let json = format!(

@@ -15,7 +15,7 @@ use crate::output::{ms, ratio, ExperimentOutput};
 use crate::workloads::{alpha_network, alpha_program};
 use snap_core::{EngineKind, RunReport, Snap1};
 use snap_isa::{Program, PropRule, StepFunc};
-use snap_kb::{Marker, NodeId, PartitionScheme, SemanticNetwork};
+use snap_kb::{Marker, NodeId, PartitionScheme, RelationType, SemanticNetwork};
 use snap_nlu::{kb::rel, DomainSpec, PartOfSpeech};
 use snap_stats::Table;
 use std::path::PathBuf;
@@ -93,6 +93,85 @@ fn parse_kb_workload(kb_nodes: usize) -> Workload {
         net: kb.network,
         program,
     }
+}
+
+/// Synthetic-topology workloads promoted from the partition fuzzer's
+/// generators ([`snap_kb::synth`]): a preferential-attachment graph
+/// (hub-heavy, like a grown KB), a one-hub star (worst case for any
+/// balanced cut), and bridged communities (best case for a
+/// locality-aware cut). Together they stress the partition axis in ways
+/// the two paper workloads — which are fairly uniform — do not.
+fn synth_workloads(quick: bool) -> Vec<Workload> {
+    use snap_kb::synth::{bridge_network, scale_free_network, star_network};
+    let (sf_n, star_leaves, bridge_size) = if quick {
+        (600, 256, 64)
+    } else {
+        (2_000, 1_024, 256)
+    };
+
+    // Scale-free links point from newer nodes to older ones, so seeding
+    // the newest nodes exercises the longest attachment chains.
+    let mut scale_free = scale_free_network(sf_n, 2, 7);
+    scale_free.flush_links();
+    let mut b = Program::builder();
+    for i in 0..16 {
+        b = b.search_node(NodeId((sf_n - 1 - i) as u32), Marker::binary(0), 0.0);
+    }
+    let scale_free_program = b
+        .propagate(
+            Marker::binary(0),
+            Marker::complex(1),
+            PropRule::Star(RelationType(0)),
+            StepFunc::AddWeight,
+        )
+        .collect_marker(Marker::complex(1))
+        .build();
+
+    let mut star = star_network(star_leaves);
+    star.flush_links();
+    let star_program = Program::builder()
+        .search_node(NodeId(0), Marker::binary(0), 0.0)
+        .propagate(
+            Marker::binary(0),
+            Marker::complex(1),
+            PropRule::Star(RelationType(0)),
+            StepFunc::AddWeight,
+        )
+        .collect_marker(Marker::complex(1))
+        .build();
+
+    // Spread walks the community lines (relation 0) and crosses the
+    // single bridge links (relation 2).
+    let mut bridged = bridge_network(4, bridge_size);
+    bridged.flush_links();
+    let bridged_program = Program::builder()
+        .search_node(NodeId(0), Marker::binary(0), 0.0)
+        .propagate(
+            Marker::binary(0),
+            Marker::complex(1),
+            PropRule::Spread(RelationType(0), RelationType(2)),
+            StepFunc::AddWeight,
+        )
+        .collect_marker(Marker::complex(1))
+        .build();
+
+    vec![
+        Workload {
+            name: "synth_scale_free",
+            net: scale_free,
+            program: scale_free_program,
+        },
+        Workload {
+            name: "synth_star_hub",
+            net: star,
+            program: star_program,
+        },
+        Workload {
+            name: "synth_bridged",
+            net: bridged,
+            program: bridged_program,
+        },
+    ]
 }
 
 /// Runs `workload` once on `kind` and returns the report. The collect
@@ -173,11 +252,16 @@ fn run_cell(
 
 /// The repository root (two levels above this crate's manifest).
 fn repo_root() -> PathBuf {
-    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
-    std::path::Path::new(&manifest)
-        .join("../..")
-        .components()
-        .collect()
+    // Without cargo's manifest dir (direct binary invocation) the best
+    // guess is the current directory — never walk upward from an
+    // unknown cwd.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(manifest) => std::path::Path::new(&manifest)
+            .join("../..")
+            .components()
+            .collect(),
+        Err(_) => PathBuf::from("."),
+    }
 }
 
 fn json_workload(name: &str, seq_wall_ns: u128, cells: &[Cell], host_cpus: usize) -> String {
@@ -246,7 +330,7 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
     let kb_nodes = if quick { 2_500 } else { 12_000 };
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let workloads = [
+    let mut workloads = vec![
         Workload {
             name: "fig16_alpha",
             net: alpha_network(alpha, depth).expect("alpha network"),
@@ -254,6 +338,7 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
         },
         parse_kb_workload(kb_nodes),
     ];
+    workloads.extend(synth_workloads(quick));
 
     let mut out = ExperimentOutput::new("scaling", "Threaded-engine speedup curves");
     let mut json_sections = Vec::new();
@@ -398,6 +483,9 @@ mod tests {
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"fig16_alpha\""));
         assert!(json.contains("\"fig19_parse_kb\""));
+        assert!(json.contains("\"synth_scale_free\""));
+        assert!(json.contains("\"synth_star_hub\""));
+        assert!(json.contains("\"synth_bridged\""));
         assert!(json.contains("\"EdgeCut\""));
         assert!(json.contains("\"host_cpus\""));
         // Every threaded row carries the wall-clock honesty verdict, and

@@ -270,7 +270,7 @@ pub(crate) fn phase_of(class: snap_isa::InstrClass) -> snap_obs::PhaseKind {
 fn all_active(regions: &[Region], marker: Marker) -> Vec<NodeId> {
     let mut nodes: Vec<NodeId> = regions
         .iter()
-        .flat_map(|r| r.active_nodes(marker))
+        .flat_map(|r| r.active_nodes_iter(marker))
         .collect();
     nodes.sort_unstable();
     nodes

@@ -25,7 +25,7 @@ use crate::config::MachineConfig;
 use crate::controller::{plan, PropSpec, Step};
 use crate::cost::CostModel;
 use crate::engine::common::{exec_single, phase_of};
-use crate::engine::sched::{apply_arrival, EventQueue, Picker, CONTROL_STREAM};
+use crate::engine::sched::{apply_arrival, visited_map_for, EventQueue, Picker, CONTROL_STREAM};
 use crate::error::CoreError;
 use crate::propagate::{expand, Expansion, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
@@ -285,7 +285,7 @@ impl<'c> Des<'c> {
         t0: SimTime,
     ) -> Result<SimTime, CoreError> {
         let mut heap: EventQueue<EventKind> = EventQueue::new();
-        let mut visited = VisitedMap::with_strategy(self.config.visited, network.node_count());
+        let mut visited = visited_map_for(self.config, network.node_count());
         let mut phase_end = t0;
 
         // Seed: every cluster scans its marker status table for sources.
@@ -606,7 +606,7 @@ impl<'c> Des<'c> {
         specs: &[PropSpec],
         t0: SimTime,
     ) -> Result<SimTime, CoreError> {
-        let mut visited = VisitedMap::with_strategy(self.config.visited, network.node_count());
+        let mut visited = visited_map_for(self.config, network.node_count());
         // (cluster, task) pairs of the current wave.
         let mut wave: Vec<(usize, PropTask)> = Vec::new();
         for spec in specs {

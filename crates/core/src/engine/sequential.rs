@@ -7,12 +7,15 @@
 //! profile of Fig. 6 (instruction frequency vs execution time measured
 //! "for NLU applications on a single processor").
 
-use crate::config::MachineConfig;
+use crate::config::{KernelStrategy, MachineConfig};
 use crate::controller::{plan, PropSpec, Step};
 use crate::cost::CostModel;
 use crate::engine::common::{exec_single, phase_of};
-use crate::engine::sched::{apply_arrival, maybe_plant_bug, Picker, ReadyQueue, CONTROL_STREAM};
+use crate::engine::sched::{
+    apply_arrival, maybe_plant_bug, resolve_kernel, Picker, ReadyQueue, CONTROL_STREAM,
+};
 use crate::error::CoreError;
+use crate::kernel::{propagate_wave, wave_supported, WaveSink};
 use crate::propagate::{expand_into, PropArrival, PropTask, VisitedMap};
 use crate::region::{Region, RegionMap};
 use crate::report::RunReport;
@@ -137,10 +140,41 @@ fn run_propagate(
     tracer: &Tracer,
     picker: &mut Picker,
 ) -> Result<SimTime, CoreError> {
-    let mut visited = VisitedMap::with_strategy(config.visited, network.node_count());
-    let mut queue: ReadyQueue<PropTask> = ReadyQueue::new();
     let sources = region.active_nodes(spec.source);
     report.alpha_per_propagate.push(sources.len() as u64);
+    if resolve_kernel(config, config.trace.is_some()) == KernelStrategy::Bitset
+        && wave_supported(network, &spec.rule)
+    {
+        // The bitset wave kernel: same semantics, level-synchronous
+        // frontier waves over dense bit tables instead of a ready queue.
+        // Asserted bit-identical to the scalar loop below by the
+        // differential grid; the scalar loop stays the executable spec.
+        let seeds: Vec<(snap_kb::NodeId, f32)> = sources
+            .into_iter()
+            .map(|node| (node, region.source_value(spec.source, node)))
+            .collect();
+        let mut sink = SeqWaveSink {
+            cost,
+            region,
+            target: spec.target,
+            report,
+            tracer,
+            ns: cost.pu_decode_ns,
+        };
+        propagate_wave(
+            network,
+            &spec.rule,
+            spec.func,
+            spec.prop,
+            config.max_hops,
+            config.pull_density,
+            &seeds,
+            &mut sink,
+        )?;
+        return Ok(sink.ns);
+    }
+    let mut visited = VisitedMap::with_strategy(config.visited, network.node_count());
+    let mut queue: ReadyQueue<PropTask> = ReadyQueue::new();
     for node in sources {
         let value = region.source_value(spec.source, node);
         if visited.should_expand(spec.prop, 0, node, value, node) {
@@ -195,6 +229,41 @@ fn run_propagate(
         }
     }
     Ok(ns)
+}
+
+/// Engine accounting behind the wave kernel: expansion and arrival
+/// events mutate the same report fields, tracer events, cost-model
+/// nanoseconds, and region the scalar loop touches — in the same places.
+struct SeqWaveSink<'a> {
+    cost: &'a CostModel,
+    region: &'a mut Region,
+    target: snap_kb::Marker,
+    report: &'a mut RunReport,
+    tracer: &'a Tracer,
+    ns: SimTime,
+}
+
+impl WaveSink for SeqWaveSink<'_> {
+    fn on_expand(
+        &mut self,
+        _task: &PropTask,
+        segments: usize,
+        links_scanned: usize,
+        arrivals: usize,
+    ) {
+        self.report.expansions += 1;
+        self.tracer.expansion(0);
+        self.ns += self.cost.expand_ns(segments, links_scanned, arrivals);
+    }
+
+    fn on_arrival(&mut self, task: &PropTask, arrival: &PropArrival) -> Result<(), CoreError> {
+        self.region
+            .arrive(self.target, arrival.node, arrival.value, task.origin)?;
+        self.report.traffic.local_activations += 1;
+        self.tracer.activation(0);
+        self.report.max_propagation_depth = self.report.max_propagation_depth.max(task.level + 1);
+        Ok(())
+    }
 }
 
 /// Convenience used by tests and the machine facade.
@@ -274,6 +343,56 @@ mod tests {
         };
         let v = nodes[0].1.unwrap();
         assert!((v.value - 1.0).abs() < 1e-5, "got {}", v.value);
+    }
+
+    #[test]
+    fn kernel_strategies_report_identically() {
+        // Scalar loop vs wave kernel in both directions: identical
+        // collects and identical measured reports, instruction for
+        // instruction.
+        let is_a = RelationType(0);
+        let first = RelationType(1);
+        let last = RelationType(2);
+        let (m1, m2, m3, m4, m5) = (
+            Marker::binary(1),
+            Marker::binary(2),
+            Marker::complex(3),
+            Marker::complex(4),
+            Marker::complex(5),
+        );
+        let program = Program::builder()
+            .search_color(Color(1), m1, 0.0)
+            .search_color(Color(2), m2, 0.0)
+            .propagate(m1, m3, PropRule::Spread(is_a, first), StepFunc::AddWeight)
+            .propagate(m2, m4, PropRule::Spread(is_a, last), StepFunc::AddWeight)
+            .and_marker(m3, m4, m5, CombineFunc::Add)
+            .collect_marker(m5)
+            .build();
+        let run_with = |kernel: KernelStrategy, density: f64| {
+            let mut net = fig1_network();
+            let config = MachineConfig {
+                kernel,
+                pull_density: density,
+                ..MachineConfig::snap1_eval()
+            };
+            run(&config, &CostModel::snap1(), &mut net, &program).unwrap()
+        };
+        let scalar = run_with(KernelStrategy::Scalar, 0.07);
+        for (kernel, density) in [
+            (KernelStrategy::Bitset, 1e9), // pure push
+            (KernelStrategy::Bitset, 0.0), // pure pull
+            (KernelStrategy::Auto, 0.07),
+        ] {
+            let wave = run_with(kernel, density);
+            assert_eq!(wave.collects, scalar.collects, "{kernel:?}/{density}");
+            assert_eq!(wave.expansions, scalar.expansions);
+            assert_eq!(
+                wave.traffic.local_activations,
+                scalar.traffic.local_activations
+            );
+            assert_eq!(wave.max_propagation_depth, scalar.max_propagation_depth);
+            assert_eq!(wave.total_ns, scalar.total_ns, "{kernel:?}/{density}");
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //!   neighbor, and the propagation phase is replayed under a new epoch —
 //!   graceful degradation in place of a crashed run.
 
-use crate::config::{MachineConfig, VisitedStrategy};
+use crate::config::{KernelStrategy, MachineConfig, VisitedStrategy};
 use crate::controller::{plan, PropSpec, Step};
 use crate::engine::common::phase_of;
 use crate::engine::sched::{
@@ -260,6 +260,7 @@ pub(crate) fn run(
                 cluster: c,
                 max_hops: config.max_hops,
                 visited_strategy: config.visited,
+                kernel: crate::engine::sched::resolve_kernel(config, config.trace.is_some()),
                 region,
                 adopted: Vec::new(),
                 map: Arc::clone(&map),
@@ -788,6 +789,10 @@ struct Worker<'env> {
     cluster: usize,
     max_hops: u8,
     visited_strategy: VisitedStrategy,
+    /// Resolved kernel strategy: `Bitset` swaps the visited backing for
+    /// the bitmap-fronted tables (the thread-granular schedule cannot
+    /// run whole waves, but the one-bit first-visit probe still pays).
+    kernel: KernelStrategy,
     region: Region,
     /// Regions adopted from dead clusters (graceful degradation).
     adopted: Vec<Region>,
@@ -860,7 +865,7 @@ impl Worker<'_> {
                 Cmd::ActiveNodes(marker) => {
                     let mut nodes = self.region.active_nodes(marker);
                     for r in &self.adopted {
-                        nodes.extend(r.active_nodes(marker));
+                        nodes.extend(r.active_nodes_iter(marker));
                     }
                     let _ = self.reply_tx.send(Reply::Active(nodes));
                 }
@@ -1000,7 +1005,10 @@ impl Worker<'_> {
             self.pending.clear();
             self.dedup.clear();
         }
-        let mut visited = VisitedMap::with_strategy(self.visited_strategy, net.node_count());
+        let mut visited = match self.kernel {
+            KernelStrategy::Bitset => VisitedMap::bitset(net.node_count()),
+            _ => VisitedMap::with_strategy(self.visited_strategy, net.node_count()),
+        };
         // The work queue persists across phases; only its contents are
         // per-phase.
         let mut queue = std::mem::take(&mut self.queue);

@@ -1,0 +1,847 @@
+//! The bitset wave kernel: level-synchronous frontier propagation with
+//! push/pull direction switching.
+//!
+//! The scalar loop in the sequential engine is the executable spec for
+//! `PROPAGATE`: pop one task, expand it, merge its arrivals, repeat.
+//! Because the FIFO schedule is level-synchronous — seeds sit at level 0
+//! and every accepted arrival is requeued at `parent + 1` — the same
+//! computation can be restructured into *waves*: all tasks of one level
+//! expand together against dense per-state bitmaps over the node arena.
+//! [`propagate_wave`] runs that restructured loop and is asserted
+//! bit-identical to the scalar spec (same collects, task/arrival counts,
+//! and reports) by the differential grid.
+//!
+//! Each wave picks a traversal direction, following the
+//! direction-optimizing BFS of Beamer et al.:
+//!
+//! * **push** — scatter from the frontier through the CSR out-runs, one
+//!   [`expand_into`] per task in wave order. This is literally the
+//!   scalar loop minus the ready-queue shuffling, so even the
+//!   per-arrival event order matches the spec.
+//! * **pull** — when the frontier density crosses
+//!   [`MachineConfig::pull_density`](crate::MachineConfig), gather into
+//!   every destination through a reverse CSR built lazily on the first
+//!   pull wave. Arrivals at a destination are keyed by
+//!   `(wave position, link rank, arc index)` and applied in that order,
+//!   so per-node merge decisions — and therefore the reached set,
+//!   values, and the next wave (globally re-sorted by the same key) —
+//!   are identical to the spec. Only the *interleaving* of arrival
+//!   events across destinations differs, which is why
+//!   `KernelStrategy::Auto` resolves to the scalar loop when a tracer
+//!   needs replayable event order.
+//!
+//! Visited tracking lives inside the kernel as one seen-bitmap plus a
+//! flat `(value, origin)` array per rule state (the propagation index is
+//! fixed for a whole run): a first visit is a single bit test instead of
+//! a sentinel compare behind an enum dispatch, and improvement decisions
+//! replicate [`VisitedMap`](crate::propagate::VisitedMap)'s dense
+//! backing exactly, including growth past the declared node count.
+
+use crate::error::CoreError;
+use crate::propagate::{expand_into, PropArrival, PropTask, MAX_MERGE_ARCS};
+use snap_isa::{RuleProgram, StepFunc};
+use snap_kb::{Bitmap, NodeId, ReverseTable, SemanticNetwork};
+
+/// Engine-side observer for a wave run.
+///
+/// The kernel owns task ordering and visited decisions; the sink owns
+/// everything the engine accounts per event — expansion counts, cost-
+/// model nanoseconds, marker merges ([`Region::arrive`]
+/// (crate::Region::arrive)), traffic stats, and depth tracking. One
+/// trait (rather than two closures) so a single `&mut` engine context
+/// can back both callbacks.
+pub trait WaveSink {
+    /// One task expanded: `segments`/`links_scanned` are the relation-
+    /// table cost units and `arrivals` the number of arrivals it
+    /// produced. Called once per task in spec order — in both
+    /// directions — including tasks at the hop cap, whose arrivals are
+    /// charged but never delivered (exactly like the scalar loop).
+    fn on_expand(
+        &mut self,
+        task: &PropTask,
+        segments: usize,
+        links_scanned: usize,
+        arrivals: usize,
+    );
+
+    /// One arrival delivered (counted whether or not it improves the
+    /// visited entry). Push waves call this in exact spec order; pull
+    /// waves in per-destination spec order.
+    fn on_arrival(&mut self, task: &PropTask, arrival: &PropArrival) -> Result<(), CoreError>;
+}
+
+/// What a wave run did: total waves, how many ran in the pull
+/// direction, and distinct `(state, node)` sites visited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WaveStats {
+    /// Frontier waves processed (= deepest level reached + 1).
+    pub waves: usize,
+    /// Waves that ran in the pull (gather) direction.
+    pub pull_waves: usize,
+    /// Distinct `(state, node)` sites expanded, as
+    /// [`VisitedMap::len`](crate::propagate::VisitedMap::len) counts
+    /// them.
+    pub visited: usize,
+}
+
+/// Returns `true` when [`propagate_wave`] can run this propagation:
+/// the relation table must be flushed (the reverse CSR and the indexed
+/// runs are blind to staged links) and every rule state mergeable
+/// (at most [`MAX_RULE_STATES`](snap_isa::MAX_RULE_STATES) arcs).
+/// Engines fall back to the scalar loop otherwise.
+pub fn wave_supported(network: &SemanticNetwork, rule: &RuleProgram) -> bool {
+    network.staged_link_count() == 0
+        && rule
+            .states()
+            .iter()
+            .all(|s| s.arcs().len() <= MAX_MERGE_ARCS)
+}
+
+/// Runs one `PROPAGATE` as level-synchronous waves with direction
+/// switching, reporting every expansion and arrival to `sink`.
+///
+/// `seeds` are gated through the visited tables in order (duplicates
+/// and non-improvements drop, exactly like the scalar seed loop) and
+/// become wave 0. A wave at `max_hops` still expands — its cost is
+/// charged — but delivers no arrivals. A wave whose task count reaches
+/// `pull_density × node_count` runs in the pull direction (`0.0`
+/// forces pull everywhere; an over-unity density like `1e9` forces
+/// push).
+///
+/// # Errors
+///
+/// Propagates the first error `sink.on_arrival` returns.
+///
+/// # Panics
+///
+/// Panics unless [`wave_supported`] holds — callers must check and
+/// fall back to the scalar loop.
+#[allow(clippy::too_many_arguments)]
+pub fn propagate_wave<S: WaveSink>(
+    network: &SemanticNetwork,
+    rule: &RuleProgram,
+    func: StepFunc,
+    prop: usize,
+    max_hops: u8,
+    pull_density: f64,
+    seeds: &[(NodeId, f32)],
+    sink: &mut S,
+) -> Result<WaveStats, CoreError> {
+    assert!(
+        wave_supported(network, rule),
+        "wave kernel requires a flushed relation table and mergeable rule states"
+    );
+    let node_count = network.node_count();
+    let mut visited = WaveVisited::new(node_count, rule.states().len());
+    let mut stats = WaveStats::default();
+
+    let mut wave: Vec<PropTask> = Vec::with_capacity(seeds.len());
+    for &(node, value) in seeds {
+        if visited.should_expand(0, node, value, node) {
+            wave.push(PropTask {
+                prop,
+                node,
+                state: 0,
+                value,
+                origin: node,
+                level: 0,
+            });
+        }
+    }
+
+    let mut next: Vec<PropTask> = Vec::new();
+    let mut arrivals: Vec<PropArrival> = Vec::new();
+    // The reverse CSR and pull scratch are built on the first pull wave
+    // only: sparse-everywhere runs never pay for the transpose.
+    let mut pull: Option<(ReverseTable, PullScratch)> = None;
+
+    while !wave.is_empty() {
+        stats.waves += 1;
+        let capped = wave[0].level >= max_hops;
+        let dense =
+            !capped && node_count > 0 && wave.len() as f64 >= pull_density * node_count as f64;
+        if dense {
+            stats.pull_waves += 1;
+            let (reverse, scratch) =
+                pull.get_or_insert_with(|| (network.build_reverse(), PullScratch::new(node_count)));
+            pull_wave(
+                network,
+                rule,
+                func,
+                prop,
+                &wave,
+                reverse,
+                scratch,
+                &mut visited,
+                sink,
+                &mut next,
+            )?;
+        } else {
+            push_wave(
+                network,
+                rule,
+                func,
+                prop,
+                capped,
+                &wave,
+                &mut visited,
+                sink,
+                &mut next,
+                &mut arrivals,
+            )?;
+        }
+        std::mem::swap(&mut wave, &mut next);
+        next.clear();
+    }
+    stats.visited = visited.visited;
+    Ok(stats)
+}
+
+/// Push direction: the scalar loop restructured over one wave. Expands
+/// each task in wave order and interleaves its arrivals immediately, so
+/// the full event sequence matches the spec.
+#[allow(clippy::too_many_arguments)]
+fn push_wave<S: WaveSink>(
+    network: &SemanticNetwork,
+    rule: &RuleProgram,
+    func: StepFunc,
+    prop: usize,
+    capped: bool,
+    wave: &[PropTask],
+    visited: &mut WaveVisited,
+    sink: &mut S,
+    next: &mut Vec<PropTask>,
+    arrivals: &mut Vec<PropArrival>,
+) -> Result<(), CoreError> {
+    // Single-state single-arc rules (`Star`) never change state, so the
+    // arc — and the whole dispatch below — hoists out of the task loop.
+    if let [state] = rule.states() {
+        if let [arc] = state.arcs() {
+            for task in wave {
+                let (segments, fanout, run, _) =
+                    network.ranked_links_with_cost(task.node, arc.relation);
+                sink.on_expand(task, segments, fanout, run.len());
+                if capped {
+                    continue;
+                }
+                stream_run(task, run, arc.next, func, prop, visited, sink, next)?;
+            }
+            return Ok(());
+        }
+    }
+    for task in wave {
+        match rule.state(task.state).arcs() {
+            // Single-arc fast path — most built-in rule states. One
+            // fused row lookup yields cost units and the relation run,
+            // and arrivals stream straight off the run (already in
+            // insertion order, so the event sequence matches
+            // expand_into's single-arc path exactly) without touching
+            // the scratch buffer.
+            [arc] => {
+                let (segments, fanout, run, _) =
+                    network.ranked_links_with_cost(task.node, arc.relation);
+                sink.on_expand(task, segments, fanout, run.len());
+                if capped {
+                    continue;
+                }
+                stream_run(task, run, arc.next, func, prop, visited, sink, next)?;
+            }
+            // Two arcs (Spread's live state, Union): inline two-pointer
+            // merge of the ranked runs in ascending `(rank, arc)` order
+            // — arc 0 wins rank ties, exactly like expand_into's merge
+            // cursor — again without the arrivals buffer. Nodes carrying
+            // only one of the two relations (the common case in a
+            // taxonomy KB) degenerate to the streaming path.
+            [a0, a1] => {
+                let (segments, fanout, run0, ranks0) =
+                    network.ranked_links_with_cost(task.node, a0.relation);
+                let (run1, ranks1) = network.ranked_links_by(task.node, a1.relation);
+                sink.on_expand(task, segments, fanout, run0.len() + run1.len());
+                if capped {
+                    continue;
+                }
+                if run1.is_empty() {
+                    stream_run(task, run0, a0.next, func, prop, visited, sink, next)?;
+                    continue;
+                }
+                if run0.is_empty() {
+                    stream_run(task, run1, a1.next, func, prop, visited, sink, next)?;
+                    continue;
+                }
+                let level = task.level + 1;
+                let (mut i, mut j) = (0, 0);
+                loop {
+                    let take0 = match (ranks0.get(i), ranks1.get(j)) {
+                        (Some(&r0), Some(&r1)) => r0 <= r1,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    let (link, state) = if take0 {
+                        let link = &run0[i];
+                        i += 1;
+                        (link, a0.next)
+                    } else {
+                        let link = &run1[j];
+                        j += 1;
+                        (link, a1.next)
+                    };
+                    let value = func.apply(task.value, link.weight);
+                    let arrival = PropArrival {
+                        node: link.destination,
+                        state,
+                        value,
+                    };
+                    sink.on_arrival(task, &arrival)?;
+                    if visited.should_expand(state, link.destination, value, task.origin) {
+                        next.push(PropTask {
+                            prop,
+                            node: link.destination,
+                            state,
+                            value,
+                            origin: task.origin,
+                            level,
+                        });
+                    }
+                }
+            }
+            // Terminal and 3+-arc states take the shared merge path.
+            _ => {
+                let (segments, links_scanned) = expand_into(network, rule, func, task, arrivals);
+                sink.on_expand(task, segments, links_scanned, arrivals.len());
+                if capped {
+                    continue;
+                }
+                let level = task.level + 1;
+                for arrival in arrivals.iter() {
+                    sink.on_arrival(task, arrival)?;
+                    if visited.should_expand(
+                        arrival.state,
+                        arrival.node,
+                        arrival.value,
+                        task.origin,
+                    ) {
+                        next.push(PropTask {
+                            prop,
+                            node: arrival.node,
+                            state: arrival.state,
+                            value: arrival.value,
+                            origin: task.origin,
+                            level,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Delivers one relation run's arrivals in slice order: the inner loop
+/// of both push fast paths.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn stream_run<S: WaveSink>(
+    task: &PropTask,
+    run: &[snap_kb::Link],
+    state: u8,
+    func: StepFunc,
+    prop: usize,
+    visited: &mut WaveVisited,
+    sink: &mut S,
+    next: &mut Vec<PropTask>,
+) -> Result<(), CoreError> {
+    let level = task.level + 1;
+    for link in run {
+        let value = func.apply(task.value, link.weight);
+        let arrival = PropArrival {
+            node: link.destination,
+            state,
+            value,
+        };
+        sink.on_arrival(task, &arrival)?;
+        if visited.should_expand(state, link.destination, value, task.origin) {
+            next.push(PropTask {
+                prop,
+                node: link.destination,
+                state,
+                value,
+                origin: task.origin,
+                level,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Sort key restoring spec order inside the pull direction:
+/// `(position in wave, link insertion rank, arc index)` — exactly the
+/// order the push merge emits arrivals.
+type PullKey = (u32, u32, u8);
+
+/// Reusable pull-wave buffers, allocated once on the first pull wave.
+struct PullScratch {
+    /// Bitmap over wave task nodes.
+    frontier: Bitmap,
+    /// Node → wave-task CSR offsets (counting sort; `width + 1` long).
+    offsets: Vec<u32>,
+    /// Scatter cursors for the counting sort.
+    cursors: Vec<u32>,
+    /// Wave positions grouped by node, preserving wave order per node.
+    order: Vec<u32>,
+    /// Keyed arrivals gathered at one destination.
+    gathered: Vec<(PullKey, PropArrival)>,
+    /// Keyed accepted tasks across all destinations of the wave.
+    accepted: Vec<(PullKey, PropTask)>,
+}
+
+impl PullScratch {
+    fn new(node_count: usize) -> Self {
+        PullScratch {
+            frontier: Bitmap::new(node_count),
+            offsets: Vec::new(),
+            cursors: Vec::new(),
+            order: Vec::new(),
+            gathered: Vec::new(),
+            accepted: Vec::new(),
+        }
+    }
+}
+
+/// Pull direction: gather into every destination through the reverse
+/// CSR. Expansion accounting runs first in wave order (that sequence is
+/// direction-independent); arrivals are then applied per destination in
+/// [`PullKey`] order and the accepted next wave re-sorted globally by
+/// the same key, restoring spec order.
+#[allow(clippy::too_many_arguments)]
+fn pull_wave<S: WaveSink>(
+    network: &SemanticNetwork,
+    rule: &RuleProgram,
+    func: StepFunc,
+    prop: usize,
+    wave: &[PropTask],
+    reverse: &ReverseTable,
+    scratch: &mut PullScratch,
+    visited: &mut WaveVisited,
+    sink: &mut S,
+    next: &mut Vec<PropTask>,
+) -> Result<(), CoreError> {
+    // Per-task expansion accounting. The hardware fetches every relation
+    // slot of the expanding node whatever direction the kernel runs, so
+    // segments and fanout are node properties, and the arrival count is
+    // the sum of the matching run lengths — the same totals expand_into
+    // reports, without materializing a single arrival.
+    for task in wave {
+        let arcs = rule.state(task.state).arcs();
+        if arcs.is_empty() {
+            sink.on_expand(task, 0, 0, 0);
+            continue;
+        }
+        if let [arc] = arcs {
+            let (segments, fanout, run, _) =
+                network.ranked_links_with_cost(task.node, arc.relation);
+            sink.on_expand(task, segments, fanout, run.len());
+            continue;
+        }
+        let mut produced = 0;
+        for arc in arcs {
+            produced += network.ranked_links_by(task.node, arc.relation).0.len();
+        }
+        sink.on_expand(
+            task,
+            network.segments(task.node),
+            network.fanout(task.node),
+            produced,
+        );
+    }
+
+    // Frontier bitmap plus a node → wave-task CSR via counting sort
+    // (a node can hold several tasks: different rule states, or the
+    // same site re-improved within one wave).
+    let width = wave
+        .iter()
+        .map(|t| t.node.index() + 1)
+        .max()
+        .unwrap_or(0)
+        .max(network.node_count());
+    scratch.frontier.clear_all();
+    scratch.offsets.clear();
+    scratch.offsets.resize(width + 1, 0);
+    for task in wave {
+        scratch.offsets[task.node.index() + 1] += 1;
+        scratch.frontier.set(task.node);
+    }
+    for i in 0..width {
+        scratch.offsets[i + 1] += scratch.offsets[i];
+    }
+    scratch.cursors.clear();
+    scratch.cursors.extend_from_slice(&scratch.offsets[..width]);
+    scratch.order.clear();
+    scratch.order.resize(wave.len(), 0);
+    for (ti, task) in wave.iter().enumerate() {
+        let cursor = &mut scratch.cursors[task.node.index()];
+        scratch.order[*cursor as usize] = ti as u32;
+        *cursor += 1;
+    }
+
+    let level = wave[0].level + 1;
+    scratch.accepted.clear();
+    for d in 0..width {
+        let incoming = reverse.incoming(NodeId(d as u32));
+        if incoming.is_empty() {
+            continue;
+        }
+        scratch.gathered.clear();
+        for rev in incoming {
+            if !scratch.frontier.test(rev.source) {
+                continue;
+            }
+            let s = rev.source.index();
+            let at_source =
+                &scratch.order[scratch.offsets[s] as usize..scratch.offsets[s + 1] as usize];
+            for &ti in at_source {
+                let task = &wave[ti as usize];
+                let arcs = rule.state(task.state).arcs();
+                for (ai, arc) in arcs.iter().enumerate() {
+                    if arc.relation == rev.relation {
+                        scratch.gathered.push((
+                            (ti, rev.rank, ai as u8),
+                            PropArrival {
+                                node: NodeId(d as u32),
+                                state: arc.next,
+                                value: func.apply(task.value, rev.weight),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        // Apply this destination's arrivals in spec order: merge
+        // decisions at a node only depend on the arrivals at that node,
+        // so per-destination ordering reproduces the scalar fixed point.
+        scratch.gathered.sort_unstable_by_key(|&(key, _)| key);
+        for &(key, arrival) in scratch.gathered.iter() {
+            let task = &wave[key.0 as usize];
+            sink.on_arrival(task, &arrival)?;
+            if visited.should_expand(arrival.state, arrival.node, arrival.value, task.origin) {
+                scratch.accepted.push((
+                    key,
+                    PropTask {
+                        prop,
+                        node: arrival.node,
+                        state: arrival.state,
+                        value: arrival.value,
+                        origin: task.origin,
+                        level,
+                    },
+                ));
+            }
+        }
+    }
+    // Restore the spec's next-wave order (task-major, then emission
+    // order) so later waves — and any push wave downstream — stay
+    // bit-identical to the scalar queue.
+    scratch.accepted.sort_unstable_by_key(|&(key, _)| key);
+    next.extend(scratch.accepted.iter().map(|&(_, task)| task));
+    Ok(())
+}
+
+/// Kernel-owned visited tables: per rule state (the propagation index
+/// is fixed for a run), one seen-bitmap and one flat `(value, origin)`
+/// array. Decisions replicate the dense `VisitedMap` backing — first
+/// visit always expands; re-expansion needs a value smaller beyond
+/// [`VALUE_EPSILON`](crate::VALUE_EPSILON) or an equal value from a
+/// smaller origin — but the first-visit probe is one bit test instead
+/// of a sentinel compare.
+struct WaveVisited {
+    /// One table per rule state, allocated up front — arrival states
+    /// always index a compiled state, so the probe is a plain bounds-
+    /// checked index with no lazy-init branch.
+    tables: Vec<StateTable>,
+    visited: usize,
+}
+
+struct StateTable {
+    seen: Bitmap,
+    best: Vec<(f32, NodeId)>,
+}
+
+impl WaveVisited {
+    fn new(nodes: usize, states: usize) -> Self {
+        WaveVisited {
+            tables: (0..states)
+                .map(|_| StateTable {
+                    seen: Bitmap::new(nodes),
+                    best: vec![(0.0, NodeId(0)); nodes],
+                })
+                .collect(),
+            visited: 0,
+        }
+    }
+
+    fn should_expand(&mut self, state: u8, node: NodeId, value: f32, origin: NodeId) -> bool {
+        const EPS: f32 = crate::region::VALUE_EPSILON;
+        let table = &mut self.tables[state as usize];
+        let i = node.index();
+        if i >= table.best.len() {
+            // Maintenance can add nodes after the engine snapshots the
+            // count; grow like the dense backing does.
+            table.best.resize(i + 1, (0.0, NodeId(0)));
+        }
+        if table.seen.set(node) {
+            table.best[i] = (value, origin);
+            self.visited += 1;
+            return true;
+        }
+        let (best, best_origin) = &mut table.best[i];
+        if value < *best - EPS || ((value - *best).abs() <= EPS && origin < *best_origin) {
+            *best = value.min(*best);
+            *best_origin = origin;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::VisitedMap;
+    use snap_isa::PropRule;
+    use snap_kb::synth::{line_network, scale_free_network, star_network};
+    use snap_kb::{Color, NetworkConfig, RelationType};
+    use std::collections::VecDeque;
+
+    /// Records the full event stream a sink sees.
+    #[derive(Debug, Default, PartialEq)]
+    struct Recorder {
+        expands: Vec<(PropTask, usize, usize, usize)>,
+        arrivals: Vec<(PropTask, PropArrival)>,
+    }
+
+    impl WaveSink for Recorder {
+        fn on_expand(
+            &mut self,
+            task: &PropTask,
+            segments: usize,
+            links_scanned: usize,
+            arrivals: usize,
+        ) {
+            self.expands
+                .push((*task, segments, links_scanned, arrivals));
+        }
+
+        fn on_arrival(&mut self, task: &PropTask, arrival: &PropArrival) -> Result<(), CoreError> {
+            self.arrivals.push((*task, *arrival));
+            Ok(())
+        }
+    }
+
+    /// The scalar spec, reduced to its schedule-relevant core: a FIFO
+    /// queue over the shared expansion and visited semantics.
+    fn scalar_reference(
+        network: &SemanticNetwork,
+        rule: &RuleProgram,
+        func: StepFunc,
+        max_hops: u8,
+        seeds: &[(NodeId, f32)],
+    ) -> Recorder {
+        let mut visited = VisitedMap::dense(network.node_count());
+        let mut queue = VecDeque::new();
+        for &(node, value) in seeds {
+            if visited.should_expand(0, 0, node, value, node) {
+                queue.push_back(PropTask {
+                    prop: 0,
+                    node,
+                    state: 0,
+                    value,
+                    origin: node,
+                    level: 0,
+                });
+            }
+        }
+        let mut rec = Recorder::default();
+        let mut buf = Vec::new();
+        while let Some(task) = queue.pop_front() {
+            let (segments, links_scanned) = expand_into(network, rule, func, &task, &mut buf);
+            rec.expands.push((task, segments, links_scanned, buf.len()));
+            if task.level >= max_hops {
+                continue;
+            }
+            for arrival in &buf {
+                rec.arrivals.push((task, *arrival));
+                if visited.should_expand(0, arrival.state, arrival.node, arrival.value, task.origin)
+                {
+                    queue.push_back(PropTask {
+                        prop: 0,
+                        node: arrival.node,
+                        state: arrival.state,
+                        value: arrival.value,
+                        origin: task.origin,
+                        level: task.level + 1,
+                    });
+                }
+            }
+        }
+        rec
+    }
+
+    fn run_kernel(
+        network: &SemanticNetwork,
+        rule: &RuleProgram,
+        func: StepFunc,
+        max_hops: u8,
+        pull_density: f64,
+        seeds: &[(NodeId, f32)],
+    ) -> (Recorder, WaveStats) {
+        let mut rec = Recorder::default();
+        let stats = propagate_wave(
+            network,
+            rule,
+            func,
+            0,
+            max_hops,
+            pull_density,
+            seeds,
+            &mut rec,
+        )
+        .unwrap();
+        (rec, stats)
+    }
+
+    /// A mixed workload: a scale-free hub network with a multi-value
+    /// seed set, including a duplicate and an improving re-seed.
+    fn workload() -> (SemanticNetwork, RuleProgram, Vec<(NodeId, f32)>) {
+        let mut net = scale_free_network(300, 2, 11);
+        net.flush_links();
+        let rule = PropRule::Star(RelationType(0)).compile();
+        let seeds = vec![
+            (NodeId(250), 0.0),
+            (NodeId(299), 1.5),
+            (NodeId(250), 0.0),  // duplicate: gated out
+            (NodeId(299), 0.25), // improvement: re-seeded
+            (NodeId(120), 0.5),
+        ];
+        (net, rule, seeds)
+    }
+
+    #[test]
+    fn push_matches_scalar_spec_event_for_event() {
+        let (net, rule, seeds) = workload();
+        let spec = scalar_reference(&net, &rule, StepFunc::AddWeight, 63, &seeds);
+        let (push, stats) = run_kernel(&net, &rule, StepFunc::AddWeight, 63, 1e9, &seeds);
+        assert_eq!(stats.pull_waves, 0, "over-unity density forces push");
+        assert_eq!(push, spec, "push replays the spec event for event");
+        assert!(!spec.arrivals.is_empty(), "workload actually propagates");
+    }
+
+    #[test]
+    fn pull_matches_scalar_spec_results() {
+        let (net, rule, seeds) = workload();
+        let spec = scalar_reference(&net, &rule, StepFunc::AddWeight, 63, &seeds);
+        let (pull, stats) = run_kernel(&net, &rule, StepFunc::AddWeight, 63, 0.0, &seeds);
+        assert_eq!(stats.pull_waves, stats.waves, "zero density forces pull");
+        // The expand sequence IS the task schedule: if pull accepted a
+        // different set or produced a different next-wave order, some
+        // expansion would differ.
+        assert_eq!(pull.expands, spec.expands);
+        // Arrival events agree per destination (order across
+        // destinations is the one thing pull reorders).
+        assert_eq!(pull.arrivals.len(), spec.arrivals.len());
+        let nodes: std::collections::BTreeSet<u32> =
+            spec.arrivals.iter().map(|(_, a)| a.node.0).collect();
+        for node in nodes {
+            let at = |r: &Recorder| -> Vec<(PropTask, PropArrival)> {
+                r.arrivals
+                    .iter()
+                    .filter(|(_, a)| a.node.0 == node)
+                    .copied()
+                    .collect()
+            };
+            assert_eq!(at(&pull), at(&spec), "arrival order at node {node}");
+        }
+    }
+
+    #[test]
+    fn auto_density_switches_direction_per_wave() {
+        // A star: wave 0 is one hub task (sparse → push), wave 1 is
+        // every leaf (dense → pull).
+        let mut net = star_network(100);
+        net.flush_links();
+        let rule = PropRule::Star(RelationType(0)).compile();
+        let seeds = vec![(NodeId(0), 0.0)];
+        let spec = scalar_reference(&net, &rule, StepFunc::AddWeight, 63, &seeds);
+        let (auto, stats) = run_kernel(&net, &rule, StepFunc::AddWeight, 63, 0.07, &seeds);
+        assert_eq!(stats.waves, 2);
+        assert_eq!(stats.pull_waves, 1, "only the leaf wave is dense");
+        assert_eq!(auto.expands, spec.expands);
+        assert_eq!(stats.visited, 101);
+    }
+
+    #[test]
+    fn hop_cap_charges_the_capped_wave_but_stops_it() {
+        let mut net = line_network(10);
+        net.flush_links();
+        let rule = PropRule::Star(RelationType(0)).compile();
+        let seeds = vec![(NodeId(0), 0.0)];
+        for density in [1e9, 0.0] {
+            let spec = scalar_reference(&net, &rule, StepFunc::AddWeight, 3, &seeds);
+            let (kernel, stats) = run_kernel(&net, &rule, StepFunc::AddWeight, 3, density, &seeds);
+            assert_eq!(kernel.expands, spec.expands);
+            assert_eq!(kernel.arrivals.len(), spec.arrivals.len());
+            // Levels 0..=3 expand (the level-3 task is charged, its
+            // arrival suppressed), nothing deeper.
+            assert_eq!(stats.waves, 4);
+            assert_eq!(kernel.expands.len(), 4);
+            assert_eq!(kernel.arrivals.len(), 3);
+        }
+    }
+
+    #[test]
+    fn multi_arc_rules_agree_in_both_directions() {
+        // Spread walks two relations; the bridge communities carry
+        // three, so arcs must filter and keys must tie-break.
+        let mut net = snap_kb::synth::bridge_network(4, 32);
+        net.flush_links();
+        let rule = PropRule::Spread(RelationType(0), RelationType(2)).compile();
+        let seeds = vec![(NodeId(0), 0.0)];
+        let spec = scalar_reference(&net, &rule, StepFunc::AddWeight, 63, &seeds);
+        let (push, _) = run_kernel(&net, &rule, StepFunc::AddWeight, 63, 1e9, &seeds);
+        let (pull, _) = run_kernel(&net, &rule, StepFunc::AddWeight, 63, 0.0, &seeds);
+        assert_eq!(push, spec);
+        assert_eq!(pull.expands, spec.expands);
+        assert_eq!(pull.arrivals.len(), spec.arrivals.len());
+    }
+
+    #[test]
+    fn wave_supported_rejects_staged_links() {
+        let mut net = SemanticNetwork::new(NetworkConfig::default());
+        let a = net.add_node(Color(0)).unwrap();
+        let b = net.add_node(Color(0)).unwrap();
+        net.add_link(a, RelationType(0), 1.0, b).unwrap();
+        let rule = PropRule::Star(RelationType(0)).compile();
+        assert!(!wave_supported(&net, &rule), "staged links need the scan");
+        net.flush_links();
+        assert!(wave_supported(&net, &rule));
+    }
+
+    #[test]
+    fn wave_visited_decides_like_the_dense_map() {
+        // Mirror of propagate.rs's exercise_visited, minus the prop
+        // dimension the kernel fixes per run.
+        let mut v = WaveVisited::new(8, 2);
+        let o = NodeId(7);
+        assert!(v.should_expand(0, NodeId(3), 5.0, o));
+        assert!(!v.should_expand(0, NodeId(3), 5.0, o));
+        assert!(!v.should_expand(0, NodeId(3), 6.0, o));
+        assert!(v.should_expand(0, NodeId(3), 3.0, o));
+        assert!(v.should_expand(0, NodeId(3), 3.0, NodeId(2)));
+        assert!(!v.should_expand(0, NodeId(3), 3.0, NodeId(5)));
+        assert!(v.should_expand(1, NodeId(3), 9.0, o));
+        assert_eq!(v.visited, 2);
+        // Growth past the declared node count, like the dense backing.
+        assert!(v.should_expand(0, NodeId(900), 1.0, NodeId(0)));
+        assert!(!v.should_expand(0, NodeId(900), 1.0, NodeId(0)));
+    }
+}

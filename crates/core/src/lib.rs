@@ -33,6 +33,7 @@ mod controller;
 mod cost;
 mod engine;
 mod error;
+pub mod kernel;
 mod machine;
 pub mod propagate;
 mod region;
@@ -44,7 +45,7 @@ pub mod exec {
     pub use crate::engine::common::{exec_single, ClusterWork, SingleOutcome};
 }
 
-pub use config::{EngineKind, MachineConfig, VisitedStrategy};
+pub use config::{EngineKind, KernelStrategy, MachineConfig, VisitedStrategy};
 pub use cost::CostModel;
 pub use engine::sched::{
     Component, ComponentScheduler, EventQueue, Picker, ReadyQueue, ScheduleStrategy, CONTROL_STREAM,

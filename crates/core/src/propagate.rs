@@ -80,7 +80,7 @@ impl snap_fault::Corruptible for PropTask {
 /// Most rule arcs a single state may have and still take the indexed
 /// merge path; beyond this (only reachable through large custom rules)
 /// expansion falls back to the full link scan.
-const MAX_MERGE_ARCS: usize = MAX_RULE_STATES;
+pub(crate) const MAX_MERGE_ARCS: usize = MAX_RULE_STATES;
 
 /// Expands `task` one step: for each arc live in the task's rule state,
 /// traverse the matching relation links and apply the step function.
@@ -229,7 +229,21 @@ enum Backing {
         tables: Vec<Option<Vec<(f32, u32)>>>,
         nodes: usize,
     },
+    /// Dense tables with the first-visit sentinel replaced by a word-
+    /// addressable seen bitmap: the common "already expanded?" probe is
+    /// one bit test. Decisions are identical to `Dense`, including
+    /// growth past the declared node count; this is how the event- and
+    /// thread-granular engines run the `Bitset` kernel strategy, whose
+    /// schedules cannot be restructured into whole waves.
+    Bitset {
+        tables: Vec<Option<BitsetTable>>,
+        nodes: usize,
+    },
 }
+
+/// One `(prop, state)` visited table of the `Bitset` backing: the seen
+/// bitmap plus the per-node `(value, origin)` bests.
+type BitsetTable = (snap_kb::Bitmap, Vec<(f32, u32)>);
 
 impl Default for VisitedMap {
     fn default() -> Self {
@@ -250,6 +264,19 @@ impl VisitedMap {
     pub fn dense(nodes: usize) -> Self {
         VisitedMap {
             backing: Backing::Dense {
+                tables: Vec::new(),
+                nodes,
+            },
+            visited: 0,
+        }
+    }
+
+    /// Creates an empty bitmap-backed map for a network of `nodes`
+    /// nodes: dense value tables fronted by a seen bitmap, deciding
+    /// identically to [`VisitedMap::dense`].
+    pub fn bitset(nodes: usize) -> Self {
+        VisitedMap {
+            backing: Backing::Bitset {
                 tables: Vec::new(),
                 nodes,
             },
@@ -318,6 +345,33 @@ impl VisitedMap {
                 }
                 let (best, best_origin) = &mut table[node.index()];
                 if *best_origin == EMPTY_ORIGIN {
+                    *best = value;
+                    *best_origin = origin.0;
+                    self.visited += 1;
+                    true
+                } else if value < *best - EPS
+                    || ((value - *best).abs() <= EPS && origin.0 < *best_origin)
+                {
+                    *best = value.min(*best);
+                    *best_origin = origin.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            Backing::Bitset { tables, nodes } => {
+                let idx = prop * MAX_RULE_STATES + state as usize;
+                if idx >= tables.len() {
+                    tables.resize_with(idx + 1, || None);
+                }
+                let size = (*nodes).max(node.index() + 1);
+                let (seen, table) =
+                    tables[idx].get_or_insert_with(|| (snap_kb::Bitmap::new(*nodes), Vec::new()));
+                if table.len() < size {
+                    table.resize(size, (0.0, 0));
+                }
+                let (best, best_origin) = &mut table[node.index()];
+                if seen.set(node) {
                     *best = value;
                     *best_origin = origin.0;
                     self.visited += 1;
@@ -453,12 +507,18 @@ mod tests {
     }
 
     #[test]
+    fn bitset_visited_map_decides_identically() {
+        exercise_visited(VisitedMap::bitset(8));
+    }
+
+    #[test]
     fn dense_visited_map_grows_past_declared_node_count() {
         // Maintenance can add nodes after an engine snapshots the count.
-        let mut v = VisitedMap::dense(2);
-        assert!(v.should_expand(0, 0, NodeId(900), 1.0, NodeId(0)));
-        assert!(!v.should_expand(0, 0, NodeId(900), 1.0, NodeId(0)));
-        assert_eq!(v.len(), 1);
+        for mut v in [VisitedMap::dense(2), VisitedMap::bitset(2)] {
+            assert!(v.should_expand(0, 0, NodeId(900), 1.0, NodeId(0)));
+            assert!(!v.should_expand(0, 0, NodeId(900), 1.0, NodeId(0)));
+            assert_eq!(v.len(), 1);
+        }
     }
 
     #[test]

@@ -160,10 +160,16 @@ impl Region {
 
     /// Member nodes where `marker` is active, ascending by global ID.
     pub fn active_nodes(&self, marker: Marker) -> Vec<NodeId> {
+        self.active_nodes_iter(marker).collect()
+    }
+
+    /// Iterator form of [`Region::active_nodes`]: report and collect
+    /// paths that walk the set once borrow the status row directly
+    /// instead of allocating a `Vec` per call.
+    pub fn active_nodes_iter(&self, marker: Marker) -> impl Iterator<Item = NodeId> + '_ {
         self.markers
-            .row(marker)
-            .map(|row| row.iter().map(|l| self.global(l)).collect())
-            .unwrap_or_default()
+            .active_nodes_iter(marker)
+            .map(|l| self.global(l))
     }
 
     /// Number of active instances of `marker` in this region.
@@ -518,7 +524,7 @@ impl Region {
         relation: RelationType,
     ) -> Vec<(NodeId, snap_kb::Link)> {
         let mut out = Vec::new();
-        for node in self.active_nodes(marker) {
+        for node in self.active_nodes_iter(marker) {
             for link in network.links_by(node, relation) {
                 out.push((node, *link));
             }
@@ -528,8 +534,7 @@ impl Region {
 
     /// `COLLECT-COLOR` local part: colors of marked member nodes.
     pub fn collect_color(&self, network: &SemanticNetwork, marker: Marker) -> Vec<(NodeId, Color)> {
-        self.active_nodes(marker)
-            .into_iter()
+        self.active_nodes_iter(marker)
             .filter_map(|n| network.color(n).ok().map(|c| (n, c)))
             .collect()
     }

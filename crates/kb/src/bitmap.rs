@@ -1,0 +1,232 @@
+//! Word-addressable `u64` bitmaps for the frontier propagation kernel.
+//!
+//! [`StatusRow`](crate::StatusRow) models the *hardware* marker status
+//! table and is deliberately pinned to the TMS320C30's 32-bit word. The
+//! propagation kernel, by contrast, is a host-side optimisation: it wants
+//! the widest word the host handles natively. [`Bitmap`] is that type —
+//! one bit per node over the CSR node arena, packed into `u64` blocks, with
+//! the word array exposed so the kernel can AND/OR/scan a word at a time.
+
+use crate::ids::NodeId;
+
+/// Bits per bitmap word.
+pub const BITMAP_WORD_BITS: usize = 64;
+
+/// A dense one-bit-per-node map over the node arena, packed into `u64`
+/// words.
+///
+/// Unlike [`StatusRow`](crate::StatusRow) this type grows on demand past
+/// its declared capacity (mirroring the dense `VisitedMap` tables, which
+/// tolerate nodes added after the capacity hint was taken) and exposes its
+/// word array for word-at-a-time kernels.
+///
+/// # Examples
+///
+/// ```
+/// use snap_kb::{Bitmap, NodeId};
+/// let mut map = Bitmap::new(100);
+/// assert!(map.set(NodeId(42)));
+/// assert!(!map.set(NodeId(42)), "second set reports already-present");
+/// assert!(map.test(NodeId(42)));
+/// assert_eq!(map.count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// Creates an all-clear bitmap sized for `nodes` node slots.
+    pub fn new(nodes: usize) -> Self {
+        Bitmap {
+            words: vec![0; nodes.div_ceil(BITMAP_WORD_BITS)],
+        }
+    }
+
+    /// Ensures the bitmap covers `node`, growing with zero words if needed.
+    #[inline]
+    fn ensure(&mut self, node: NodeId) -> (usize, usize) {
+        let i = node.index();
+        let (w, b) = (i / BITMAP_WORD_BITS, i % BITMAP_WORD_BITS);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        (w, b)
+    }
+
+    /// Sets the bit for `node`, growing the map if needed. Returns `true`
+    /// if the bit was previously clear.
+    #[inline]
+    pub fn set(&mut self, node: NodeId) -> bool {
+        let (w, b) = self.ensure(node);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Clears the bit for `node`. Returns `true` if the bit was set.
+    #[inline]
+    pub fn unset(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        let (w, b) = (i / BITMAP_WORD_BITS, i % BITMAP_WORD_BITS);
+        match self.words.get_mut(w) {
+            Some(word) => {
+                let was = *word & (1 << b) != 0;
+                *word &= !(1 << b);
+                was
+            }
+            None => false,
+        }
+    }
+
+    /// Tests the bit for `node`. Out-of-range nodes read as clear.
+    #[inline]
+    pub fn test(&self, node: NodeId) -> bool {
+        let i = node.index();
+        self.words
+            .get(i / BITMAP_WORD_BITS)
+            .is_some_and(|w| w & (1 << (i % BITMAP_WORD_BITS)) != 0)
+    }
+
+    /// Number of set bits (hardware popcount per word).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears every bit without releasing storage.
+    pub fn clear_all(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// The packed word array (read side of word-at-a-time kernels).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word-parallel `self |= other`, growing to cover `other`.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (d, s) in self.words.iter_mut().zip(&other.words) {
+            *d |= s;
+        }
+    }
+
+    /// Iterates over the set bits in ascending node order.
+    pub fn iter(&self) -> BitmapBits<'_> {
+        BitmapBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the set bits of a [`Bitmap`], yielding [`NodeId`]s.
+#[derive(Debug, Clone)]
+pub struct BitmapBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitmapBits<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(NodeId((self.word_idx * BITMAP_WORD_BITS + bit) as u32));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_test_unset_roundtrip() {
+        let mut map = Bitmap::new(70);
+        assert!(!map.test(NodeId(69)));
+        assert!(map.set(NodeId(69)));
+        assert!(!map.set(NodeId(69)), "second set reports already-present");
+        assert!(map.test(NodeId(69)));
+        assert!(map.unset(NodeId(69)));
+        assert!(!map.unset(NodeId(69)));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn grows_past_declared_capacity() {
+        let mut map = Bitmap::new(2);
+        assert!(!map.test(NodeId(900)));
+        assert!(map.set(NodeId(900)));
+        assert!(map.test(NodeId(900)));
+        assert_eq!(map.count(), 1);
+        assert_eq!(map.iter().collect::<Vec<_>>(), vec![NodeId(900)]);
+    }
+
+    #[test]
+    fn iter_yields_ascending_node_ids() {
+        let mut map = Bitmap::new(200);
+        for &i in &[0u32, 63, 64, 127, 128, 150, 199] {
+            map.set(NodeId(i));
+        }
+        let got: Vec<u32> = map.iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 128, 150, 199]);
+    }
+
+    #[test]
+    fn union_grows_and_merges() {
+        let mut a = Bitmap::new(10);
+        a.set(NodeId(3));
+        let mut b = Bitmap::new(300);
+        b.set(NodeId(3));
+        b.set(NodeId(250));
+        a.union_with(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.test(NodeId(250)));
+        a.clear_all();
+        assert!(a.is_empty());
+        assert!(a.words().iter().all(|&w| w == 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_reference_set(
+            nodes in 1usize..512,
+            picks in proptest::collection::btree_set(0u32..2048, 0..64),
+        ) {
+            let mut map = Bitmap::new(nodes);
+            for &p in &picks {
+                prop_assert!(map.set(NodeId(p)));
+            }
+            prop_assert_eq!(map.count(), picks.len());
+            let iterated: Vec<u32> = map.iter().map(|n| n.0).collect();
+            let expect: Vec<u32> = picks.iter().copied().collect();
+            prop_assert_eq!(iterated, expect);
+            for p in 0..2048u32 {
+                prop_assert_eq!(map.test(NodeId(p)), picks.contains(&p));
+            }
+        }
+    }
+}

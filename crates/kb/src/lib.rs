@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitmap;
 mod error;
 mod ids;
 mod io;
@@ -48,11 +49,13 @@ mod network;
 mod partition;
 pub mod reference;
 mod status;
+pub mod synth;
 
+pub use bitmap::{Bitmap, BitmapBits, BITMAP_WORD_BITS};
 pub use error::KbError;
 pub use ids::{ClusterId, Color, NodeId, RelationType};
 pub use io::ParseNetworkError;
-pub use links::{Link, RelationTable, SLOTS_PER_NODE};
+pub use links::{Link, RelationTable, RevLink, ReverseTable, SLOTS_PER_NODE};
 pub use marker::{Marker, MarkerKind, MarkerState, MarkerValue};
 pub use network::{NetworkConfig, SemanticNetwork};
 pub use partition::{

@@ -291,9 +291,14 @@ impl MarkerState {
 
     /// Iterates the nodes where `marker` is active, ascending.
     pub fn active_nodes(&self, marker: Marker) -> Vec<NodeId> {
-        self.row(marker)
-            .map(|r| r.iter().collect())
-            .unwrap_or_default()
+        self.active_nodes_iter(marker).collect()
+    }
+
+    /// Iterates the nodes where `marker` is active, ascending, without
+    /// allocating. Report and collect paths prefer this over
+    /// [`MarkerState::active_nodes`].
+    pub fn active_nodes_iter(&self, marker: Marker) -> impl Iterator<Item = NodeId> + '_ {
+        self.row(marker).into_iter().flat_map(|r| r.iter())
     }
 
     /// Number of nodes where `marker` is active.
@@ -404,5 +409,10 @@ mod tests {
             st.active_nodes(Marker::binary(0)),
             vec![NodeId(2), NodeId(17), NodeId(33)]
         );
+        assert!(st
+            .active_nodes_iter(Marker::binary(0))
+            .eq(st.active_nodes(Marker::binary(0))));
+        // Untouched rows iterate as empty without allocating.
+        assert_eq!(st.active_nodes_iter(Marker::complex(0)).count(), 0);
     }
 }

@@ -231,6 +231,19 @@ impl SemanticNetwork {
         self.relations.ranked_run(node, relation)
     }
 
+    /// Fused form of [`SemanticNetwork::segments`],
+    /// [`SemanticNetwork::fanout`], and
+    /// [`SemanticNetwork::ranked_links_by`]: one row lookup yields the
+    /// propagation cost units and the ranked relation run. The wave
+    /// kernel's per-task hot path.
+    pub fn ranked_links_with_cost(
+        &self,
+        node: NodeId,
+        relation: RelationType,
+    ) -> (usize, usize, &[Link], &[u32]) {
+        self.relations.ranked_run_with_cost(node, relation)
+    }
+
     /// Merges staged link additions into the contiguous relation table so
     /// the hot-path slice lookups see every link. Engines call this once
     /// before propagation and after each maintenance instruction.
@@ -253,6 +266,17 @@ impl SemanticNetwork {
     /// Outgoing fanout of `node`.
     pub fn fanout(&self, node: NodeId) -> usize {
         self.relations.fanout(node)
+    }
+
+    /// Builds the reverse (incoming-link) CSR view of the relation table,
+    /// used by pull-direction propagation kernels. Requires a flushed
+    /// table — call [`SemanticNetwork::flush_links`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if link additions are still staged.
+    pub fn build_reverse(&self) -> crate::ReverseTable {
+        self.relations.build_reverse()
     }
 
     /// Iterates all node IDs.

@@ -346,20 +346,10 @@ mod tests {
     use super::*;
     use crate::ids::{Color, RelationType};
     use crate::network::NetworkConfig;
+    use crate::synth::{
+        bridge_network, chorded_network, line_network, scale_free_network, star_network,
+    };
     use proptest::prelude::*;
-
-    fn line_network(n: usize) -> SemanticNetwork {
-        let mut net = SemanticNetwork::new(NetworkConfig::default());
-        let mut prev = None;
-        for _ in 0..n {
-            let id = net.add_node(Color(0)).unwrap();
-            if let Some(p) = prev {
-                net.add_link(p, RelationType(0), 0.0, id).unwrap();
-            }
-            prev = Some(id);
-        }
-        net
-    }
 
     #[test]
     fn sequential_partition_is_contiguous() {
@@ -481,112 +471,6 @@ mod tests {
         let rr = Partition::build(&net, 4, PartitionScheme::RoundRobin);
         assert!(edge_cut.cut_fraction(&net) <= semantic.cut_fraction(&net));
         assert!(edge_cut.cut_fraction(&net) < rr.cut_fraction(&net));
-    }
-
-    /// Line graph plus pseudo-random chords: connected, locality present.
-    fn chorded_network(n: usize, chords: usize, seed: u64) -> SemanticNetwork {
-        let mut net = line_network(n);
-        let mut state = seed | 1;
-        let mut next = || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        for _ in 0..chords {
-            let a = next() % n;
-            let b = next() % n;
-            if a != b {
-                net.add_link(NodeId(a as u32), RelationType(2), 0.0, NodeId(b as u32))
-                    .unwrap();
-            }
-        }
-        net
-    }
-
-    /// Preferential-attachment (Barabási–Albert) network: each node
-    /// past the seed chain links to `m` distinct earlier nodes drawn
-    /// proportional to degree via endpoint-list sampling, producing the
-    /// power-law hub structure of a real knowledge base.
-    fn scale_free_network(n: usize, m: usize, seed: u64) -> SemanticNetwork {
-        assert!(n > m && m >= 1, "need more nodes than attachments");
-        let mut net = SemanticNetwork::new(NetworkConfig::default());
-        let mut ids = Vec::with_capacity(n);
-        for _ in 0..n {
-            ids.push(net.add_node(Color(0)).unwrap());
-        }
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        // Every link endpoint lands on this list, so sampling it
-        // uniformly is sampling nodes proportional to degree.
-        let mut endpoints: Vec<usize> = Vec::new();
-        for v in 1..=m {
-            net.add_link(ids[v - 1], RelationType(0), 0.0, ids[v])
-                .unwrap();
-            endpoints.push(v - 1);
-            endpoints.push(v);
-        }
-        for v in (m + 1)..n {
-            let mut targets: Vec<usize> = Vec::new();
-            while targets.len() < m {
-                let t = endpoints[next() % endpoints.len()];
-                if t != v && !targets.contains(&t) {
-                    targets.push(t);
-                }
-            }
-            for t in targets {
-                net.add_link(ids[v], RelationType(0), 0.0, ids[t]).unwrap();
-                endpoints.push(v);
-                endpoints.push(t);
-            }
-        }
-        net
-    }
-
-    /// One hub (node 0, so EdgeCut seeds there) fanning out to `leaves`
-    /// spokes: the worst case for balanced partitioning — a `p`-way
-    /// balanced split must cut every spoke leaving the hub's cluster.
-    fn star_network(leaves: usize) -> SemanticNetwork {
-        let mut net = SemanticNetwork::new(NetworkConfig::default());
-        let hub = net.add_node(Color(0)).unwrap();
-        for _ in 0..leaves {
-            let leaf = net.add_node(Color(0)).unwrap();
-            net.add_link(hub, RelationType(0), 0.0, leaf).unwrap();
-        }
-        net
-    }
-
-    /// `communities` chorded line segments of `size` nodes, consecutive
-    /// segments joined by a single bridge link: the minimum balanced cut
-    /// at `clusters == communities` is exactly the bridges.
-    fn bridge_network(communities: usize, size: usize) -> SemanticNetwork {
-        assert!(size >= 2, "a community needs at least two nodes");
-        let mut net = SemanticNetwork::new(NetworkConfig::default());
-        let mut ids = Vec::with_capacity(communities * size);
-        for _ in 0..communities * size {
-            ids.push(net.add_node(Color(0)).unwrap());
-        }
-        for c in 0..communities {
-            let base = c * size;
-            for i in 0..size - 1 {
-                net.add_link(ids[base + i], RelationType(0), 0.0, ids[base + i + 1])
-                    .unwrap();
-                if i + 2 < size {
-                    net.add_link(ids[base + i], RelationType(1), 0.0, ids[base + i + 2])
-                        .unwrap();
-                }
-            }
-            if c + 1 < communities {
-                net.add_link(ids[base + size - 1], RelationType(2), 0.0, ids[base + size])
-                    .unwrap();
-            }
-        }
-        net
     }
 
     #[test]

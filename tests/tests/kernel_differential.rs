@@ -1,0 +1,155 @@
+//! Differential grid pinning the bitset wave kernel to the scalar
+//! executable spec.
+//!
+//! The scalar loop *is* the semantics; the bitset kernel is an
+//! optimisation that must be observationally indistinguishable. The
+//! grid here sweeps every knowledge base × program × engine × gate
+//! kind (counting-gate and the CM-2-style lockstep barrier) and runs
+//! each cell twice — once per `KernelStrategy` — comparing retrievals
+//! and the work counters that the kernel influences. A second sweep
+//! repeats the comparison under adversarial `Fuzzed` schedules, where
+//! `KernelStrategy::Auto` would fall back to scalar, so the bitset
+//! kernel is forced explicitly. Finally a property test checks the
+//! kernel's word-level visited tables against the hashed reference
+//! map on arbitrary probe sequences.
+
+use proptest::prelude::*;
+use snap_core::propagate::VisitedMap;
+use snap_core::{EngineKind, KernelStrategy, RunReport};
+use snap_integration_tests::grid;
+use snap_kb::NodeId;
+
+const ENGINES: &[EngineKind] = &[
+    EngineKind::Sequential,
+    EngineKind::Des,
+    EngineKind::Threaded,
+];
+
+/// Runs one grid cell with the given kernel strategy and gate kind.
+fn run_kernel_cell(
+    kb: grid::KbBuilder,
+    program: &snap_isa::Program,
+    clusters: usize,
+    engine: EngineKind,
+    kernel: KernelStrategy,
+    lockstep: bool,
+) -> RunReport {
+    grid::run_cell_cfg(kb, program, clusters, engine, |c| {
+        c.kernel = kernel;
+        c.lockstep_waves = lockstep;
+    })
+}
+
+/// Every cell of the grid must produce the same retrievals under the
+/// scalar spec and the bitset kernel, with both gate kinds. The
+/// deterministic engines (sequential, DES) must also match on the
+/// kernel-sensitive work counters bit for bit; the threaded engine is
+/// compared on node sets and values only, since worker interleaving
+/// legitimately reorders arrival improvements.
+#[test]
+fn bitset_kernel_matches_scalar_across_grid_and_gates() {
+    for &(kb_name, kb) in grid::KBS {
+        for (prog_name, program) in grid::programs() {
+            for &engine in ENGINES {
+                for lockstep in [false, true] {
+                    let label = format!("{kb_name}/{prog_name}/{engine:?}/lockstep={lockstep}");
+                    let scalar =
+                        run_kernel_cell(kb, &program, 2, engine, KernelStrategy::Scalar, lockstep);
+                    let bitset =
+                        run_kernel_cell(kb, &program, 2, engine, KernelStrategy::Bitset, lockstep);
+                    grid::assert_equivalent(&label, &scalar.collects, &bitset.collects);
+                    if engine != EngineKind::Threaded {
+                        assert_eq!(
+                            scalar.collects, bitset.collects,
+                            "[{label}] deterministic engine drifted on exact collects"
+                        );
+                        assert_eq!(
+                            scalar.expansions, bitset.expansions,
+                            "[{label}] expansion counts diverged"
+                        );
+                        assert_eq!(
+                            scalar.traffic.local_activations, bitset.traffic.local_activations,
+                            "[{label}] local activation counts diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Under a `Fuzzed` schedule `KernelStrategy::Auto` resolves to the
+/// scalar loop (the fuzzer owns task ordering), so the bitset kernel
+/// is forced explicitly here and compared against the scalar run
+/// under the same adversarial seed, and against the FIFO sequential
+/// oracle. Any divergence is a real ordering bug in the kernel.
+/// Compiled out under the planted `fuzz-bug`, which corrupts the
+/// scalar side of the comparison by design.
+#[cfg(not(feature = "fuzz-bug"))]
+#[test]
+fn bitset_kernel_matches_scalar_under_fuzzed_schedules() {
+    use snap_core::ScheduleStrategy;
+    for (prog_name, program) in grid::programs() {
+        let oracle = run_kernel_cell(
+            grid::kb_web,
+            &program,
+            5,
+            EngineKind::Sequential,
+            KernelStrategy::Scalar,
+            false,
+        );
+        for &engine in ENGINES {
+            for seed in [0x5EED_0001_u64, 0xDEAD_BEEF] {
+                let label = format!("web/{prog_name}/{engine:?}/seed={seed:#x}");
+                let run = |kernel| {
+                    grid::run_cell_cfg(grid::kb_web, &program, 5, engine, |c| {
+                        c.kernel = kernel;
+                        c.schedule = ScheduleStrategy::Fuzzed {
+                            seed,
+                            limit: u64::MAX,
+                        };
+                    })
+                };
+                let scalar = run(KernelStrategy::Scalar);
+                let bitset = run(KernelStrategy::Bitset);
+                grid::assert_equivalent(&label, &scalar.collects, &bitset.collects);
+                grid::assert_equivalent(
+                    &format!("{label} vs oracle"),
+                    &oracle.collects,
+                    &bitset.collects,
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The word-level visited tables behind the bitset kernel must make
+    /// the same expand/suppress decision as the hashed reference map on
+    /// every probe, including nodes past the declared arena size (the
+    /// growth path) and exact value ties (the origin tie-break).
+    #[test]
+    fn bitset_visited_agrees_with_hashed_reference(
+        probes in proptest::collection::vec(
+            (0usize..2, 0u8..8, 0u32..96, 0u32..40, 0u32..16),
+            1..200,
+        ),
+    ) {
+        let mut bitset = VisitedMap::bitset(64);
+        let mut hashed = VisitedMap::new();
+        for (prop, state, node, quantum, origin) in probes {
+            // Coarse quantisation forces exact value ties so the
+            // origin tie-break is exercised, not just improvements.
+            let value = quantum as f32 * 0.25;
+            let b = bitset.should_expand(prop, state, NodeId(node), value, NodeId(origin));
+            let h = hashed.should_expand(prop, state, NodeId(node), value, NodeId(origin));
+            prop_assert_eq!(
+                b, h,
+                "probe (prop={}, state={}, node={}, value={}, origin={}) diverged",
+                prop, state, node, value, origin
+            );
+        }
+        prop_assert_eq!(bitset.len(), hashed.len());
+        prop_assert_eq!(bitset.is_empty(), hashed.is_empty());
+    }
+}
