@@ -1,0 +1,13 @@
+//! Query-serving throughput/latency benchmark; writes
+//! `BENCH_serve.json` at the repository root. Not part of `run_all`
+//! (the figure experiments are deterministic simulated time; this one
+//! measures the current machine). Panics on oracle divergence or a
+//! shed-accounting mismatch, which is what the CI serve-smoke job runs
+//! in quick mode.
+
+use snap_bench::experiments::serve;
+use snap_bench::output::quick_requested;
+
+fn main() {
+    serve::run(quick_requested()).print();
+}

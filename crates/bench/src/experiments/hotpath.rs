@@ -358,7 +358,7 @@ fn repo_root() -> PathBuf {
         .collect()
 }
 
-fn json_kernel(name: &str, k: &KernelResult) -> String {
+fn json_kernel(name: &str, k: &KernelResult, host_cpus: usize) -> String {
     format!(
         concat!(
             "    \"{}\": {{\n",
@@ -368,7 +368,8 @@ fn json_kernel(name: &str, k: &KernelResult) -> String {
             "      \"csr_ns\": {},\n",
             "      \"legacy_tasks_per_sec\": {:.0},\n",
             "      \"csr_tasks_per_sec\": {:.0},\n",
-            "      \"speedup\": {:.2}\n",
+            "      \"speedup\": {:.2},\n",
+            "      \"wall_reliable\": {}\n",
             "    }}"
         ),
         name,
@@ -379,10 +380,13 @@ fn json_kernel(name: &str, k: &KernelResult) -> String {
         k.legacy.tasks_per_sec(),
         k.csr.tasks_per_sec(),
         k.speedup(),
+        // Both drivers are single-threaded: the wall number only needs
+        // one unshared core.
+        host_cpus >= 1,
     )
 }
 
-fn json_engine(name: &str, runs: &[(EngineKind, EngineRun)]) -> String {
+fn json_engine(name: &str, runs: &[(EngineKind, EngineRun)], host_cpus: usize) -> String {
     let fields: Vec<String> = runs
         .iter()
         .map(|(kind, r)| {
@@ -391,7 +395,20 @@ fn json_engine(name: &str, runs: &[(EngineKind, EngineRun)]) -> String {
                 EngineKind::Des => "des",
                 EngineKind::Threaded => "threaded",
             };
-            let mut s = format!("      \"{}_wall_ms\": {:.2}", label, r.wall_ns as f64 / 1e6);
+            // Sequential and DES run on one thread; the threaded engine
+            // needs a core per cluster worker before its wall time means
+            // anything (the same rule the scaling bench applies).
+            let reliable = match kind {
+                EngineKind::Threaded => host_cpus >= r.clusters,
+                _ => host_cpus >= 1,
+            };
+            let mut s = format!(
+                "      \"{}_wall_ms\": {:.2},\n      \"{}_wall_reliable\": {}",
+                label,
+                r.wall_ns as f64 / 1e6,
+                label,
+                reliable
+            );
             if *kind == EngineKind::Threaded {
                 s.push_str(&format!(
                     concat!(
@@ -478,21 +495,26 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
     assert_engines_agree("fig16 alpha", &fig16_engines);
     assert_engines_agree("fig19 parse", &fig19_engines);
 
-    // BENCH_hotpath.json at the repo root.
+    // BENCH_hotpath.json at the repo root. `host_cpus` qualifies every
+    // wall number: this file is compared across machines, so each row
+    // says whether the host could actually time it honestly.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"hotpath\",\n",
             "  \"quick\": {},\n",
+            "  \"host_cpus\": {},\n",
             "  \"kernel\": {{\n{},\n{}\n  }},\n",
             "  \"end_to_end\": {{\n{},\n{}\n  }}\n",
             "}}\n"
         ),
         quick,
-        json_kernel("fig16_alpha", &fig16_kernel),
-        json_kernel("fig19_parse_kb", &fig19_kernel),
-        json_engine("fig16_alpha", &fig16_engines),
-        json_engine("fig19_parse", &fig19_engines),
+        host_cpus,
+        json_kernel("fig16_alpha", &fig16_kernel, host_cpus),
+        json_kernel("fig19_parse_kb", &fig19_kernel, host_cpus),
+        json_engine("fig16_alpha", &fig16_engines, host_cpus),
+        json_engine("fig19_parse", &fig19_engines, host_cpus),
     );
     std::fs::write(&path, &json).expect("write BENCH_hotpath.json");
 
@@ -571,6 +593,14 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
             ));
         }
     }
+    if host_cpus < clusters {
+        out.note(format!(
+            "host_cpus: {host_cpus} < {clusters} clusters — threaded wall rows are marked \
+             \"wall_reliable\": false"
+        ));
+    } else {
+        out.note(format!("host_cpus: {host_cpus}"));
+    }
     out.note(format!("wrote {}", path.display()));
     out
 }
@@ -586,9 +616,13 @@ mod tests {
         let path = dir.join("BENCH_hotpath.json");
         let out = run_to(true, path.clone());
         assert!(out.notes.iter().any(|n| n.contains("speedup")));
+        assert!(out.notes.iter().any(|n| n.contains("host_cpus")));
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"fig19_parse_kb\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"host_cpus\""));
+        assert!(json.contains("\"wall_reliable\": true"));
+        assert!(json.contains("\"threaded_wall_reliable\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -281,7 +281,7 @@ fn repo_root() -> PathBuf {
     }
 }
 
-fn json_workload(w: &Workload) -> String {
+fn json_workload(w: &Workload, host_cpus: usize) -> String {
     format!(
         concat!(
             "    \"{}\": {{\n",
@@ -296,7 +296,8 @@ fn json_workload(w: &Workload) -> String {
             "      \"pull_speedup\": {:.2},\n",
             "      \"auto_speedup\": {:.2},\n",
             "      \"auto_waves\": {},\n",
-            "      \"auto_pull_waves\": {}\n",
+            "      \"auto_pull_waves\": {},\n",
+            "      \"wall_reliable\": {}\n",
             "    }}"
         ),
         w.name,
@@ -312,6 +313,9 @@ fn json_workload(w: &Workload) -> String {
         w.speedup(&w.auto),
         w.auto.stats.waves,
         w.auto.stats.pull_waves,
+        // Every driver here is single-threaded; one unshared core is all
+        // the wall number needs.
+        host_cpus >= 1,
     )
 }
 
@@ -378,18 +382,21 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
         .exp()
         .powf(1.0 / workloads.len() as f64);
 
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"kernel\",\n",
             "  \"quick\": {},\n",
+            "  \"host_cpus\": {},\n",
             "  \"workloads\": {{\n{},\n{}\n  }},\n",
             "  \"geomean_auto_speedup\": {:.2}\n",
             "}}\n"
         ),
         quick,
-        json_workload(&fig16),
-        json_workload(&fig19),
+        host_cpus,
+        json_workload(&fig16, host_cpus),
+        json_workload(&fig19, host_cpus),
         geomean_auto,
     );
     std::fs::write(&path, &json).expect("write BENCH_kernel.json");
@@ -430,6 +437,9 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
         ratio(geomean_auto)
     ));
     out.note("sequential engine: collects and reports identical under Scalar/Bitset/Auto");
+    out.note(format!(
+        "host_cpus: {host_cpus} (all drivers single-threaded)"
+    ));
     out.note(format!("wrote {}", path.display()));
     out
 }
@@ -449,6 +459,8 @@ mod tests {
         assert!(json.contains("\"fig16_alpha\""));
         assert!(json.contains("\"auto_speedup\""));
         assert!(json.contains("\"geomean_auto_speedup\""));
+        assert!(json.contains("\"host_cpus\""));
+        assert!(json.contains("\"wall_reliable\": true"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

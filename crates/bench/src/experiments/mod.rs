@@ -15,6 +15,7 @@ pub mod hotpath;
 pub mod kernel;
 pub mod projection;
 pub mod scaling;
+pub mod serve;
 pub mod table1;
 pub mod table4;
 

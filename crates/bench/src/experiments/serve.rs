@@ -1,0 +1,623 @@
+//! `serve` — query-serving throughput and latency, written to
+//! `BENCH_serve.json` at the repository root.
+//!
+//! Two measurements over the fig19 parse KB, serving parse-style
+//! queries (seed one noun, spread up the subsumption taxonomy, collect
+//! the bindings) through [`snap_serve::Server`]. The query mix is
+//! Zipf-distributed over 32 distinct seeds — the serving regime, where
+//! a few hot queries dominate the stream — so deep batches both fuse
+//! row probes across distinct queries and coalesce bit-identical
+//! repeats onto shared lanes:
+//!
+//! * **saturated throughput** — the admission queue is pre-filled and
+//!   drained at batch depths 1..16. The headline speedup is against the
+//!   **one-query-at-a-time baseline**: the same query stream answered by
+//!   [`Snap1::run_shared`] one call per query, the status-quo path
+//!   before the serving layer existed, which rebuilds the region map and
+//!   partition statistics per call. The serving layer amortizes that
+//!   setup across the stream (pooled contexts, one region map) and the
+//!   fused batch executor pays each CSR row probe and rank merge once
+//!   per batch; the depth-1 serve row is also reported so the
+//!   fusion-plus-coalescing gain is visible separately
+//!   (`speedup_vs_depth1`);
+//! * **open-loop load sweep** — arrivals scheduled at a fixed offered
+//!   rate (fractions and multiples of the measured saturated rate),
+//!   latency measured from the *scheduled* arrival instant so queueing
+//!   delay is charged to the server, reported as p50/p99/p999. The
+//!   overload rows shed at admission; their exact
+//!   offered/admitted/completed/shed counts are asserted to balance.
+//!
+//! Every completion — batched or not, loaded or overloaded — is checked
+//! against a solo run of the serial sequential engine on the shared
+//! snapshot: collects, expansions, local activations, and simulated
+//! nanoseconds must all be identical, or the bench panics. This is the
+//! same oracle the serve differential tests pin down; here it runs on
+//! every measured query, so a throughput number can never be bought
+//! with a wrong answer.
+
+use crate::output::{ratio, ExperimentOutput};
+use snap_core::{EngineKind, RunReport, Snap1};
+use snap_isa::{Program, PropRule, StepFunc};
+use snap_kb::{Marker, NodeId, SemanticNetwork};
+use snap_nlu::{kb::rel, DomainSpec, PartOfSpeech};
+use snap_serve::{Admission, Completion, ServeConfig, Server};
+use snap_stats::Table;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Batch depths swept in the saturated-throughput section.
+const DEPTHS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Offered-load multipliers (of the measured saturated rate) swept in
+/// the open-loop section; the >1 row is deliberate overload.
+const LOADS: [f64; 3] = [0.5, 0.9, 1.5];
+
+/// Open-loop rows run at these batch depths.
+const OPEN_DEPTHS: [usize; 2] = [1, 8];
+
+/// Queue bound for the open-loop rows, small enough that the overload
+/// row actually sheds.
+const OPEN_QUEUE: usize = 32;
+
+/// Zipf exponent of the query mix (s in `rank^-s`).
+const ZIPF_S: f64 = 1.2;
+
+/// Deterministic Zipf(`ZIPF_S`)-distributed rank sequence over `n`
+/// ranks: the hottest query is rank 0. A fixed LCG keeps the stream
+/// identical across runs and machines.
+fn zipf_sequence(n: usize, len: usize, seed: u64) -> Vec<usize> {
+    let cumulative: Vec<f64> = (0..n)
+        .scan(0.0, |acc, r| {
+            *acc += 1.0 / ((r + 1) as f64).powf(ZIPF_S);
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumulative.last().expect("at least one rank");
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64 * total;
+            cumulative.partition_point(|&c| c < u).min(n - 1)
+        })
+        .collect()
+}
+
+/// The parse-style query: seed one word, walk the subsumption
+/// taxonomy, collect every binding. All instances share one shape (the
+/// seed node is masked by the server's shape key), so they fuse.
+fn parse_query(node: NodeId) -> Program {
+    Program::builder()
+        .search_node(node, Marker::binary(1), 0.0)
+        .propagate(
+            Marker::binary(1),
+            Marker::complex(2),
+            PropRule::Spread(rel::IS_A, rel::ELEM_OF),
+            StepFunc::AddWeight,
+        )
+        .collect_marker(Marker::complex(2))
+        .build()
+}
+
+/// Memoizing oracle: one solo sequential run per distinct seed node.
+struct Oracle {
+    machine: Snap1,
+    memo: HashMap<u32, RunReport>,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        Oracle {
+            machine: Snap1::builder().engine(EngineKind::Sequential).build(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Panics unless `c` is identical to the solo sequential run for
+    /// `node` — down to the simulated nanoseconds.
+    fn check(&mut self, net: &Arc<SemanticNetwork>, node: NodeId, c: &Completion) {
+        let want = self.memo.entry(node.0).or_insert_with(|| {
+            self.machine
+                .run_shared(net, &parse_query(node))
+                .expect("oracle run")
+        });
+        let got = c
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("query {:?} failed: {e}", c.id));
+        assert_eq!(
+            got.collects, want.collects,
+            "collects diverged, seed {node:?}"
+        );
+        assert_eq!(got.expansions, want.expansions, "seed {node:?}");
+        assert_eq!(
+            got.traffic.local_activations, want.traffic.local_activations,
+            "seed {node:?}"
+        );
+        assert_eq!(got.total_ns, want.total_ns, "seed {node:?}");
+    }
+}
+
+/// One saturated-throughput cell.
+struct SatRow {
+    depth: usize,
+    queries: usize,
+    wall_ns: u128,
+    qps: f64,
+}
+
+/// The status-quo baseline: the same `queries`-long stream answered one
+/// call at a time through the serial engine's shared entry point. Each
+/// call pays the full per-query setup (region map, partition stats,
+/// fresh region) the serving layer amortizes.
+fn serial_baseline(
+    net: &Arc<SemanticNetwork>,
+    seeds: &[NodeId],
+    mix: &[usize],
+    queries: usize,
+) -> SatRow {
+    let machine = Snap1::builder().engine(EngineKind::Sequential).build();
+    let t0 = Instant::now();
+    for i in 0..queries {
+        let program = parse_query(seeds[mix[i % mix.len()]]);
+        machine
+            .run_shared(net, &program)
+            .expect("serial baseline run");
+    }
+    let wall_ns = t0.elapsed().as_nanos();
+    SatRow {
+        depth: 0,
+        queries,
+        wall_ns,
+        qps: queries as f64 * 1e9 / wall_ns.max(1) as f64,
+    }
+}
+
+/// One open-loop cell.
+struct OpenRow {
+    depth: usize,
+    load: f64,
+    offered_qps: f64,
+    measured_qps: f64,
+    offered: u64,
+    admitted: u64,
+    completed: u64,
+    shed_overload: u64,
+    shed_invalid: u64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_nanos() as f64 / 1e3
+}
+
+/// Pre-fills the queue with `queries` drawn from the Zipf `mix` and
+/// drains it at `depth`, verifying every completion against the oracle
+/// (outside the timed window).
+fn saturated(
+    net: &Arc<SemanticNetwork>,
+    seeds: &[NodeId],
+    mix: &[usize],
+    oracle: &mut Oracle,
+    depth: usize,
+    queries: usize,
+) -> SatRow {
+    let cfg = ServeConfig {
+        max_batch: depth,
+        queue_capacity: queries,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(Arc::clone(net), cfg).expect("flushed snapshot");
+    let t0 = Instant::now();
+    for i in 0..queries {
+        let adm = server.offer(parse_query(seeds[mix[i % mix.len()]]));
+        assert!(matches!(adm, Admission::Admitted(_)), "capacity == queries");
+    }
+    let done = server.drain();
+    let wall_ns = t0.elapsed().as_nanos();
+    assert_eq!(done.len(), queries);
+    server.assert_accounting();
+    for c in &done {
+        // Queue capacity equals the query count, so IDs are dense and
+        // name the offer order.
+        let node = seeds[mix[c.id.0 as usize % mix.len()]];
+        oracle.check(net, node, c);
+        assert!(c.batch_depth <= depth, "batch never exceeds max_batch");
+    }
+    SatRow {
+        depth,
+        queries,
+        wall_ns,
+        qps: queries as f64 * 1e9 / wall_ns.max(1) as f64,
+    }
+}
+
+/// Open-loop run: `queries` arrivals scheduled `interval` apart;
+/// latency is measured from the scheduled instant, and offers the
+/// bounded queue rejects are shed and counted.
+#[allow(clippy::too_many_arguments)]
+fn open_loop(
+    net: &Arc<SemanticNetwork>,
+    seeds: &[NodeId],
+    mix: &[usize],
+    oracle: &mut Oracle,
+    depth: usize,
+    load: f64,
+    offered_qps: f64,
+    queries: usize,
+) -> OpenRow {
+    let cfg = ServeConfig {
+        max_batch: depth,
+        queue_capacity: OPEN_QUEUE,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(Arc::clone(net), cfg).expect("flushed snapshot");
+    let interval = Duration::from_nanos((1e9 / offered_qps) as u64);
+    let mut scheduled: HashMap<u64, (Duration, NodeId)> = HashMap::new();
+    let mut latencies: Vec<Duration> = Vec::new();
+    // Verification happens after the clock stops; completions are only
+    // collected inside the loop.
+    let mut finished: Vec<Completion> = Vec::new();
+    let start = Instant::now();
+    let mut next = 0usize;
+    loop {
+        let now = start.elapsed();
+        while next < queries && interval * next as u32 <= now {
+            let node = seeds[mix[next % mix.len()]];
+            if let Admission::Admitted(id) = server.offer(parse_query(node)) {
+                scheduled.insert(id.0, (interval * next as u32, node));
+            }
+            next += 1;
+        }
+        if server.queue_len() == 0 {
+            if next >= queries {
+                break;
+            }
+            std::hint::spin_loop();
+            continue;
+        }
+        let done = server.pump();
+        let t = start.elapsed();
+        for c in done {
+            let (at, _) = scheduled[&c.id.0];
+            latencies.push(t.saturating_sub(at));
+            finished.push(c);
+        }
+    }
+    let wall_ns = start.elapsed().as_nanos();
+    for c in &finished {
+        let (_, node) = scheduled[&c.id.0];
+        oracle.check(net, node, c);
+    }
+    server.assert_accounting();
+    let s = server.stats();
+    assert_eq!(s.offered, queries as u64, "every arrival was offered");
+    assert_eq!(
+        s.offered,
+        s.admitted + s.shed(),
+        "offer accounting balances"
+    );
+    assert_eq!(s.admitted, s.completed, "queue drained before exit");
+    assert_eq!(latencies.len() as u64, s.completed);
+    latencies.sort_unstable();
+    OpenRow {
+        depth,
+        load,
+        offered_qps,
+        measured_qps: s.completed as f64 * 1e9 / wall_ns.max(1) as f64,
+        offered: s.offered,
+        admitted: s.admitted,
+        completed: s.completed,
+        shed_overload: s.shed_overload,
+        shed_invalid: s.shed_invalid,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+    }
+}
+
+/// The repository root (two levels above this crate's manifest).
+fn repo_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    std::path::Path::new(&manifest)
+        .join("../..")
+        .components()
+        .collect()
+}
+
+fn json_sat(rows: &[SatRow], serial_qps: f64, depth1_qps: f64, host_cpus: usize) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{ \"batch_depth\": {}, \"queries\": {}, \"wall_ms\": {:.2}, ",
+                    "\"qps\": {:.0}, \"speedup_vs_serial\": {:.2}, ",
+                    "\"speedup_vs_depth1\": {:.2}, \"wall_reliable\": {} }}"
+                ),
+                r.depth,
+                r.queries,
+                r.wall_ns as f64 / 1e6,
+                r.qps,
+                r.qps / serial_qps,
+                r.qps / depth1_qps,
+                host_cpus >= 1,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn json_open(rows: &[OpenRow], host_cpus: usize) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{ \"batch_depth\": {}, \"load\": {:.2}, \"offered_qps\": {:.0}, ",
+                    "\"measured_qps\": {:.0}, \"offered\": {}, \"admitted\": {}, ",
+                    "\"completed\": {}, \"shed_overload\": {}, \"shed_invalid\": {}, ",
+                    "\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, ",
+                    "\"wall_reliable\": {} }}"
+                ),
+                r.depth,
+                r.load,
+                r.offered_qps,
+                r.measured_qps,
+                r.offered,
+                r.admitted,
+                r.completed,
+                r.shed_overload,
+                r.shed_invalid,
+                r.p50_us,
+                r.p99_us,
+                r.p999_us,
+                host_cpus >= 1,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Runs the experiment and writes `BENCH_serve.json` at the repo root.
+///
+/// # Panics
+///
+/// Panics if any completion diverges from the sequential oracle, if the
+/// shed accounting does not balance exactly, or (in full mode) if
+/// batched serving misses its 2x floor over the one-query-at-a-time
+/// baseline at depth >= 8.
+pub fn run(quick: bool) -> ExperimentOutput {
+    run_to(quick, repo_root().join("BENCH_serve.json"))
+}
+
+/// [`run`] with an explicit output path (tests point it at a temp dir
+/// so a test run never overwrites the checked-in baseline).
+fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
+    let kb_nodes = if quick { 2_500 } else { 12_000 };
+    let sat_queries = if quick { 96 } else { 512 };
+    let open_queries = if quick { 48 } else { 256 };
+
+    let mut kb = DomainSpec::sized(kb_nodes).build().expect("parse KB");
+    kb.network.flush_links();
+    let nouns: Vec<NodeId> = kb
+        .words(PartOfSpeech::Noun)
+        .iter()
+        .filter_map(|w| kb.word(w))
+        .collect();
+    // A spread of distinct seeds across the lexicon: frontiers differ
+    // per query but converge on the shared upper taxonomy, which is
+    // exactly the row-probe overlap batching amortizes.
+    let stride = (nouns.len() / 32).max(1);
+    let seeds: Vec<NodeId> = nouns.iter().copied().step_by(stride).take(32).collect();
+    assert!(!seeds.is_empty(), "parse KB has a noun lexicon");
+    let net = Arc::new(kb.network);
+    let mut oracle = Oracle::new();
+    let mix = zipf_sequence(seeds.len(), sat_queries.max(open_queries), 0x5EED_CAFE);
+
+    // The one-query-at-a-time baseline, then saturated serve throughput
+    // per batch depth.
+    let serial = serial_baseline(&net, &seeds, &mix, sat_queries);
+    let sat: Vec<SatRow> = DEPTHS
+        .iter()
+        .map(|&d| saturated(&net, &seeds, &mix, &mut oracle, d, sat_queries))
+        .collect();
+    let depth1_qps = sat[0].qps;
+    let best_deep = sat
+        .iter()
+        .filter(|r| r.depth >= 8)
+        .map(|r| r.qps / serial.qps)
+        .fold(0.0, f64::max);
+    let best_fused = sat
+        .iter()
+        .filter(|r| r.depth >= 8)
+        .map(|r| r.qps / depth1_qps)
+        .fold(0.0, f64::max);
+    if !quick {
+        assert!(
+            best_deep >= 2.0,
+            "batched serving speedup {best_deep:.2} over the one-query-at-a-time \
+             baseline at depth >= 8 is below the 2x floor"
+        );
+    }
+
+    // Open-loop latency under offered load, rated off the saturated
+    // throughput at each depth.
+    let mut open: Vec<OpenRow> = Vec::new();
+    for &d in &OPEN_DEPTHS {
+        let sat_qps = sat
+            .iter()
+            .find(|r| r.depth == d)
+            .expect("open depths are swept")
+            .qps;
+        for &load in &LOADS {
+            open.push(open_loop(
+                &net,
+                &seeds,
+                &mix,
+                &mut oracle,
+                d,
+                load,
+                sat_qps * load,
+                open_queries,
+            ));
+        }
+    }
+    let overload_shed: u64 = open
+        .iter()
+        .filter(|r| r.load > 1.0)
+        .map(|r| r.shed_overload)
+        .sum();
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"quick\": {},\n",
+            "  \"host_cpus\": {},\n",
+            "  \"kb_nodes\": {},\n",
+            "  \"serial_one_at_a_time\": {{ \"queries\": {}, \"wall_ms\": {:.2}, ",
+            "\"qps\": {:.0} }},\n",
+            "  \"saturated\": [\n{}\n  ],\n",
+            "  \"open_loop\": [\n{}\n  ],\n",
+            "  \"best_speedup_depth8_plus\": {:.2},\n",
+            "  \"best_fused_speedup_vs_depth1\": {:.2}\n",
+            "}}\n"
+        ),
+        quick,
+        host_cpus,
+        kb_nodes,
+        serial.queries,
+        serial.wall_ns as f64 / 1e6,
+        serial.qps,
+        json_sat(&sat, serial.qps, depth1_qps, host_cpus),
+        json_open(&open, host_cpus),
+        best_deep,
+        best_fused,
+    );
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+
+    let mut sat_table = Table::new(
+        [
+            "batch depth",
+            "queries",
+            "wall ms",
+            "qps",
+            "vs serial",
+            "vs depth 1",
+        ]
+        .map(str::to_string)
+        .to_vec(),
+    );
+    sat_table.row(vec![
+        "serial".to_string(),
+        serial.queries.to_string(),
+        format!("{:.2}", serial.wall_ns as f64 / 1e6),
+        format!("{:.0}", serial.qps),
+        ratio(1.0),
+        "-".to_string(),
+    ]);
+    for r in &sat {
+        sat_table.row(vec![
+            r.depth.to_string(),
+            r.queries.to_string(),
+            format!("{:.2}", r.wall_ns as f64 / 1e6),
+            format!("{:.0}", r.qps),
+            ratio(r.qps / serial.qps),
+            ratio(r.qps / depth1_qps),
+        ]);
+    }
+    let mut open_table = Table::new(
+        [
+            "depth",
+            "load",
+            "offered",
+            "admitted",
+            "completed",
+            "shed",
+            "p50 us",
+            "p99 us",
+            "p999 us",
+        ]
+        .map(str::to_string)
+        .to_vec(),
+    );
+    for r in &open {
+        open_table.row(vec![
+            r.depth.to_string(),
+            ratio(r.load),
+            r.offered.to_string(),
+            r.admitted.to_string(),
+            r.completed.to_string(),
+            (r.shed_overload + r.shed_invalid).to_string(),
+            format!("{:.1}", r.p50_us),
+            format!("{:.1}", r.p99_us),
+            format!("{:.1}", r.p999_us),
+        ]);
+    }
+
+    let mut out = ExperimentOutput::new("serve", "Query serving: fused batching and admission");
+    out.table(
+        "saturated throughput vs batch depth (fig19 parse KB)",
+        sat_table,
+    );
+    out.table("open-loop latency and shedding", open_table);
+    out.note(format!(
+        "best speedup at depth >= 8 over the one-query-at-a-time serial baseline: {} \
+         (target >= 2.0); fusion+coalescing alone (vs serve at depth 1): {}",
+        ratio(best_deep),
+        ratio(best_fused)
+    ));
+    out.note(format!(
+        "query mix: Zipf(s={ZIPF_S}) over {} distinct parse queries — deep batches fuse \
+         row probes and coalesce bit-identical repeats",
+        seeds.len()
+    ));
+    out.note(format!(
+        "every completion verified identical to the sequential oracle \
+         ({} distinct seeds memoized)",
+        oracle.memo.len()
+    ));
+    out.note(format!(
+        "overload rows shed {overload_shed} offers; accounting asserted exact on every row"
+    ));
+    out.note(format!(
+        "host_cpus: {host_cpus} (server and oracle single-threaded)"
+    ));
+    out.note(format!("wrote {}", path.display()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_verifies_and_writes_json() {
+        let dir = std::env::temp_dir().join(format!("snapbench-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+        let out = run_to(true, path.clone());
+        assert!(out.notes.iter().any(|n| n.contains("oracle")));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"saturated\""));
+        assert!(json.contains("\"open_loop\""));
+        assert!(json.contains("\"serial_one_at_a_time\""));
+        assert!(json.contains("\"speedup_vs_serial\""));
+        assert!(json.contains("\"speedup_vs_depth1\""));
+        assert!(json.contains("\"shed_overload\""));
+        assert!(json.contains("\"p999_us\""));
+        assert!(json.contains("\"host_cpus\""));
+        assert!(json.contains("\"wall_reliable\": true"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

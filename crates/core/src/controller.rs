@@ -17,7 +17,7 @@ use std::collections::HashSet;
 
 /// One controller step.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum Step {
+pub enum Step {
     /// Execute a single (non-propagate) instruction, by program index.
     Instr(usize),
     /// Execute these `PROPAGATE` instructions overlapped, then barrier.
@@ -26,7 +26,7 @@ pub(crate) enum Step {
 
 /// Plans `program` into controller steps, preserving program order for
 /// everything except the overlap of independent adjacent propagations.
-pub(crate) fn plan(program: &Program) -> Vec<Step> {
+pub fn plan(program: &Program) -> Vec<Step> {
     let mut steps = Vec::new();
     let mut group: Vec<usize> = Vec::new();
     let mut reads: HashSet<Marker> = HashSet::new();
@@ -66,7 +66,7 @@ pub(crate) fn plan(program: &Program) -> Vec<Step> {
 
 /// The pieces of a `PROPAGATE` instruction an engine needs, pre-compiled.
 #[derive(Debug, Clone)]
-pub(crate) struct PropSpec {
+pub struct PropSpec {
     /// Index within the overlap group.
     pub prop: usize,
     /// Source marker.

@@ -57,10 +57,6 @@ pub fn exec_single(
         ..SingleOutcome::default()
     };
     match instr {
-        Instruction::Propagate { .. } => {
-            panic!("PROPAGATE must be executed by a propagation phase")
-        }
-
         // ----- node maintenance (controller housekeeping) -----
         Instruction::Create {
             source,
@@ -117,6 +113,55 @@ pub fn exec_single(
                 network.set_color(*node, *color)?;
             }
             out.maintenance_ops = marked.len();
+        }
+
+        // Everything else reads the network without mutating it.
+        _ => return exec_single_shared(instr, network, regions),
+    }
+    // Keep the relation table's contiguous index complete so the next
+    // propagation phase stays on the slice-lookup fast path.
+    network.flush_links();
+    Ok(out)
+}
+
+/// Applies one non-propagate, non-maintenance instruction to `regions`
+/// against an immutably borrowed network — the instruction subset a
+/// shared-snapshot run ([`crate::Snap1::run_shared`]) may execute.
+///
+/// # Errors
+///
+/// Returns [`CoreError::MaintenanceOnShared`] for the six
+/// node-maintenance instructions, and the same errors as [`exec_single`]
+/// otherwise (unknown nodes, out-of-range markers).
+///
+/// # Panics
+///
+/// Panics if called with a `PROPAGATE` instruction — propagation goes
+/// through each engine's phase executor.
+pub fn exec_single_shared(
+    instr: &Instruction,
+    network: &SemanticNetwork,
+    regions: &mut [Region],
+) -> Result<SingleOutcome, CoreError> {
+    let mut out = SingleOutcome {
+        work: vec![ClusterWork::default(); regions.len()],
+        ..SingleOutcome::default()
+    };
+    match instr {
+        Instruction::Propagate { .. } => {
+            panic!("PROPAGATE must be executed by a propagation phase")
+        }
+
+        // ----- node maintenance: would mutate the shared network -----
+        Instruction::Create { .. }
+        | Instruction::Delete { .. }
+        | Instruction::SetColor { .. }
+        | Instruction::MarkerCreate { .. }
+        | Instruction::MarkerDelete { .. }
+        | Instruction::MarkerSetColor { .. } => {
+            return Err(CoreError::MaintenanceOnShared {
+                mnemonic: instr.mnemonic(),
+            });
         }
 
         // ----- search -----
@@ -242,11 +287,6 @@ pub fn exec_single(
 
         // ----- explicit barrier: no marker work -----
         Instruction::Barrier => {}
-    }
-    if out.maintenance_ops > 0 {
-        // Keep the relation table's contiguous index complete so the
-        // next propagation phase stays on the slice-lookup fast path.
-        network.flush_links();
     }
     Ok(out)
 }
@@ -426,6 +466,58 @@ mod tests {
         };
         exec_single(&delete, &mut net, &mut regions).unwrap();
         assert_eq!(net.links_by(NodeId(2), RelationType(7)).count(), 0);
+    }
+
+    #[test]
+    fn shared_exec_rejects_maintenance_with_mnemonic() {
+        let (net, mut regions) = setup(1);
+        let create = Instruction::Create {
+            source: NodeId(2),
+            relation: RelationType(7),
+            weight: 1.0,
+            destination: NodeId(3),
+        };
+        let err = exec_single_shared(&create, &net, &mut regions).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::MaintenanceOnShared {
+                mnemonic: create.mnemonic()
+            }
+        );
+        let recolor = Instruction::MarkerSetColor {
+            marker: Marker::binary(0),
+            color: Color(1),
+        };
+        assert!(matches!(
+            exec_single_shared(&recolor, &net, &mut regions),
+            Err(CoreError::MaintenanceOnShared { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_exec_matches_exec_single_on_read_only_instrs() {
+        let (mut net, mut regions) = setup(2);
+        let (net2, mut regions2) = setup(2);
+        let instrs = [
+            Instruction::SearchColor {
+                color: Color(0),
+                marker: Marker::binary(0),
+                value: 0.0,
+            },
+            Instruction::NotMarker {
+                source: Marker::binary(0),
+                target: Marker::binary(1),
+            },
+            Instruction::CollectMarker {
+                marker: Marker::binary(1),
+            },
+        ];
+        for instr in &instrs {
+            let a = exec_single(instr, &mut net, &mut regions).unwrap();
+            let b = exec_single_shared(instr, &net2, &mut regions2).unwrap();
+            assert_eq!(a.work, b.work);
+            assert_eq!(format!("{:?}", a.collect), format!("{:?}", b.collect));
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::config::MachineConfig;
 use crate::controller::{plan, PropSpec, Step};
 use crate::cost::CostModel;
-use crate::engine::common::{exec_single, phase_of};
+use crate::engine::common::{exec_single, exec_single_shared, phase_of, SingleOutcome};
 use crate::engine::sched::{apply_arrival, visited_map_for, EventQueue, Picker, CONTROL_STREAM};
 use crate::error::CoreError;
 use crate::propagate::{expand, Expansion, PropTask, VisitedMap};
@@ -53,6 +53,34 @@ pub(crate) fn run(
     for step in plan(program) {
         match step {
             Step::Instr(idx) => machine.exec_instr(network, &program.instructions()[idx])?,
+            Step::Group(indices) => {
+                let specs: Vec<PropSpec> = indices
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &idx)| PropSpec::compile(g, &program.instructions()[idx]))
+                    .collect();
+                machine.exec_group(network, &specs)?;
+            }
+        }
+    }
+    Ok(machine.finish())
+}
+
+/// Shared-snapshot variant of [`run`]: identical simulation and
+/// accounting over an immutably borrowed network. The facade has already
+/// rejected maintenance instructions and staged links, so instructions
+/// go through [`exec_single_shared`] and no flush is needed.
+pub(crate) fn run_shared(
+    config: &MachineConfig,
+    cost: &CostModel,
+    network: &SemanticNetwork,
+    program: &Program,
+) -> Result<RunReport, CoreError> {
+    config.validate();
+    let mut machine = Des::new(config, cost, network);
+    for step in plan(program) {
+        match step {
+            Step::Instr(idx) => machine.exec_instr_shared(network, &program.instructions()[idx])?,
             Step::Group(indices) => {
                 let specs: Vec<PropSpec> = indices
                     .iter()
@@ -107,6 +135,9 @@ struct Des<'c> {
     seq: u64,
     pending_msgs: u64,
     report: RunReport,
+    /// Visited map reused across propagation groups (reset per group):
+    /// steady state re-visits capacity instead of reallocating per phase.
+    visited: VisitedMap,
 }
 
 impl<'c> Des<'c> {
@@ -143,6 +174,7 @@ impl<'c> Des<'c> {
             seq: 0,
             pending_msgs: 0,
             report,
+            visited: visited_map_for(config, network.node_count()),
         }
     }
 
@@ -179,6 +211,29 @@ impl<'c> Des<'c> {
         let class = instr.class();
         self.tracer.phase_start(phase_of(class), Stamp::Sim(start));
         let out = exec_single(instr, network, &mut self.regions)?;
+        self.account_instr(class, out, start);
+        Ok(())
+    }
+
+    /// [`Des::exec_instr`] over an immutably borrowed network: the same
+    /// cost accounting applied to an [`exec_single_shared`] outcome.
+    fn exec_instr_shared(
+        &mut self,
+        network: &SemanticNetwork,
+        instr: &snap_isa::Instruction,
+    ) -> Result<(), CoreError> {
+        let start = self.now;
+        let class = instr.class();
+        self.tracer.phase_start(phase_of(class), Stamp::Sim(start));
+        let out = exec_single_shared(instr, network, &mut self.regions)?;
+        self.account_instr(class, out, start);
+        Ok(())
+    }
+
+    /// Converts one instruction's work counts into simulated time and
+    /// report entries (shared by the exclusive and shared exec paths so
+    /// they account identically).
+    fn account_instr(&mut self, class: InstrClass, out: SingleOutcome, start: SimTime) {
         let items: usize = out.work.iter().map(|w| w.items).sum();
         match class {
             InstrClass::Maintenance => {
@@ -231,7 +286,6 @@ impl<'c> Des<'c> {
         self.report.record(class, self.now - start);
         self.record_perf(class as u8);
         self.tracer.phase_end(Stamp::Sim(self.now));
-        Ok(())
     }
 
     /// Executes an overlapped group of propagations, then barriers.
@@ -285,7 +339,10 @@ impl<'c> Des<'c> {
         t0: SimTime,
     ) -> Result<SimTime, CoreError> {
         let mut heap: EventQueue<EventKind> = EventQueue::new();
-        let mut visited = visited_map_for(self.config, network.node_count());
+        // Take the pooled visited map for the group (`deliver_local`
+        // borrows it alongside `self`), reset in place, restore after.
+        let mut visited = std::mem::take(&mut self.visited);
+        visited.reset();
         let mut phase_end = t0;
 
         // Seed: every cluster scans its marker status table for sources.
@@ -512,6 +569,7 @@ impl<'c> Des<'c> {
             }
         }
         debug_assert_eq!(self.sync.in_flight(), 0, "tiered counters drained");
+        self.visited = visited;
         Ok(phase_end)
     }
 
@@ -606,7 +664,8 @@ impl<'c> Des<'c> {
         specs: &[PropSpec],
         t0: SimTime,
     ) -> Result<SimTime, CoreError> {
-        let mut visited = visited_map_for(self.config, network.node_count());
+        let mut visited = std::mem::take(&mut self.visited);
+        visited.reset();
         // (cluster, task) pairs of the current wave.
         let mut wave: Vec<(usize, PropTask)> = Vec::new();
         for spec in specs {
@@ -715,6 +774,7 @@ impl<'c> Des<'c> {
             wave_start = wave_end + sync + rebroadcast;
             wave = next_wave;
         }
+        self.visited = visited;
         Ok(wave_start)
     }
 

@@ -10,7 +10,7 @@
 use crate::config::{KernelStrategy, MachineConfig};
 use crate::controller::{plan, PropSpec, Step};
 use crate::cost::CostModel;
-use crate::engine::common::{exec_single, phase_of};
+use crate::engine::common::{exec_single, exec_single_shared, phase_of, SingleOutcome};
 use crate::engine::sched::{
     apply_arrival, maybe_plant_bug, resolve_kernel, Picker, ReadyQueue, CONTROL_STREAM,
 };
@@ -44,6 +44,9 @@ pub(crate) fn run(
     // One decision stream for the whole run: the single PE is the only
     // scheduling consumer, so every ready-pool pick draws from it.
     let mut picker = Picker::new(config.schedule, CONTROL_STREAM);
+    // One visited map for the whole run, reset per propagation: steady
+    // state re-visits capacity instead of reallocating per phase.
+    let mut visited = VisitedMap::with_strategy(config.visited, network.node_count());
 
     for step in plan(program) {
         match step {
@@ -52,33 +55,7 @@ pub(crate) fn run(
                 tracer.phase_start(phase_of(instr.class()), Stamp::Sim(now));
                 let regions = std::slice::from_mut(&mut region);
                 let out = exec_single(instr, network, regions)?;
-                let w = out.work[0];
-                let ns = cost.pcp_ns
-                    + match instr.class() {
-                        InstrClass::Search => {
-                            cost.pu_decode_ns
-                                + w.scans as SimTime * cost.link_scan_ns
-                                + w.value_ops as SimTime * cost.value_op_ns
-                        }
-                        InstrClass::Boolean | InstrClass::SetClear => {
-                            cost.global_op_ns(w.words) + w.value_ops as SimTime * cost.value_op_ns
-                        }
-                        InstrClass::Collect => {
-                            let ns = cost.collect_ns(1, w.items);
-                            report.overhead.collect_ns += ns;
-                            ns
-                        }
-                        InstrClass::Maintenance => {
-                            cost.maintenance_ns * (out.maintenance_ops.max(1) as SimTime)
-                        }
-                        InstrClass::Barrier => {
-                            let ns = cost.sync_base_ns;
-                            report.overhead.sync_ns += ns;
-                            report.barriers += 1;
-                            ns
-                        }
-                        InstrClass::Propagate => unreachable!("plan puts propagates in groups"),
-                    };
+                let ns = instr_cost(cost, instr.class(), &out, &mut report);
                 now += ns;
                 tracer.phase_end(Stamp::Sim(now));
                 report.record(instr.class(), ns);
@@ -101,6 +78,7 @@ pub(crate) fn run(
                         &mut report,
                         &tracer,
                         &mut picker,
+                        &mut visited,
                     )?;
                     now += ns;
                     report.record(InstrClass::Propagate, ns);
@@ -123,6 +101,118 @@ pub(crate) fn run(
     Ok(report)
 }
 
+/// Shared-snapshot variant of [`run`]: identical semantics and
+/// accounting over an immutably borrowed network. The facade has already
+/// rejected maintenance instructions and staged links, so every
+/// instruction goes through [`exec_single_shared`] and no flush is
+/// needed — which is what lets many concurrent callers run against one
+/// `Arc`'d network without cloning it.
+pub(crate) fn run_shared(
+    config: &MachineConfig,
+    cost: &CostModel,
+    network: &SemanticNetwork,
+    program: &Program,
+) -> Result<RunReport, CoreError> {
+    let map = RegionMap::build(network, 1, PartitionScheme::Sequential);
+    let mut region = Region::new(ClusterId(0), Arc::clone(&map), network);
+    let mut report = RunReport {
+        partition: Some(map.partition().stats(network)),
+        ..RunReport::default()
+    };
+    let mut now: SimTime = 0;
+    let tracer = Tracer::from_config(config.trace.as_ref(), 1);
+    let mut picker = Picker::new(config.schedule, CONTROL_STREAM);
+    let mut visited = VisitedMap::with_strategy(config.visited, network.node_count());
+
+    for step in plan(program) {
+        match step {
+            Step::Instr(idx) => {
+                let instr = &program.instructions()[idx];
+                tracer.phase_start(phase_of(instr.class()), Stamp::Sim(now));
+                let regions = std::slice::from_mut(&mut region);
+                let out = exec_single_shared(instr, network, regions)?;
+                let ns = instr_cost(cost, instr.class(), &out, &mut report);
+                now += ns;
+                tracer.phase_end(Stamp::Sim(now));
+                report.record(instr.class(), ns);
+                if let Some(c) = out.collect {
+                    report.collects.push(c);
+                }
+            }
+            Step::Group(indices) => {
+                tracer.phase_start(PhaseKind::Propagate, Stamp::Sim(now));
+                for (g, &idx) in indices.iter().enumerate() {
+                    let instr = &program.instructions()[idx];
+                    let spec = PropSpec::compile(g, instr);
+                    let ns = run_propagate(
+                        config,
+                        cost,
+                        network,
+                        &mut region,
+                        &spec,
+                        &mut report,
+                        &tracer,
+                        &mut picker,
+                        &mut visited,
+                    )?;
+                    now += ns;
+                    report.record(InstrClass::Propagate, ns);
+                }
+                tracer.phase_end(Stamp::Sim(now));
+                tracer.phase_start(PhaseKind::Barrier, Stamp::Sim(now));
+                now += cost.sync_base_ns;
+                tracer.barrier_wait(0, cost.sync_base_ns, Stamp::Sim(now));
+                tracer.phase_end(Stamp::Sim(now));
+                report.overhead.sync_ns += cost.sync_base_ns;
+                report.barriers += 1;
+                report.traffic.messages_per_sync.push(0);
+            }
+        }
+    }
+    report.total_ns = now;
+    report.trace = tracer.report();
+    report.schedule_digest = picker.digest();
+    Ok(report)
+}
+
+/// Single-PE cost of one non-propagate instruction, with the overhead
+/// and barrier side accounting (shared by [`run`] and [`run_shared`] so
+/// the two entry points report identically).
+fn instr_cost(
+    cost: &CostModel,
+    class: InstrClass,
+    out: &SingleOutcome,
+    report: &mut RunReport,
+) -> SimTime {
+    let w = out.work[0];
+    cost.pcp_ns
+        + match class {
+            InstrClass::Search => {
+                cost.pu_decode_ns
+                    + w.scans as SimTime * cost.link_scan_ns
+                    + w.value_ops as SimTime * cost.value_op_ns
+            }
+            InstrClass::Boolean | InstrClass::SetClear => {
+                cost.global_op_ns(w.words) + w.value_ops as SimTime * cost.value_op_ns
+            }
+            InstrClass::Collect => {
+                let ns = cost.collect_ns(1, w.items);
+                report.overhead.collect_ns += ns;
+                ns
+            }
+            InstrClass::Maintenance => {
+                cost.maintenance_ns * (out.maintenance_ops.max(1) as SimTime)
+            }
+            InstrClass::Barrier => {
+                let ns = cost.sync_base_ns;
+                report.overhead.sync_ns += ns;
+                report.barriers += 1;
+                ns
+            }
+            InstrClass::Propagate => unreachable!("plan puts propagates in groups"),
+        }
+}
+
 /// Breadth-first propagation with value re-relaxation (SPFA-style),
 /// entirely local to the single region. Ready-task order comes from the
 /// shared scheduler core: FIFO preserves the historical breadth-first
@@ -139,6 +229,7 @@ fn run_propagate(
     report: &mut RunReport,
     tracer: &Tracer,
     picker: &mut Picker,
+    visited: &mut VisitedMap,
 ) -> Result<SimTime, CoreError> {
     let sources = region.active_nodes(spec.source);
     report.alpha_per_propagate.push(sources.len() as u64);
@@ -173,7 +264,7 @@ fn run_propagate(
         )?;
         return Ok(sink.ns);
     }
-    let mut visited = VisitedMap::with_strategy(config.visited, network.node_count());
+    visited.reset();
     let mut queue: ReadyQueue<PropTask> = ReadyQueue::new();
     for node in sources {
         let value = region.source_value(spec.source, node);
@@ -204,7 +295,7 @@ fn run_propagate(
         for &arrival in &arrivals {
             let expand = apply_arrival(
                 region,
-                &mut visited,
+                visited,
                 spec.target,
                 spec.prop,
                 arrival.state,

@@ -31,7 +31,7 @@
 //!   neighbor, and the propagation phase is replayed under a new epoch —
 //!   graceful degradation in place of a crashed run.
 
-use crate::config::{KernelStrategy, MachineConfig, VisitedStrategy};
+use crate::config::{KernelStrategy, MachineConfig};
 use crate::controller::{plan, PropSpec, Step};
 use crate::engine::common::phase_of;
 use crate::engine::sched::{
@@ -171,13 +171,53 @@ pub(crate) fn run(
     // Settle any staged relation-table inserts before regions are built,
     // so every worker's expansions take the indexed CSR fast path.
     network.flush_links();
+    // Move the network into a shared snapshot. Workers read it through
+    // Arc clones shipped with each command — the propagation hot path
+    // touches no lock at all — and drop the clone before replying, so
+    // between instructions the controller holds the only reference and
+    // maintenance mutates in place through `Arc::make_mut` (no copy on
+    // the common path).
+    let empty = SemanticNetwork::new(*network.config());
+    let shared = Arc::new(std::mem::replace(network, empty));
+    let (shared, result) = run_arc(config, shared, program);
+    // Hand the (possibly maintenance-mutated) network back to the caller
+    // even on error. `run_arc` has dropped every worker-side snapshot
+    // clone by now, so the unwrap only falls back to a copy after an
+    // unrecovered crash.
+    *network = Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone());
+    result
+}
+
+/// Shared-snapshot variant of [`run`]: executes against an `Arc`'d
+/// network without taking ownership. The facade has already rejected
+/// maintenance instructions (which would fork the snapshot through
+/// `Arc::make_mut`) and staged links, so the caller's snapshot is
+/// observationally untouched.
+pub(crate) fn run_shared(
+    config: &MachineConfig,
+    network: &Arc<SemanticNetwork>,
+    program: &Program,
+) -> Result<RunReport, CoreError> {
+    config.validate();
+    let (_shared, result) = run_arc(config, Arc::clone(network), program);
+    result
+}
+
+/// The engine core over an owned `Arc` snapshot: spawns one worker per
+/// cluster, walks the plan, and returns the (possibly replaced, if
+/// maintenance forked it) snapshot alongside the report.
+fn run_arc(
+    config: &MachineConfig,
+    mut shared: Arc<SemanticNetwork>,
+    program: &Program,
+) -> (Arc<SemanticNetwork>, Result<RunReport, CoreError>) {
     let started = Instant::now();
     let injector = config
         .fault_plan
         .clone()
         .map(|plan| Arc::new(FaultInjector::new(plan)));
-    let map = RegionMap::build(network, config.clusters, config.partition);
-    let partition_stats = map.partition().stats(network);
+    let map = RegionMap::build(&shared, config.clusters, config.partition);
+    let partition_stats = map.partition().stats(&shared);
     let topology = HypercubeTopology::covering(config.clusters);
     let tracer = Tracer::from_config(config.trace.as_ref(), config.clusters);
     let (fabric, mut fabric_rxs) =
@@ -209,14 +249,6 @@ pub(crate) fn run(
         Arc::new((0..config.clusters).map(AtomicUsize::new).collect());
     let checkpoints: Arc<Mutex<Vec<Option<Region>>>> =
         Arc::new(Mutex::new(vec![None; config.clusters]));
-    // Move the network into a shared snapshot. Workers read it through
-    // Arc clones shipped with each command — the propagation hot path
-    // touches no lock at all — and drop the clone before replying, so
-    // between instructions the controller holds the only reference and
-    // maintenance mutates in place through `Arc::make_mut` (no copy on
-    // the common path).
-    let empty = SemanticNetwork::new(*network.config());
-    let mut shared = Arc::new(std::mem::replace(network, empty));
     let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
     let tasks_sent = Arc::new(AtomicU64::new(0));
 
@@ -259,8 +291,6 @@ pub(crate) fn run(
             let worker = Worker {
                 cluster: c,
                 max_hops: config.max_hops,
-                visited_strategy: config.visited,
-                kernel: crate::engine::sched::resolve_kernel(config, config.trace.is_some()),
                 region,
                 adopted: Vec::new(),
                 map: Arc::clone(&map),
@@ -281,6 +311,11 @@ pub(crate) fn run(
                 steps: 0,
                 arrivals: Vec::new(),
                 queue: ReadyQueue::new(),
+                visited: match crate::engine::sched::resolve_kernel(config, config.trace.is_some())
+                {
+                    KernelStrategy::Bitset => VisitedMap::bitset(shared.node_count()),
+                    _ => VisitedMap::with_strategy(config.visited, shared.node_count()),
+                },
                 picker: Picker::new(config.schedule, c as u64 + 1),
                 batch_bufs: vec![Vec::new(); config.clusters],
                 batch_order: Vec::new(),
@@ -339,13 +374,13 @@ pub(crate) fn run(
         }
         result
     });
-    // Hand the (possibly maintenance-mutated) network back to the caller
-    // even on error. Dropping the command channels first releases any
-    // snapshot clones stranded in a dead worker's queue, so the unwrap
-    // only falls back to a copy after an unrecovered crash.
+    // Dropping the command channels releases any snapshot clones
+    // stranded in a dead worker's queue before the caller inspects the
+    // Arc's reference count.
     controller.cmd_txs.clear();
-    *network = Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone());
-    scope_result?;
+    if let Err(e) = scope_result {
+        return (shared, Err(e));
+    }
 
     let mut report = controller.report;
     // Replay fingerprint: the control stream's decisions only. Worker
@@ -361,7 +396,7 @@ pub(crate) fn run(
     }
     report.trace = tracer.report();
     report.wall_ns = started.elapsed().as_nanos();
-    Ok(report)
+    (shared, Ok(report))
 }
 
 fn check_error(slot: &Mutex<Option<CoreError>>) -> Result<(), CoreError> {
@@ -788,11 +823,6 @@ impl Controller {
 struct Worker<'env> {
     cluster: usize,
     max_hops: u8,
-    visited_strategy: VisitedStrategy,
-    /// Resolved kernel strategy: `Bitset` swaps the visited backing for
-    /// the bitmap-fronted tables (the thread-granular schedule cannot
-    /// run whole waves, but the one-bit first-visit probe still pays).
-    kernel: KernelStrategy,
     region: Region,
     /// Regions adopted from dead clusters (graceful degradation).
     adopted: Vec<Region>,
@@ -818,6 +848,8 @@ struct Worker<'env> {
     arrivals: Vec<PropArrival>,
     /// Reused propagation work queue (cleared, not dropped, per phase).
     queue: ReadyQueue<PropTask>,
+    /// Reused visited map (reset, not reallocated, per phase).
+    visited: VisitedMap,
     /// This worker's schedule decision stream (stream id `cluster + 1`;
     /// stream 0 is the controller's).
     picker: Picker,
@@ -1005,16 +1037,15 @@ impl Worker<'_> {
             self.pending.clear();
             self.dedup.clear();
         }
-        let mut visited = match self.kernel {
-            KernelStrategy::Bitset => VisitedMap::bitset(net.node_count()),
-            _ => VisitedMap::with_strategy(self.visited_strategy, net.node_count()),
-        };
-        // The work queue persists across phases; only its contents are
-        // per-phase.
+        // The visited map and work queue persist across phases; only
+        // their contents are per-phase (reset keeps capacity).
+        let mut visited = std::mem::take(&mut self.visited);
+        visited.reset();
         let mut queue = std::mem::take(&mut self.queue);
         let exit = self.phase_loop(specs, net, &mut visited, &mut queue);
         queue.clear();
         self.queue = queue;
+        self.visited = visited;
         exit
     }
 

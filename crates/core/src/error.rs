@@ -29,6 +29,20 @@ pub enum CoreError {
         /// The watchdog's classification of the stall.
         reason: String,
     },
+    /// A shared-snapshot run ([`crate::Snap1::run_shared`]) was given a
+    /// program containing a node-maintenance instruction, which would
+    /// have to mutate the shared network.
+    MaintenanceOnShared {
+        /// Mnemonic of the offending instruction.
+        mnemonic: &'static str,
+    },
+    /// A shared-snapshot run was given a network with staged (unflushed)
+    /// links; callers must [`snap_kb::SemanticNetwork::flush_links`]
+    /// before freezing the snapshot behind an `Arc`.
+    SharedStagedLinks {
+        /// Number of staged links found.
+        staged: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +57,20 @@ impl fmt::Display for CoreError {
             }
             CoreError::BarrierStalled { reason } => {
                 write!(f, "barrier synchronization stalled: {reason}")
+            }
+            CoreError::MaintenanceOnShared { mnemonic } => {
+                write!(
+                    f,
+                    "maintenance instruction {mnemonic} cannot run against a shared \
+                     network snapshot; use Snap1::run with exclusive access"
+                )
+            }
+            CoreError::SharedStagedLinks { staged } => {
+                write!(
+                    f,
+                    "shared network snapshot has {staged} staged link(s); call \
+                     flush_links() before sharing it"
+                )
             }
         }
     }
@@ -87,5 +115,10 @@ mod tests {
             reason: "2 in-flight messages lost".into(),
         };
         assert!(e.to_string().contains("stalled"));
+        let e = CoreError::MaintenanceOnShared { mnemonic: "CREATE" };
+        assert!(e.to_string().contains("CREATE"));
+        assert!(e.to_string().contains("shared"));
+        let e = CoreError::SharedStagedLinks { staged: 3 };
+        assert!(e.to_string().contains("3 staged"));
     }
 }

@@ -546,6 +546,327 @@ fn pull_wave<S: WaveSink>(
     Ok(())
 }
 
+/// One query's lane through a fused multi-query sweep: its visited
+/// tables, current/next frontier, and the per-task site index the sweep
+/// scatters back each level. Pool lanes across batches — `prepare`
+/// (called by [`propagate_multi_wave`]) resets state in place, so
+/// steady-state serving allocates nothing per query.
+#[derive(Default)]
+pub struct BatchLane {
+    visited: WaveVisited,
+    wave: Vec<PropTask>,
+    next: Vec<PropTask>,
+    /// `rec_of[pos]` = index into the scratch site records for the
+    /// task at `wave[pos]`, valid for the current level only.
+    rec_of: Vec<u32>,
+}
+
+impl BatchLane {
+    /// Creates an empty lane; the first sweep sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, nodes: usize, states: usize) {
+        self.visited.prepare(nodes, states);
+        self.wave.clear();
+        self.next.clear();
+        self.rec_of.clear();
+    }
+}
+
+/// Caller-pooled scratch shared by every lane of a fused sweep: one
+/// site record per distinct `(node, state)`, the flat arrival templates
+/// the records slice into, and a generation-stamped site index that
+/// dedups sites in O(1) per task (no sorting — the per-level cost is
+/// linear in the summed frontier size). Reuse one scratch across
+/// batches; `propagate_multi_wave` clears it in place.
+#[derive(Default)]
+pub struct MultiWaveScratch {
+    recs: Vec<SiteRec>,
+    template: Vec<TemplateArrival>,
+    /// `site_gen[state][node] == gen` marks the site as already probed
+    /// this level; `site_rec[state][node]` then holds its record index.
+    /// Stamping makes per-level reset free.
+    site_gen: Vec<Vec<u64>>,
+    site_rec: Vec<Vec<u32>>,
+    gen: u64,
+}
+
+impl MultiWaveScratch {
+    /// Creates an empty scratch; the first sweep sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Cost units and template slice of one distinct `(node, state)` site,
+/// probed once per level no matter how many lanes expand it.
+#[derive(Clone, Copy)]
+struct SiteRec {
+    segments: u32,
+    fanout: u32,
+    start: u32,
+    len: u32,
+}
+
+/// One arrival of a site's expansion template: everything about the
+/// arrival except the task-dependent value, which each lane computes by
+/// applying the step function to its own task value — the exact
+/// operation [`expand_into`] performs, so values are bit-identical.
+#[derive(Clone, Copy)]
+struct TemplateArrival {
+    node: NodeId,
+    state: u8,
+    weight: f32,
+}
+
+/// Runs one `PROPAGATE` for `K = lanes.len()` independent queries as
+/// fused level-synchronous waves: `seeds[k]` feeds lane `k`, whose
+/// events go to `sinks[k]`.
+///
+/// All lanes advance in lockstep, one level per round. Each round the
+/// frontier tasks of every lane are counting-grouped by `(node, state)`
+/// site; each distinct site's CSR row probe, rank merge, and arrival
+/// template are computed **once** and replayed into every lane holding
+/// a task there — the amortization that makes batched query serving
+/// pay. Per lane, tasks replay in wave order and arrivals in template
+/// order, which is exactly the scalar spec's event order: every lane's
+/// event stream, visited decisions, and collect results are
+/// bit-identical to running [`propagate_wave`] — and therefore the
+/// scalar loop — on that lane's seeds alone.
+///
+/// A level at `max_hops` still reports every lane's expansions (their
+/// cost is charged) but delivers no arrivals, like the scalar loop.
+/// There is no pull direction: fused probes already amortize row
+/// access across lanes, which is the win pull buys a single dense
+/// frontier.
+///
+/// Returns per-lane [`WaveStats`]; `stats[k].waves` counts the levels
+/// lane `k` was live.
+///
+/// # Errors
+///
+/// Propagates the first error any `sinks[k].on_arrival` returns; the
+/// batch is abandoned (lanes are reset by the next call).
+///
+/// # Panics
+///
+/// Panics unless [`wave_supported`] holds, or if `seeds`, `lanes`, and
+/// `sinks` disagree on the query count.
+#[allow(clippy::too_many_arguments)]
+pub fn propagate_multi_wave<S: WaveSink>(
+    network: &SemanticNetwork,
+    rule: &RuleProgram,
+    func: StepFunc,
+    prop: usize,
+    max_hops: u8,
+    seeds: &[&[(NodeId, f32)]],
+    lanes: &mut [BatchLane],
+    scratch: &mut MultiWaveScratch,
+    sinks: &mut [S],
+) -> Result<Vec<WaveStats>, CoreError> {
+    assert!(
+        wave_supported(network, rule),
+        "wave kernel requires a flushed relation table and mergeable rule states"
+    );
+    assert!(
+        seeds.len() == lanes.len() && lanes.len() == sinks.len(),
+        "seeds, lanes, and sinks must agree on the query count"
+    );
+    let node_count = network.node_count();
+    let states = rule.states().len();
+    let mut stats = vec![WaveStats::default(); lanes.len()];
+
+    for (lane, &lane_seeds) in lanes.iter_mut().zip(seeds) {
+        lane.prepare(node_count, states);
+        for &(node, value) in lane_seeds {
+            if lane.visited.should_expand(0, node, value, node) {
+                lane.wave.push(PropTask {
+                    prop,
+                    node,
+                    state: 0,
+                    value,
+                    origin: node,
+                    level: 0,
+                });
+            }
+        }
+    }
+
+    while scratch.site_gen.len() < states {
+        scratch.site_gen.push(Vec::new());
+        scratch.site_rec.push(Vec::new());
+    }
+
+    let mut level: usize = 0;
+    loop {
+        let mut live = false;
+        for (li, lane) in lanes.iter_mut().enumerate() {
+            if lane.wave.is_empty() {
+                continue;
+            }
+            live = true;
+            stats[li].waves += 1;
+            lane.rec_of.clear();
+            lane.rec_of.resize(lane.wave.len(), 0);
+        }
+        if !live {
+            break;
+        }
+
+        // Build each distinct site's record — cost units plus arrival
+        // template — once, stamping its index into the site table so
+        // every later task at the site (any lane) reuses it in O(1).
+        scratch.gen += 1;
+        scratch.recs.clear();
+        scratch.template.clear();
+        for lane in lanes.iter_mut() {
+            for (pi, task) in lane.wave.iter().enumerate() {
+                let st = task.state as usize;
+                let n = task.node.index();
+                if n >= scratch.site_gen[st].len() {
+                    scratch.site_gen[st].resize(n + 1, 0);
+                    scratch.site_rec[st].resize(n + 1, 0);
+                }
+                let rec_id = if scratch.site_gen[st][n] == scratch.gen {
+                    scratch.site_rec[st][n]
+                } else {
+                    let rec = expand_template(
+                        network,
+                        rule,
+                        task.node,
+                        task.state,
+                        &mut scratch.template,
+                    );
+                    let id = scratch.recs.len() as u32;
+                    scratch.recs.push(rec);
+                    scratch.site_gen[st][n] = scratch.gen;
+                    scratch.site_rec[st][n] = id;
+                    id
+                };
+                lane.rec_of[pi] = rec_id;
+            }
+        }
+
+        // Replay each lane against the shared templates: wave order,
+        // then template order — the scalar spec's event sequence.
+        let capped = level >= max_hops as usize;
+        for (lane, sink) in lanes.iter_mut().zip(sinks.iter_mut()) {
+            for (pi, task) in lane.wave.iter().enumerate() {
+                let rec = scratch.recs[lane.rec_of[pi] as usize];
+                sink.on_expand(
+                    task,
+                    rec.segments as usize,
+                    rec.fanout as usize,
+                    rec.len as usize,
+                );
+                if capped {
+                    continue;
+                }
+                let window = rec.start as usize..(rec.start + rec.len) as usize;
+                for t in &scratch.template[window] {
+                    let value = func.apply(task.value, t.weight);
+                    let arrival = PropArrival {
+                        node: t.node,
+                        state: t.state,
+                        value,
+                    };
+                    sink.on_arrival(task, &arrival)?;
+                    if lane
+                        .visited
+                        .should_expand(t.state, t.node, value, task.origin)
+                    {
+                        lane.next.push(PropTask {
+                            prop,
+                            node: t.node,
+                            state: t.state,
+                            value,
+                            origin: task.origin,
+                            level: task.level + 1,
+                        });
+                    }
+                }
+            }
+            std::mem::swap(&mut lane.wave, &mut lane.next);
+            lane.next.clear();
+        }
+        level += 1;
+    }
+    for (li, lane) in lanes.iter().enumerate() {
+        stats[li].visited = lane.visited.visited;
+    }
+    Ok(stats)
+}
+
+/// Expands one `(node, state)` site into weight-level template
+/// arrivals, mirroring [`expand_into`]'s order and cost units exactly:
+/// terminal states scan nothing; a single arc streams its run; multi-
+/// arc states merge their runs in ascending `(insertion rank, arc
+/// index)` order.
+fn expand_template(
+    network: &SemanticNetwork,
+    rule: &RuleProgram,
+    node: NodeId,
+    state: u8,
+    template: &mut Vec<TemplateArrival>,
+) -> SiteRec {
+    let start = template.len() as u32;
+    let s = rule.state(state);
+    if s.is_terminal() {
+        return SiteRec {
+            segments: 0,
+            fanout: 0,
+            start,
+            len: 0,
+        };
+    }
+    let segments = network.segments(node) as u32;
+    let fanout = network.fanout(node) as u32;
+    let arcs = s.arcs();
+    if let [arc] = arcs {
+        let (run, _) = network.ranked_links_by(node, arc.relation);
+        template.reserve(run.len());
+        for link in run {
+            template.push(TemplateArrival {
+                node: link.destination,
+                state: arc.next,
+                weight: link.weight,
+            });
+        }
+    } else {
+        let mut runs = [(&[] as &[snap_kb::Link], &[] as &[u32]); MAX_MERGE_ARCS];
+        let mut cursors = [0usize; MAX_MERGE_ARCS];
+        for (slot, arc) in runs.iter_mut().zip(arcs) {
+            *slot = network.ranked_links_by(node, arc.relation);
+        }
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for (a, (_, ranks)) in runs[..arcs.len()].iter().enumerate() {
+                if let Some(&rank) = ranks.get(cursors[a]) {
+                    if best.is_none_or(|b| (rank, a) < b) {
+                        best = Some((rank, a));
+                    }
+                }
+            }
+            let Some((_, a)) = best else { break };
+            let link = &runs[a].0[cursors[a]];
+            cursors[a] += 1;
+            template.push(TemplateArrival {
+                node: link.destination,
+                state: arcs[a].next,
+                weight: link.weight,
+            });
+        }
+    }
+    SiteRec {
+        segments,
+        fanout,
+        start,
+        len: template.len() as u32 - start,
+    }
+}
+
 /// Kernel-owned visited tables: per rule state (the propagation index
 /// is fixed for a run), one seen-bitmap and one flat `(value, origin)`
 /// array. Decisions replicate the dense `VisitedMap` backing — first
@@ -553,6 +874,7 @@ fn pull_wave<S: WaveSink>(
 /// [`VALUE_EPSILON`](crate::VALUE_EPSILON) or an equal value from a
 /// smaller origin — but the first-visit probe is one bit test instead
 /// of a sentinel compare.
+#[derive(Default)]
 struct WaveVisited {
     /// One table per rule state, allocated up front — arrival states
     /// always index a compiled state, so the probe is a plain bounds-
@@ -568,15 +890,25 @@ struct StateTable {
 
 impl WaveVisited {
     fn new(nodes: usize, states: usize) -> Self {
-        WaveVisited {
-            tables: (0..states)
-                .map(|_| StateTable {
-                    seen: Bitmap::new(nodes),
-                    best: vec![(0.0, NodeId(0)); nodes],
-                })
-                .collect(),
-            visited: 0,
+        let mut v = WaveVisited::default();
+        v.prepare(nodes, states);
+        v
+    }
+
+    /// Resets in place for the next run, keeping table capacity. Stale
+    /// bests are unobservable behind a cleared seen bit — the first
+    /// visit overwrites them — so only the bitmaps are cleared.
+    fn prepare(&mut self, nodes: usize, states: usize) {
+        for table in &mut self.tables {
+            table.seen.reset();
         }
+        while self.tables.len() < states {
+            self.tables.push(StateTable {
+                seen: Bitmap::new(nodes),
+                best: vec![(0.0, NodeId(0)); nodes],
+            });
+        }
+        self.visited = 0;
     }
 
     fn should_expand(&mut self, state: u8, node: NodeId, value: f32, origin: NodeId) -> bool {
@@ -824,6 +1156,87 @@ mod tests {
         assert!(!wave_supported(&net, &rule), "staged links need the scan");
         net.flush_links();
         assert!(wave_supported(&net, &rule));
+    }
+
+    #[test]
+    fn multi_wave_lanes_match_scalar_spec_event_for_event() {
+        let (net, rule, seeds) = workload();
+        let queries: Vec<Vec<(NodeId, f32)>> = vec![
+            seeds,
+            vec![(NodeId(5), 0.3), (NodeId(250), 1.0), (NodeId(42), 0.0)],
+            vec![(NodeId(299), 0.0)],
+        ];
+        let slices: Vec<&[(NodeId, f32)]> = queries.iter().map(|q| q.as_slice()).collect();
+        let mut lanes: Vec<BatchLane> = (0..queries.len()).map(|_| BatchLane::new()).collect();
+        let mut scratch = MultiWaveScratch::new();
+        // Two batches over the same pooled lanes and scratch: the second
+        // must replay identically, proving `prepare` fully resets.
+        for round in 0..2 {
+            let mut sinks = vec![
+                Recorder::default(),
+                Recorder::default(),
+                Recorder::default(),
+            ];
+            let stats = propagate_multi_wave(
+                &net,
+                &rule,
+                StepFunc::AddWeight,
+                0,
+                63,
+                &slices,
+                &mut lanes,
+                &mut scratch,
+                &mut sinks,
+            )
+            .unwrap();
+            for (k, q) in queries.iter().enumerate() {
+                let spec = scalar_reference(&net, &rule, StepFunc::AddWeight, 63, q);
+                assert!(!spec.arrivals.is_empty(), "lane {k} actually propagates");
+                assert_eq!(sinks[k], spec, "lane {k} round {round}");
+                let (_, solo) = run_kernel(&net, &rule, StepFunc::AddWeight, 63, 1e9, q);
+                assert_eq!(stats[k].visited, solo.visited, "lane {k}");
+                assert_eq!(stats[k].waves, solo.waves, "lane {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_wave_handles_multi_arc_rules_hop_caps_and_idle_lanes() {
+        let mut net = snap_kb::synth::bridge_network(4, 32);
+        net.flush_links();
+        let rule = PropRule::Spread(RelationType(0), RelationType(2)).compile();
+        let queries: Vec<Vec<(NodeId, f32)>> = vec![
+            vec![(NodeId(0), 0.0)],
+            vec![(NodeId(1), 0.5), (NodeId(0), 0.25)],
+            vec![], // an idle lane rides along untouched
+        ];
+        let slices: Vec<&[(NodeId, f32)]> = queries.iter().map(|q| q.as_slice()).collect();
+        let mut lanes: Vec<BatchLane> = (0..queries.len()).map(|_| BatchLane::new()).collect();
+        let mut scratch = MultiWaveScratch::new();
+        for max_hops in [2u8, 63] {
+            let mut sinks = vec![
+                Recorder::default(),
+                Recorder::default(),
+                Recorder::default(),
+            ];
+            let stats = propagate_multi_wave(
+                &net,
+                &rule,
+                StepFunc::AddWeight,
+                0,
+                max_hops,
+                &slices,
+                &mut lanes,
+                &mut scratch,
+                &mut sinks,
+            )
+            .unwrap();
+            for (k, q) in queries.iter().enumerate() {
+                let spec = scalar_reference(&net, &rule, StepFunc::AddWeight, max_hops, q);
+                assert_eq!(sinks[k], spec, "lane {k} hops {max_hops}");
+            }
+            assert_eq!(stats[2], WaveStats::default(), "idle lane did nothing");
+        }
     }
 
     #[test]

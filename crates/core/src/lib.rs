@@ -29,7 +29,7 @@
 #![warn(missing_docs)]
 
 mod config;
-mod controller;
+pub mod controller;
 mod cost;
 mod engine;
 mod error;
@@ -42,7 +42,7 @@ mod report;
 /// Engine-shared instruction semantics, public so comparator engines
 /// (the CM-2 baseline) execute the exact same logic.
 pub mod exec {
-    pub use crate::engine::common::{exec_single, ClusterWork, SingleOutcome};
+    pub use crate::engine::common::{exec_single, exec_single_shared, ClusterWork, SingleOutcome};
 }
 
 pub use config::{EngineKind, KernelStrategy, MachineConfig, VisitedStrategy};

@@ -93,6 +93,78 @@ impl Snap1 {
             EngineKind::Threaded => crate::engine::threaded::run(&self.config, network, program),
         }
     }
+
+    /// Executes a maintenance-free `program` against a shared network
+    /// snapshot, without cloning it. This is the serving entry point:
+    /// any number of callers may run programs against one `Arc`'d
+    /// network concurrently, each getting an isolated report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MaintenanceOnShared`] if the program contains
+    /// a node-maintenance instruction (those must go through
+    /// [`Snap1::run`] with exclusive access),
+    /// [`CoreError::SharedStagedLinks`] if the snapshot was frozen with
+    /// staged (unflushed) links, and otherwise the same errors as
+    /// [`Snap1::run`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snap_core::Snap1;
+    /// use snap_isa::{Program, PropRule, StepFunc};
+    /// use snap_kb::{Color, Marker, NetworkConfig, RelationType, SemanticNetwork};
+    /// use std::sync::Arc;
+    ///
+    /// let mut net = SemanticNetwork::new(NetworkConfig::default());
+    /// let a = net.add_named_node("a", Color(1))?;
+    /// let b = net.add_named_node("b", Color(2))?;
+    /// net.add_link(a, RelationType(0), 1.0, b)?;
+    /// net.flush_links();
+    /// let net = Arc::new(net);
+    ///
+    /// let program = Program::builder()
+    ///     .search_color(Color(1), Marker::binary(0), 0.0)
+    ///     .propagate(Marker::binary(0), Marker::binary(1),
+    ///                PropRule::Star(RelationType(0)), StepFunc::Identity)
+    ///     .collect_marker(Marker::binary(1))
+    ///     .build();
+    ///
+    /// let machine = Snap1::builder().clusters(4).build();
+    /// let report = machine.run_shared(&net, &program)?;
+    /// assert_eq!(report.collects[0].node_ids(), vec![b]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn run_shared(
+        &self,
+        network: &std::sync::Arc<SemanticNetwork>,
+        program: &Program,
+    ) -> Result<RunReport, CoreError> {
+        if let Some(instr) = program
+            .instructions()
+            .iter()
+            .find(|i| i.class() == snap_isa::InstrClass::Maintenance)
+        {
+            return Err(CoreError::MaintenanceOnShared {
+                mnemonic: instr.mnemonic(),
+            });
+        }
+        let staged = network.staged_link_count();
+        if staged > 0 {
+            return Err(CoreError::SharedStagedLinks { staged });
+        }
+        match self.engine {
+            EngineKind::Sequential => {
+                crate::engine::sequential::run_shared(&self.config, &self.cost, network, program)
+            }
+            EngineKind::Des => {
+                crate::engine::des::run_shared(&self.config, &self.cost, network, program)
+            }
+            EngineKind::Threaded => {
+                crate::engine::threaded::run_shared(&self.config, network, program)
+            }
+        }
+    }
 }
 
 impl Default for Snap1 {
@@ -264,6 +336,59 @@ mod tests {
         }
         assert_eq!(ids[0], ids[1]);
         assert_eq!(ids[1], ids[2]);
+    }
+
+    #[test]
+    fn run_shared_agrees_with_run_on_every_engine() {
+        for engine in [
+            EngineKind::Sequential,
+            EngineKind::Des,
+            EngineKind::Threaded,
+        ] {
+            let (mut net, program) = tiny();
+            let machine = Snap1::builder().clusters(2).engine(engine).build();
+            let exclusive = machine.run(&mut net, &program).unwrap();
+            net.flush_links();
+            let shared = std::sync::Arc::new(net);
+            let report = machine.run_shared(&shared, &program).unwrap();
+            assert_eq!(
+                report.collects[0].node_ids(),
+                exclusive.collects[0].node_ids(),
+                "{engine:?}"
+            );
+            // The caller's snapshot is untouched and still shared.
+            assert_eq!(std::sync::Arc::strong_count(&shared), 1);
+        }
+    }
+
+    #[test]
+    fn run_shared_rejects_maintenance_and_staged_links() {
+        use snap_isa::Instruction;
+        let (net, _) = tiny();
+        let machine = Snap1::builder().clusters(2).build();
+        // tiny() leaves its add_link staged: freezing it like this is the
+        // caller bug SharedStagedLinks reports.
+        let staged = std::sync::Arc::new(net);
+        let program = Program::builder()
+            .search_color(Color(1), Marker::binary(0), 0.0)
+            .build();
+        assert!(matches!(
+            machine.run_shared(&staged, &program),
+            Err(CoreError::SharedStagedLinks { staged: 1 })
+        ));
+        let mut net = std::sync::Arc::try_unwrap(staged).unwrap();
+        net.flush_links();
+        let shared = std::sync::Arc::new(net);
+        let maint = Program::builder()
+            .instruction(Instruction::SetColor {
+                node: snap_kb::NodeId(0),
+                color: Color(7),
+            })
+            .build();
+        let err = machine.run_shared(&shared, &maint).unwrap_err();
+        assert!(matches!(err, CoreError::MaintenanceOnShared { .. }));
+        // The rejected program never touched the snapshot.
+        assert_eq!(shared.color(snap_kb::NodeId(0)).unwrap(), Color(1));
     }
 
     #[test]

@@ -389,6 +389,30 @@ impl VisitedMap {
         }
     }
 
+    /// Resets the map in place for reuse by the next propagation phase,
+    /// keeping backing allocations at capacity. Decisions after a reset
+    /// are identical to a freshly constructed map: the hashed backing
+    /// clears its entries; the dense backing truncates each table (the
+    /// first probe re-fills it with the untouched sentinel); the bitset
+    /// backing clears the seen bitmaps and truncates the bests.
+    pub fn reset(&mut self) {
+        match &mut self.backing {
+            Backing::Hashed(best) => best.clear(),
+            Backing::Dense { tables, .. } => {
+                for table in tables.iter_mut().flatten() {
+                    table.clear();
+                }
+            }
+            Backing::Bitset { tables, .. } => {
+                for (seen, best) in tables.iter_mut().flatten() {
+                    seen.reset();
+                    best.clear();
+                }
+            }
+        }
+        self.visited = 0;
+    }
+
     /// Number of distinct `(prop, state, node)` sites expanded.
     pub fn len(&self) -> usize {
         self.visited
@@ -519,6 +543,36 @@ mod tests {
             assert!(!v.should_expand(0, 0, NodeId(900), 1.0, NodeId(0)));
             assert_eq!(v.len(), 1);
         }
+    }
+
+    #[test]
+    fn reset_restores_fresh_decisions_on_every_backing() {
+        for mut v in [
+            VisitedMap::new(),
+            VisitedMap::dense(8),
+            VisitedMap::bitset(8),
+        ] {
+            // Drive one full decision sequence, reset, and verify the
+            // exact same sequence replays as if the map were fresh —
+            // including growth past the declared node count.
+            for _ in 0..2 {
+                exercise_visited_in_place(&mut v);
+                assert!(v.should_expand(2, 0, NodeId(500), 1.0, NodeId(0)));
+                v.reset();
+                assert!(v.is_empty());
+            }
+        }
+    }
+
+    fn exercise_visited_in_place(v: &mut VisitedMap) {
+        let o = NodeId(7);
+        assert!(v.should_expand(0, 0, NodeId(3), 5.0, o));
+        assert!(!v.should_expand(0, 0, NodeId(3), 5.0, o));
+        assert!(v.should_expand(0, 0, NodeId(3), 3.0, o));
+        assert!(v.should_expand(0, 0, NodeId(3), 3.0, NodeId(2)));
+        assert!(!v.should_expand(0, 0, NodeId(3), 3.0, NodeId(5)));
+        assert!(v.should_expand(0, 1, NodeId(3), 9.0, o));
+        assert_eq!(v.len(), 2);
     }
 
     #[test]

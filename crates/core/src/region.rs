@@ -103,6 +103,12 @@ impl Region {
         }
     }
 
+    /// Resets the region's marker state in place, keeping allocations,
+    /// so a pooled region serves its next query without reallocating.
+    pub fn reset(&mut self) {
+        self.markers.reset();
+    }
+
     /// The cluster this region belongs to.
     pub fn cluster(&self) -> ClusterId {
         self.cluster

@@ -105,6 +105,15 @@ impl Bitmap {
         }
     }
 
+    /// In-place reset for per-query reuse: clears every bit, keeping the
+    /// word allocation at its current capacity. Alias of
+    /// [`Bitmap::clear_all`], named for the pooled-context protocol where
+    /// every reusable structure exposes `reset()`.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.clear_all();
+    }
+
     /// The packed word array (read side of word-at-a-time kernels).
     #[inline]
     pub fn words(&self) -> &[u64] {
@@ -208,6 +217,17 @@ mod tests {
         a.clear_all();
         assert!(a.is_empty());
         assert!(a.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn reset_clears_without_shrinking() {
+        let mut map = Bitmap::new(10);
+        map.set(NodeId(500));
+        let words_before = map.words().len();
+        map.reset();
+        assert!(map.is_empty());
+        assert_eq!(map.words().len(), words_before, "capacity kept");
+        assert!(map.set(NodeId(500)), "reusable after reset");
     }
 
     proptest! {

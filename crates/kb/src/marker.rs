@@ -289,6 +289,23 @@ impl MarkerState {
         }
     }
 
+    /// Clears every allocated marker row in place, keeping the row and
+    /// value allocations for reuse. After a reset the state is logically
+    /// identical to a freshly constructed one (stale value payloads are
+    /// unobservable because [`MarkerState::value`] requires the status
+    /// bit), but steady-state reuse — e.g. a pooled per-query context —
+    /// allocates nothing.
+    pub fn reset(&mut self) {
+        for row in self
+            .complex_status
+            .iter_mut()
+            .chain(&mut self.binary_status)
+            .flatten()
+        {
+            row.clear_all();
+        }
+    }
+
     /// Iterates the nodes where `marker` is active, ascending.
     pub fn active_nodes(&self, marker: Marker) -> Vec<NodeId> {
         self.active_nodes_iter(marker).collect()
@@ -397,6 +414,39 @@ mod tests {
         let words = st.clear_marker(b).unwrap();
         assert_eq!(words, 2); // 64 nodes / 32-bit words
         assert_eq!(st.count(b), 0);
+    }
+
+    #[test]
+    fn reset_matches_fresh_state() {
+        let mut st = MarkerState::new(30, 2, 2);
+        let m = Marker::complex(0);
+        let b = Marker::binary(1);
+        st.set_value(
+            m,
+            NodeId(4),
+            MarkerValue {
+                value: 2.5,
+                origin: NodeId(1),
+            },
+        )
+        .unwrap();
+        st.set(b, NodeId(7)).unwrap();
+        st.reset();
+        assert_eq!(st.count(m), 0);
+        assert_eq!(st.count(b), 0);
+        // Stale payloads are unobservable: the status bit gates value().
+        assert!(st.value(m, NodeId(4)).is_none());
+        // The storage is fully reusable after reset.
+        st.set_value(
+            m,
+            NodeId(4),
+            MarkerValue {
+                value: 9.0,
+                origin: NodeId(3),
+            },
+        )
+        .unwrap();
+        assert_eq!(st.value(m, NodeId(4)).unwrap().value, 9.0);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! The fused batch executor: one controller plan walked for `K` queries
+//! at once.
+//!
+//! Non-propagate instructions execute per query through the shared
+//! read-only semantics ([`exec_single_shared`]); every `PROPAGATE` runs
+//! as one fused multi-query wave, so the batch pays each CSR row probe
+//! and rank merge once. Accounting replicates the sequential engine's
+//! shared-snapshot entry point instruction for instruction, which is
+//! what the differential tests pin down: each lane's `RunReport` —
+//! collects, expansions, local activations, simulated nanoseconds — is
+//! identical to running that query alone through
+//! [`Snap1::run_shared`](snap_core::Snap1::run_shared).
+
+use crate::context::QueryContext;
+use snap_core::controller::{plan, PropSpec, Step};
+use snap_core::exec::{exec_single_shared, SingleOutcome};
+use snap_core::kernel::{propagate_multi_wave, BatchLane, MultiWaveScratch, WaveSink};
+use snap_core::propagate::{PropArrival, PropTask};
+use snap_core::{CoreError, CostModel, Region, RunReport};
+use snap_isa::{InstrClass, Program};
+use snap_kb::{Marker, NodeId, PartitionStats, SemanticNetwork};
+use snap_mem::SimTime;
+
+/// Executes `programs` (all of one shape — same instruction classes,
+/// markers, and propagation rules) against the shared snapshot, one
+/// context per query, returning per-query reports in input order.
+pub(crate) fn run_batch(
+    cost: &CostModel,
+    max_hops: u8,
+    network: &SemanticNetwork,
+    partition: &PartitionStats,
+    programs: &[&Program],
+    ctxs: &mut [QueryContext],
+    scratch: &mut MultiWaveScratch,
+) -> Result<Vec<RunReport>, CoreError> {
+    debug_assert_eq!(programs.len(), ctxs.len());
+    let k = programs.len();
+    let mut reports: Vec<RunReport> = (0..k)
+        .map(|_| RunReport {
+            partition: Some(partition.clone()),
+            ..RunReport::default()
+        })
+        .collect();
+    let mut now: Vec<SimTime> = vec![0; k];
+
+    for step in plan(programs[0]) {
+        match step {
+            Step::Instr(idx) => {
+                for q in 0..k {
+                    let instr = &programs[q].instructions()[idx];
+                    let regions = std::slice::from_mut(&mut ctxs[q].region);
+                    let out = exec_single_shared(instr, network, regions)?;
+                    let ns = instr_cost(cost, instr.class(), &out, &mut reports[q]);
+                    now[q] += ns;
+                    reports[q].record(instr.class(), ns);
+                    if let Some(c) = out.collect {
+                        reports[q].collects.push(c);
+                    }
+                }
+            }
+            Step::Group(indices) => {
+                for (g, &idx) in indices.iter().enumerate() {
+                    let spec = PropSpec::compile(g, &programs[0].instructions()[idx]);
+                    let seeds: Vec<Vec<(NodeId, f32)>> = ctxs
+                        .iter()
+                        .map(|c| {
+                            c.region
+                                .active_nodes(spec.source)
+                                .into_iter()
+                                .map(|n| (n, c.region.source_value(spec.source, n)))
+                                .collect()
+                        })
+                        .collect();
+                    let slices: Vec<&[(NodeId, f32)]> = seeds.iter().map(Vec::as_slice).collect();
+                    // Split each context: lanes move into the kernel by
+                    // value, regions stay mutably borrowed by the sinks.
+                    let mut lanes: Vec<BatchLane> = ctxs
+                        .iter_mut()
+                        .map(|c| std::mem::take(&mut c.lane))
+                        .collect();
+                    let mut sinks: Vec<ServeSink> = ctxs
+                        .iter_mut()
+                        .zip(reports.iter_mut())
+                        .zip(&seeds)
+                        .map(|((c, report), s)| {
+                            report.alpha_per_propagate.push(s.len() as u64);
+                            ServeSink {
+                                cost,
+                                region: &mut c.region,
+                                target: spec.target,
+                                report,
+                                ns: cost.pu_decode_ns,
+                            }
+                        })
+                        .collect();
+                    let res = propagate_multi_wave(
+                        network, &spec.rule, spec.func, spec.prop, max_hops, &slices, &mut lanes,
+                        scratch, &mut sinks,
+                    );
+                    let ns: Vec<SimTime> = sinks.iter().map(|s| s.ns).collect();
+                    drop(sinks);
+                    for (c, lane) in ctxs.iter_mut().zip(lanes) {
+                        c.lane = lane;
+                    }
+                    res?;
+                    for q in 0..k {
+                        now[q] += ns[q];
+                        reports[q].record(InstrClass::Propagate, ns[q]);
+                    }
+                }
+                // Implicit barrier closing the group, per query.
+                for (q, report) in reports.iter_mut().enumerate() {
+                    now[q] += cost.sync_base_ns;
+                    report.overhead.sync_ns += cost.sync_base_ns;
+                    report.barriers += 1;
+                    report.traffic.messages_per_sync.push(0);
+                }
+            }
+        }
+    }
+    for (q, report) in reports.iter_mut().enumerate() {
+        report.total_ns = now[q];
+    }
+    Ok(reports)
+}
+
+/// Single-PE cost of one non-propagate instruction — the sequential
+/// engine's formula, reproduced so batched reports time out identically.
+fn instr_cost(
+    cost: &CostModel,
+    class: InstrClass,
+    out: &SingleOutcome,
+    report: &mut RunReport,
+) -> SimTime {
+    let w = out.work[0];
+    cost.pcp_ns
+        + match class {
+            InstrClass::Search => {
+                cost.pu_decode_ns
+                    + w.scans as SimTime * cost.link_scan_ns
+                    + w.value_ops as SimTime * cost.value_op_ns
+            }
+            InstrClass::Boolean | InstrClass::SetClear => {
+                cost.global_op_ns(w.words) + w.value_ops as SimTime * cost.value_op_ns
+            }
+            InstrClass::Collect => {
+                let ns = cost.collect_ns(1, w.items);
+                report.overhead.collect_ns += ns;
+                ns
+            }
+            InstrClass::Barrier => {
+                let ns = cost.sync_base_ns;
+                report.overhead.sync_ns += ns;
+                report.barriers += 1;
+                ns
+            }
+            InstrClass::Maintenance => {
+                unreachable!("admission sheds maintenance programs")
+            }
+            InstrClass::Propagate => unreachable!("plan puts propagates in groups"),
+        }
+}
+
+/// Per-lane engine accounting behind the fused kernel: the sequential
+/// engine's wave sink minus tracing — same report fields, same cost-
+/// model nanoseconds, same region merges, in the same event order.
+struct ServeSink<'a> {
+    cost: &'a CostModel,
+    region: &'a mut Region,
+    target: Marker,
+    report: &'a mut RunReport,
+    ns: SimTime,
+}
+
+impl WaveSink for ServeSink<'_> {
+    fn on_expand(
+        &mut self,
+        _task: &PropTask,
+        segments: usize,
+        links_scanned: usize,
+        arrivals: usize,
+    ) {
+        self.report.expansions += 1;
+        self.ns += self.cost.expand_ns(segments, links_scanned, arrivals);
+    }
+
+    fn on_arrival(&mut self, task: &PropTask, arrival: &PropArrival) -> Result<(), CoreError> {
+        self.region
+            .arrive(self.target, arrival.node, arrival.value, task.origin)?;
+        self.report.traffic.local_activations += 1;
+        self.report.max_propagation_depth = self.report.max_propagation_depth.max(task.level + 1);
+        Ok(())
+    }
+}

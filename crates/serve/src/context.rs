@@ -1,0 +1,34 @@
+//! Per-query execution contexts, pooled across queries.
+
+use snap_core::kernel::BatchLane;
+use snap_core::{Region, RegionMap};
+use snap_kb::{ClusterId, SemanticNetwork};
+use std::sync::Arc;
+
+/// One query's isolated execution state: its marker tables (a
+/// [`Region`] over the shared snapshot) and its lane through the fused
+/// propagation kernel (visited tables plus frontier buffers).
+///
+/// Contexts are pooled by the [`Server`](crate::Server): after a batch
+/// completes, each context is [reset in place](Region::reset) and
+/// returned to the pool, so steady-state serving reuses the per-query
+/// marker and visited allocations instead of rebuilding them.
+pub struct QueryContext {
+    pub(crate) region: Region,
+    pub(crate) lane: BatchLane,
+}
+
+impl QueryContext {
+    pub(crate) fn new(map: &Arc<RegionMap>, network: &SemanticNetwork) -> Self {
+        QueryContext {
+            region: Region::new(ClusterId(0), Arc::clone(map), network),
+            lane: BatchLane::new(),
+        }
+    }
+
+    /// Clears all query-local marker state, keeping allocations. The
+    /// lane resets itself at the start of every fused sweep.
+    pub(crate) fn reset(&mut self) {
+        self.region.reset();
+    }
+}

@@ -1,0 +1,37 @@
+//! # snap-serve — query serving over a shared KB snapshot
+//!
+//! The SNAP-1 prototype answers one marker-propagation program at a
+//! time; a deployed knowledge-base machine answers thousands of them
+//! concurrently against the same network. This crate is that serving
+//! layer, built on [`Snap1::run_shared`](snap_core::Snap1::run_shared)
+//! semantics:
+//!
+//! * [`QueryContext`] — one query's isolated execution state (marker
+//!   tables, visited maps, frontier buffers), pooled and reset in place
+//!   so steady-state serving recycles the heavy per-query allocations;
+//! * [`Server`] — bounded admission ([`ServeConfig::queue_capacity`])
+//!   with graceful shedding and exact accounting, plus a batching
+//!   scheduler that coalesces compatible queries (same program shape,
+//!   same KB snapshot) into one fused propagation wave via
+//!   [`propagate_multi_wave`](snap_core::kernel::propagate_multi_wave),
+//!   amortizing every CSR row probe and rank merge across the batch —
+//!   and collapsing bit-identical queries onto a single lane whose
+//!   report they share;
+//! * every batched query's results are bit-identical to running it
+//!   alone through the serial sequential-engine oracle — the batch
+//!   executor replays the exact scalar-spec event order per lane.
+//!
+//! One [`Server`] serves one immutable snapshot (one KB epoch): updates
+//! mean flushing links, wrapping the new network in an `Arc`, and
+//! standing up a new server. Maintenance programs are shed at admission
+//! for the same reason `run_shared` rejects them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod context;
+mod server;
+
+pub use context::QueryContext;
+pub use server::{Admission, Completion, QueryId, ServeConfig, ServeStats, Server, ShedReason};

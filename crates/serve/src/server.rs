@@ -1,0 +1,663 @@
+//! Admission, shape-compatible batching, and exact shed accounting.
+
+use crate::batch::run_batch;
+use crate::context::QueryContext;
+use snap_core::kernel::{wave_supported, MultiWaveScratch};
+use snap_core::{CoreError, CostModel, EngineKind, MachineConfig, RegionMap, RunReport, Snap1};
+use snap_isa::{InstrClass, Instruction, Program};
+use snap_kb::{PartitionScheme, PartitionStats, SemanticNetwork};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Serving parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Most queries fused into one propagation batch. Depth 1 degrades
+    /// to one-query-at-a-time serving (the bench baseline).
+    pub max_batch: usize,
+    /// Bounded admission queue: offers beyond this capacity shed with
+    /// [`ShedReason::QueueFull`] instead of growing without bound.
+    pub queue_capacity: usize,
+    /// Propagation hop cap, matching the machine configuration the
+    /// oracle runs under.
+    pub max_hops: u8,
+    /// Cost model stamped into per-query reports.
+    pub cost: CostModel,
+    /// KB epoch this server serves; recorded for bookkeeping when a
+    /// fleet of servers rotates through snapshot generations.
+    pub epoch: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            queue_capacity: 1024,
+            max_hops: MachineConfig::snap1_eval().max_hops,
+            cost: CostModel::snap1(),
+            epoch: 0,
+        }
+    }
+}
+
+/// Handle naming an admitted query; completions carry it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(pub u64);
+
+/// Why an offer was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue is full (overload).
+    QueueFull,
+    /// The program contains node-maintenance instructions, which cannot
+    /// run against a shared snapshot (see
+    /// [`CoreError::MaintenanceOnShared`]).
+    Maintenance,
+}
+
+/// Outcome of one [`Server::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Query admitted to the queue; its completion will carry this ID.
+    Admitted(QueryId),
+    /// Query shed at admission, never queued.
+    Shed(ShedReason),
+}
+
+/// Exact admission/completion accounting. Two invariants hold at every
+/// quiescent point (checked by [`Server::assert_accounting`]):
+/// `offered == admitted + shed_overload + shed_invalid` and
+/// `admitted == completed + failed + queued`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries offered to the server.
+    pub offered: u64,
+    /// Offers admitted to the queue.
+    pub admitted: u64,
+    /// Offers shed because the queue was full.
+    pub shed_overload: u64,
+    /// Offers shed because the program cannot run on a shared snapshot.
+    pub shed_invalid: u64,
+    /// Admitted queries completed with a report.
+    pub completed: u64,
+    /// Admitted queries that failed with an error.
+    pub failed: u64,
+}
+
+impl ServeStats {
+    /// Total offers shed, for any reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_invalid
+    }
+}
+
+/// One finished query.
+#[derive(Debug)]
+pub struct Completion {
+    /// The admission handle this completion answers.
+    pub id: QueryId,
+    /// How many queries shared the fused batch (1 = served solo).
+    pub batch_depth: usize,
+    /// The query's report, identical to a solo
+    /// [`Snap1::run_shared`] run, or the error that failed it.
+    pub result: Result<RunReport, CoreError>,
+}
+
+struct Pending {
+    id: QueryId,
+    program: Program,
+    shape: String,
+    fusable: bool,
+}
+
+/// A query server over one immutable KB snapshot.
+///
+/// [`offer`](Server::offer) admits programs into a bounded queue;
+/// [`pump`](Server::pump) takes the head-of-line query plus every
+/// queued query of the same shape (up to
+/// [`ServeConfig::max_batch`]) and executes them as one fused
+/// propagation batch. Head-of-line dispatch means no shape can starve:
+/// whatever is oldest runs next, bringing its compatible followers
+/// along.
+pub struct Server {
+    network: Arc<SemanticNetwork>,
+    map: Arc<RegionMap>,
+    partition: PartitionStats,
+    cfg: ServeConfig,
+    /// Sequential shared-snapshot oracle for queries that cannot fuse
+    /// (oversized custom rules) and for batch-failure fallback.
+    oracle: Snap1,
+    queue: VecDeque<Pending>,
+    pool: Vec<QueryContext>,
+    scratch: MultiWaveScratch,
+    stats: ServeStats,
+    next_id: u64,
+}
+
+impl Server {
+    /// Builds a server over `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SharedStagedLinks`] if the snapshot still
+    /// has staged links — call
+    /// [`flush_links`](SemanticNetwork::flush_links) before wrapping it
+    /// in the `Arc`.
+    pub fn new(network: Arc<SemanticNetwork>, cfg: ServeConfig) -> Result<Self, CoreError> {
+        let staged = network.staged_link_count();
+        if staged > 0 {
+            return Err(CoreError::SharedStagedLinks { staged });
+        }
+        let map = RegionMap::build(&network, 1, PartitionScheme::Sequential);
+        let partition = map.partition().stats(&network);
+        let oracle = Snap1::builder()
+            .config(MachineConfig {
+                max_hops: cfg.max_hops,
+                ..MachineConfig::snap1_eval()
+            })
+            .cost(cfg.cost.clone())
+            .engine(EngineKind::Sequential)
+            .build();
+        Ok(Server {
+            network,
+            map,
+            partition,
+            cfg,
+            oracle,
+            queue: VecDeque::new(),
+            pool: Vec::new(),
+            scratch: MultiWaveScratch::new(),
+            stats: ServeStats::default(),
+            next_id: 0,
+        })
+    }
+
+    /// Offers one query. Admits it to the queue, or sheds it — with the
+    /// reason — when the queue is full or the program cannot run on a
+    /// shared snapshot. Every offer is accounted exactly once.
+    pub fn offer(&mut self, program: Program) -> Admission {
+        self.stats.offered += 1;
+        if program
+            .instructions()
+            .iter()
+            .any(|i| i.class() == InstrClass::Maintenance)
+        {
+            self.stats.shed_invalid += 1;
+            return Admission::Shed(ShedReason::Maintenance);
+        }
+        if self.queue.len() >= self.cfg.queue_capacity {
+            self.stats.shed_overload += 1;
+            return Admission::Shed(ShedReason::QueueFull);
+        }
+        let (shape, fusable) = shape_key(&self.network, &program);
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.stats.admitted += 1;
+        self.queue.push_back(Pending {
+            id,
+            program,
+            shape,
+            fusable,
+        });
+        Admission::Admitted(id)
+    }
+
+    /// Serves one batch: the head-of-line query plus every queued query
+    /// of its shape, up to [`ServeConfig::max_batch`], as one fused
+    /// wave — with bit-identical queries coalesced onto a single lane
+    /// and sharing its report. Returns their completions (empty when
+    /// the queue is idle).
+    pub fn pump(&mut self) -> Vec<Completion> {
+        let Some(head) = self.queue.front() else {
+            return Vec::new();
+        };
+        if !head.fusable {
+            let p = self.queue.pop_front().expect("head exists");
+            let result = self.oracle.run_shared(&self.network, &p.program);
+            self.settle(&result);
+            return vec![Completion {
+                id: p.id,
+                batch_depth: 1,
+                result,
+            }];
+        }
+        let mut batch: Vec<Pending> = Vec::with_capacity(self.cfg.max_batch);
+        batch.push(self.queue.pop_front().expect("head exists"));
+        // Fast path: the matching prefix (steady-state serving is
+        // shape-homogeneous, so this usually fills the batch without
+        // touching the rest of the queue).
+        while batch.len() < self.cfg.max_batch {
+            match self.queue.front() {
+                Some(p) if p.fusable && p.shape == batch[0].shape => {
+                    batch.push(self.queue.pop_front().expect("front exists"));
+                }
+                _ => break,
+            }
+        }
+        // Slow path: steal later same-shape queries, stopping as soon as
+        // the batch fills; unscanned and non-matching entries keep their
+        // relative order.
+        let mut i = 0;
+        while i < self.queue.len() && batch.len() < self.cfg.max_batch {
+            if self.queue[i].fusable && self.queue[i].shape == batch[0].shape {
+                batch.push(self.queue.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+
+        // Coalesce bit-identical queries: one lane per *distinct*
+        // program, and duplicates share its report. A same-shape batch
+        // already fuses row probes; coalescing goes further and skips
+        // the duplicate's entire execution — the report of an identical
+        // program on an immutable snapshot is identical by construction
+        // (the differential tests pin this down).
+        let mut uniq: Vec<usize> = Vec::new();
+        let mut rep_of: Vec<usize> = Vec::with_capacity(batch.len());
+        for (i, p) in batch.iter().enumerate() {
+            match uniq.iter().position(|&u| batch[u].program == p.program) {
+                Some(j) => rep_of.push(j),
+                None => {
+                    rep_of.push(uniq.len());
+                    uniq.push(i);
+                }
+            }
+        }
+        let programs: Vec<&Program> = uniq.iter().map(|&i| &batch[i].program).collect();
+        let mut ctxs: Vec<QueryContext> = (0..programs.len())
+            .map(|_| {
+                self.pool
+                    .pop()
+                    .unwrap_or_else(|| QueryContext::new(&self.map, &self.network))
+            })
+            .collect();
+        let res = run_batch(
+            &self.cfg.cost,
+            self.cfg.max_hops,
+            &self.network,
+            &self.partition,
+            &programs,
+            &mut ctxs,
+            &mut self.scratch,
+        );
+        drop(programs);
+        for mut c in ctxs {
+            c.reset();
+            self.pool.push(c);
+        }
+        let depth = batch.len();
+        match res {
+            Ok(reports) => batch
+                .into_iter()
+                .zip(rep_of)
+                .map(|(p, rep)| {
+                    self.stats.completed += 1;
+                    Completion {
+                        id: p.id,
+                        batch_depth: depth,
+                        result: Ok(reports[rep].clone()),
+                    }
+                })
+                .collect(),
+            Err(_) => {
+                // The fused batch failed: retry each member solo so one
+                // poisoned query cannot take its batch-mates down.
+                batch
+                    .into_iter()
+                    .map(|p| {
+                        let result = self.oracle.run_shared(&self.network, &p.program);
+                        self.settle(&result);
+                        Completion {
+                            id: p.id,
+                            batch_depth: 1,
+                            result,
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn settle(&mut self, result: &Result<RunReport, CoreError>) {
+        match result {
+            Ok(_) => self.stats.completed += 1,
+            Err(_) => self.stats.failed += 1,
+        }
+    }
+
+    /// Pumps until the queue is empty, returning all completions.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while !self.queue.is_empty() {
+            out.extend(self.pump());
+        }
+        out
+    }
+
+    /// Current accounting counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Queries admitted but not yet served.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Idle pooled contexts (diagnostic: steady-state serving holds
+    /// this at the largest batch depth seen, allocating nothing new).
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The KB epoch this server was configured with.
+    pub fn epoch(&self) -> u64 {
+        self.cfg.epoch
+    }
+
+    /// The shared snapshot being served.
+    pub fn network(&self) -> &Arc<SemanticNetwork> {
+        &self.network
+    }
+
+    /// Panics unless the accounting invariants hold:
+    /// `offered == admitted + shed` and
+    /// `admitted == completed + failed + queued`.
+    pub fn assert_accounting(&self) {
+        let s = self.stats;
+        assert_eq!(
+            s.offered,
+            s.admitted + s.shed(),
+            "offered = admitted + shed"
+        );
+        assert_eq!(
+            s.admitted,
+            s.completed + s.failed + self.queue.len() as u64,
+            "admitted = completed + failed + queued"
+        );
+    }
+}
+
+/// Canonical shape of a program: search parameters (which node, color,
+/// relation, or initial value a query asks about) are masked so queries
+/// differing only in what they ask still batch; everything else —
+/// instruction sequence, markers, propagation rules, step and combine
+/// functions — prints exactly. Two programs with equal shapes plan to
+/// the same controller steps and fuse their propagation waves.
+///
+/// The second return is `false` when some propagation rule cannot take
+/// the fused kernel (an oversized custom rule): such queries are served
+/// solo through the oracle.
+fn shape_key(network: &SemanticNetwork, program: &Program) -> (String, bool) {
+    let mut key = String::new();
+    let mut fusable = true;
+    for instr in program.iter() {
+        match instr {
+            Instruction::SearchNode { marker, .. } => {
+                let _ = write!(key, "SN({marker:?});");
+            }
+            Instruction::SearchRelation { marker, .. } => {
+                let _ = write!(key, "SR({marker:?});");
+            }
+            Instruction::SearchColor { marker, .. } => {
+                let _ = write!(key, "SC({marker:?});");
+            }
+            Instruction::Propagate { rule, .. } => {
+                if !wave_supported(network, &rule.compile()) {
+                    fusable = false;
+                }
+                let _ = write!(key, "{instr:?};");
+            }
+            other => {
+                let _ = write!(key, "{other:?};");
+            }
+        }
+    }
+    (key, fusable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_isa::{PropRule, RuleArc, RuleProgram, RuleState, StepFunc};
+    use snap_kb::synth::scale_free_network;
+    use snap_kb::{Marker, NodeId, RelationType};
+
+    fn snapshot() -> Arc<SemanticNetwork> {
+        let mut net = scale_free_network(300, 2, 11);
+        net.flush_links();
+        Arc::new(net)
+    }
+
+    /// A parse-style query: seed one word node, walk the taxonomy,
+    /// collect the bindings. Varying the node varies the whole frontier.
+    fn query(node: u32) -> Program {
+        Program::builder()
+            .search_node(NodeId(node), Marker::binary(1), 0.0)
+            .propagate(
+                Marker::binary(1),
+                Marker::complex(2),
+                PropRule::Star(RelationType(0)),
+                StepFunc::AddWeight,
+            )
+            .collect_marker(Marker::complex(2))
+            .build()
+    }
+
+    /// A different shape: two-relation spread with another target.
+    fn spread_query(node: u32) -> Program {
+        Program::builder()
+            .search_node(NodeId(node), Marker::binary(1), 0.0)
+            .propagate(
+                Marker::binary(1),
+                Marker::complex(3),
+                PropRule::Spread(RelationType(0), RelationType(1)),
+                StepFunc::AddWeight,
+            )
+            .collect_marker(Marker::complex(3))
+            .build()
+    }
+
+    fn oracle() -> Snap1 {
+        Snap1::builder().engine(EngineKind::Sequential).build()
+    }
+
+    #[test]
+    fn batched_queries_match_the_serial_oracle_exactly() {
+        let net = snapshot();
+        let mut server = Server::new(Arc::clone(&net), ServeConfig::default()).unwrap();
+        let nodes = [0u32, 17, 42, 99, 123, 200, 250, 299];
+        for &n in &nodes {
+            assert!(matches!(server.offer(query(n)), Admission::Admitted(_)));
+        }
+        let done = server.drain();
+        assert_eq!(done.len(), nodes.len());
+        let oracle = oracle();
+        for (c, &n) in done.iter().zip(&nodes) {
+            assert_eq!(c.batch_depth, nodes.len(), "one fused batch");
+            let got = c.result.as_ref().unwrap();
+            let want = oracle.run_shared(&net, &query(n)).unwrap();
+            assert_eq!(got.collects, want.collects, "node {n}");
+            assert_eq!(got.expansions, want.expansions, "node {n}");
+            assert_eq!(
+                got.traffic.local_activations, want.traffic.local_activations,
+                "node {n}"
+            );
+            assert_eq!(got.alpha_per_propagate, want.alpha_per_propagate);
+            assert_eq!(got.max_propagation_depth, want.max_propagation_depth);
+            assert_eq!(got.total_ns, want.total_ns, "node {n}");
+        }
+        server.assert_accounting();
+        assert_eq!(server.stats().completed, nodes.len() as u64);
+    }
+
+    #[test]
+    fn incompatible_shapes_split_into_separate_batches() {
+        let net = snapshot();
+        let mut server = Server::new(Arc::clone(&net), ServeConfig::default()).unwrap();
+        // Interleave two shapes: star, spread, star, spread...
+        for n in 0..6u32 {
+            let p = if n % 2 == 0 {
+                query(n)
+            } else {
+                spread_query(n)
+            };
+            assert!(matches!(server.offer(p), Admission::Admitted(_)));
+        }
+        // First pump serves the head's shape only: the three stars.
+        let first = server.pump();
+        assert_eq!(first.len(), 3);
+        assert!(first.iter().all(|c| c.batch_depth == 3));
+        // Spreads kept their order and serve next.
+        let second = server.pump();
+        assert_eq!(second.len(), 3);
+        let oracle = oracle();
+        for (c, n) in second.iter().zip([1u32, 3, 5]) {
+            assert_eq!(c.id, QueryId(n as u64));
+            let got = c.result.as_ref().unwrap();
+            let want = oracle.run_shared(&net, &spread_query(n)).unwrap();
+            assert_eq!(got.collects, want.collects);
+        }
+        server.assert_accounting();
+    }
+
+    #[test]
+    fn overload_sheds_with_exact_accounting() {
+        let net = snapshot();
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            max_batch: 2,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::new(net, cfg).unwrap();
+        let mut shed = 0;
+        for n in 0..10u32 {
+            match server.offer(query(n)) {
+                Admission::Admitted(_) => {}
+                Admission::Shed(ShedReason::QueueFull) => shed += 1,
+                Admission::Shed(r) => panic!("unexpected shed: {r:?}"),
+            }
+        }
+        assert_eq!(shed, 6, "capacity 4 admits 4 of 10");
+        let s = server.stats();
+        assert_eq!((s.offered, s.admitted, s.shed_overload), (10, 4, 6));
+        server.assert_accounting();
+        let done = server.drain();
+        assert_eq!(done.len(), 4);
+        assert!(
+            done.iter().all(|c| c.batch_depth == 2),
+            "max_batch caps depth"
+        );
+        server.assert_accounting();
+        assert_eq!(server.stats().completed, 4);
+    }
+
+    #[test]
+    fn maintenance_programs_are_shed_as_invalid() {
+        let net = snapshot();
+        let mut server = Server::new(net, ServeConfig::default()).unwrap();
+        let program = Program::builder()
+            .instruction(Instruction::SetColor {
+                node: NodeId(0),
+                color: snap_kb::Color(7),
+            })
+            .build();
+        assert_eq!(
+            server.offer(program),
+            Admission::Shed(ShedReason::Maintenance)
+        );
+        assert_eq!(server.stats().shed_invalid, 1);
+        server.assert_accounting();
+    }
+
+    #[test]
+    fn staged_links_are_rejected_at_construction() {
+        let mut net = scale_free_network(10, 1, 3);
+        net.flush_links();
+        net.add_link(NodeId(0), RelationType(0), 1.0, NodeId(5))
+            .unwrap();
+        let err = match Server::new(Arc::new(net), ServeConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("staged links must be rejected"),
+        };
+        assert_eq!(err, CoreError::SharedStagedLinks { staged: 1 });
+    }
+
+    #[test]
+    fn contexts_pool_across_pumps_without_growing() {
+        let net = snapshot();
+        let cfg = ServeConfig {
+            max_batch: 4,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::new(net, cfg).unwrap();
+        for round in 0..3 {
+            for n in 0..4u32 {
+                server.offer(query(n + round));
+            }
+            let done = server.drain();
+            assert_eq!(done.len(), 4);
+            assert_eq!(server.pool_size(), 4, "round {round}: pool stable");
+        }
+        server.assert_accounting();
+    }
+
+    #[test]
+    fn duplicate_queries_coalesce_onto_one_lane() {
+        let net = snapshot();
+        let mut server = Server::new(Arc::clone(&net), ServeConfig::default()).unwrap();
+        // Six offers, two distinct programs — one lane each.
+        for n in [7u32, 7, 120, 7, 120, 7] {
+            server.offer(query(n));
+        }
+        let done = server.drain();
+        assert_eq!(done.len(), 6);
+        assert!(done.iter().all(|c| c.batch_depth == 6));
+        assert_eq!(
+            server.pool_size(),
+            2,
+            "only distinct programs took a context"
+        );
+        let oracle = oracle();
+        for (c, n) in done.iter().zip([7u32, 7, 120, 7, 120, 7]) {
+            let want = oracle.run_shared(&net, &query(n)).unwrap();
+            assert_eq!(c.result.as_ref().unwrap(), &want, "seed {n}");
+        }
+        server.assert_accounting();
+        assert_eq!(server.stats().completed, 6);
+    }
+
+    #[test]
+    fn oversized_custom_rules_serve_solo_through_the_oracle() {
+        let net = snapshot();
+        // Nine arcs in one state overflows the kernel's merge cursors:
+        // unfusable, so the server routes it through the oracle.
+        let arcs: Vec<RuleArc> = (0..9).map(|r| RuleArc::new(RelationType(r), 1)).collect();
+        let rule = PropRule::Custom(RuleProgram::from_states(vec![
+            RuleState::new(arcs),
+            RuleState::terminal(),
+        ]));
+        let program = Program::builder()
+            .search_node(NodeId(0), Marker::binary(1), 0.0)
+            .propagate(
+                Marker::binary(1),
+                Marker::complex(2),
+                rule,
+                StepFunc::AddWeight,
+            )
+            .collect_marker(Marker::complex(2))
+            .build();
+        let mut server = Server::new(Arc::clone(&net), ServeConfig::default()).unwrap();
+        server.offer(program.clone());
+        server.offer(program.clone());
+        let done = server.drain();
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|c| c.batch_depth == 1), "served solo");
+        let want = oracle().run_shared(&net, &program).unwrap();
+        for c in &done {
+            assert_eq!(c.result.as_ref().unwrap().collects, want.collects);
+        }
+        server.assert_accounting();
+    }
+}
