@@ -1,0 +1,25 @@
+//! Stamps build provenance into the bench binary: every BENCH_*.json
+//! row records the rustc that compiled the harness and the cargo
+//! profile it was built under, so two baselines are only ever compared
+//! when they came from the same toolchain and optimization level.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=SNAP_RUSTC_VERSION={version}");
+    // Custom profiles surface as the profile they inherit from
+    // ("release" for `tuned`); SNAP_BENCH_PROFILE overrides at run time.
+    let profile = std::env::var("PROFILE").unwrap_or_else(|_| "unknown".into());
+    println!("cargo:rustc-env=SNAP_BUILD_PROFILE={profile}");
+    println!("cargo:rerun-if-changed=build.rs");
+    println!("cargo:rerun-if-env-changed=RUSTC");
+}

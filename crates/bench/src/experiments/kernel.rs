@@ -19,7 +19,7 @@
 //! engine is run end-to-end under `KernelStrategy::Scalar` and
 //! `::Bitset` and the collects and measured reports asserted equal.
 
-use crate::output::{ratio, ExperimentOutput};
+use crate::output::{build_profile, ratio, rustc_version, ExperimentOutput};
 use crate::workloads::{alpha_network, alpha_program, CHAIN_REL, SRC_COLOR};
 use snap_core::kernel::{propagate_wave, WaveSink, WaveStats};
 use snap_core::propagate::{expand_into, PropArrival, PropTask, VisitedMap};
@@ -297,7 +297,9 @@ fn json_workload(w: &Workload, host_cpus: usize) -> String {
             "      \"auto_speedup\": {:.2},\n",
             "      \"auto_waves\": {},\n",
             "      \"auto_pull_waves\": {},\n",
-            "      \"wall_reliable\": {}\n",
+            "      \"wall_reliable\": {},\n",
+            "      \"profile\": \"{}\",\n",
+            "      \"rustc\": \"{}\"\n",
             "    }}"
         ),
         w.name,
@@ -316,6 +318,8 @@ fn json_workload(w: &Workload, host_cpus: usize) -> String {
         // Every driver here is single-threaded; one unshared core is all
         // the wall number needs.
         host_cpus >= 1,
+        build_profile(),
+        rustc_version(),
     )
 }
 
@@ -389,12 +393,16 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
             "  \"bench\": \"kernel\",\n",
             "  \"quick\": {},\n",
             "  \"host_cpus\": {},\n",
+            "  \"profile\": \"{}\",\n",
+            "  \"rustc\": \"{}\",\n",
             "  \"workloads\": {{\n{},\n{}\n  }},\n",
             "  \"geomean_auto_speedup\": {:.2}\n",
             "}}\n"
         ),
         quick,
         host_cpus,
+        build_profile(),
+        rustc_version(),
         json_workload(&fig16, host_cpus),
         json_workload(&fig19, host_cpus),
         geomean_auto,
@@ -461,6 +469,8 @@ mod tests {
         assert!(json.contains("\"geomean_auto_speedup\""));
         assert!(json.contains("\"host_cpus\""));
         assert!(json.contains("\"wall_reliable\": true"));
+        assert!(json.contains("\"profile\""));
+        assert!(json.contains("\"rustc\": \"rustc"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -35,7 +35,7 @@
 //! every measured query, so a throughput number can never be bought
 //! with a wrong answer.
 
-use crate::output::{ratio, ExperimentOutput};
+use crate::output::{build_profile, ratio, rustc_version, ExperimentOutput};
 use snap_core::{EngineKind, RunReport, Snap1};
 use snap_isa::{Program, PropRule, StepFunc};
 use snap_kb::{Marker, NodeId, SemanticNetwork};
@@ -60,6 +60,20 @@ const OPEN_DEPTHS: [usize; 2] = [1, 8];
 /// Queue bound for the open-loop rows, small enough that the overload
 /// row actually sheds.
 const OPEN_QUEUE: usize = 32;
+
+/// Saturated cells and the serial baseline report the fastest of this
+/// many repetitions: one offer-and-drain cycle is a few milliseconds,
+/// short enough that a single scheduler preemption used to carve a
+/// visible notch into the depth curve (the depth-8 row once measured
+/// *below* depth 1). Min-of-reps keeps the curve a property of the
+/// code, not of the host's timeslicing.
+fn sat_reps(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        5
+    }
+}
 
 /// Zipf exponent of the query mix (s in `rank^-s`).
 const ZIPF_S: f64 = 1.2;
@@ -159,16 +173,20 @@ fn serial_baseline(
     seeds: &[NodeId],
     mix: &[usize],
     queries: usize,
+    reps: usize,
 ) -> SatRow {
     let machine = Snap1::builder().engine(EngineKind::Sequential).build();
-    let t0 = Instant::now();
-    for i in 0..queries {
-        let program = parse_query(seeds[mix[i % mix.len()]]);
-        machine
-            .run_shared(net, &program)
-            .expect("serial baseline run");
+    let mut wall_ns = u128::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for i in 0..queries {
+            let program = parse_query(seeds[mix[i % mix.len()]]);
+            machine
+                .run_shared(net, &program)
+                .expect("serial baseline run");
+        }
+        wall_ns = wall_ns.min(t0.elapsed().as_nanos());
     }
-    let wall_ns = t0.elapsed().as_nanos();
     SatRow {
         depth: 0,
         queries,
@@ -202,8 +220,11 @@ fn percentile(sorted: &[Duration], q: f64) -> f64 {
 }
 
 /// Pre-fills the queue with `queries` drawn from the Zipf `mix` and
-/// drains it at `depth`, verifying every completion against the oracle
-/// (outside the timed window).
+/// drains it at `depth`, repeated `reps` times on one server (so later
+/// repetitions exercise the warmed context pool) keeping the fastest
+/// wall time. Every completion of every repetition is verified against
+/// the oracle outside the timed window — pooled-and-reset contexts must
+/// stay bit-identical to fresh ones.
 fn saturated(
     net: &Arc<SemanticNetwork>,
     seeds: &[NodeId],
@@ -211,6 +232,7 @@ fn saturated(
     oracle: &mut Oracle,
     depth: usize,
     queries: usize,
+    reps: usize,
 ) -> SatRow {
     let cfg = ServeConfig {
         max_batch: depth,
@@ -218,21 +240,25 @@ fn saturated(
         ..ServeConfig::default()
     };
     let mut server = Server::new(Arc::clone(net), cfg).expect("flushed snapshot");
-    let t0 = Instant::now();
-    for i in 0..queries {
-        let adm = server.offer(parse_query(seeds[mix[i % mix.len()]]));
-        assert!(matches!(adm, Admission::Admitted(_)), "capacity == queries");
-    }
-    let done = server.drain();
-    let wall_ns = t0.elapsed().as_nanos();
-    assert_eq!(done.len(), queries);
-    server.assert_accounting();
-    for c in &done {
-        // Queue capacity equals the query count, so IDs are dense and
-        // name the offer order.
-        let node = seeds[mix[c.id.0 as usize % mix.len()]];
-        oracle.check(net, node, c);
-        assert!(c.batch_depth <= depth, "batch never exceeds max_batch");
+    let mut wall_ns = u128::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for i in 0..queries {
+            let adm = server.offer(parse_query(seeds[mix[i % mix.len()]]));
+            assert!(matches!(adm, Admission::Admitted(_)), "capacity == queries");
+        }
+        let done = server.drain();
+        wall_ns = wall_ns.min(t0.elapsed().as_nanos());
+        assert_eq!(done.len(), queries);
+        server.assert_accounting();
+        for c in &done {
+            // IDs count offers across repetitions and `queries` is a
+            // multiple of the mix length, so the modulo still names the
+            // offer position within the repetition.
+            let node = seeds[mix[c.id.0 as usize % mix.len()]];
+            oracle.check(net, node, c);
+            assert!(c.batch_depth <= depth, "batch never exceeds max_batch");
+        }
     }
     SatRow {
         depth,
@@ -336,13 +362,16 @@ fn repo_root() -> PathBuf {
 }
 
 fn json_sat(rows: &[SatRow], serial_qps: f64, depth1_qps: f64, host_cpus: usize) -> String {
+    let profile = build_profile();
+    let rustc = rustc_version();
     rows.iter()
         .map(|r| {
             format!(
                 concat!(
                     "    {{ \"batch_depth\": {}, \"queries\": {}, \"wall_ms\": {:.2}, ",
                     "\"qps\": {:.0}, \"speedup_vs_serial\": {:.2}, ",
-                    "\"speedup_vs_depth1\": {:.2}, \"wall_reliable\": {} }}"
+                    "\"speedup_vs_depth1\": {:.2}, \"wall_reliable\": {}, ",
+                    "\"profile\": \"{}\", \"rustc\": \"{}\" }}"
                 ),
                 r.depth,
                 r.queries,
@@ -351,6 +380,8 @@ fn json_sat(rows: &[SatRow], serial_qps: f64, depth1_qps: f64, host_cpus: usize)
                 r.qps / serial_qps,
                 r.qps / depth1_qps,
                 host_cpus >= 1,
+                profile,
+                rustc,
             )
         })
         .collect::<Vec<_>>()
@@ -358,6 +389,8 @@ fn json_sat(rows: &[SatRow], serial_qps: f64, depth1_qps: f64, host_cpus: usize)
 }
 
 fn json_open(rows: &[OpenRow], host_cpus: usize) -> String {
+    let profile = build_profile();
+    let rustc = rustc_version();
     rows.iter()
         .map(|r| {
             format!(
@@ -366,7 +399,7 @@ fn json_open(rows: &[OpenRow], host_cpus: usize) -> String {
                     "\"measured_qps\": {:.0}, \"offered\": {}, \"admitted\": {}, ",
                     "\"completed\": {}, \"shed_overload\": {}, \"shed_invalid\": {}, ",
                     "\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, ",
-                    "\"wall_reliable\": {} }}"
+                    "\"wall_reliable\": {}, \"profile\": \"{}\", \"rustc\": \"{}\" }}"
                 ),
                 r.depth,
                 r.load,
@@ -381,6 +414,8 @@ fn json_open(rows: &[OpenRow], host_cpus: usize) -> String {
                 r.p99_us,
                 r.p999_us,
                 host_cpus >= 1,
+                profile,
+                rustc,
             )
         })
         .collect::<Vec<_>>()
@@ -425,12 +460,31 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
 
     // The one-query-at-a-time baseline, then saturated serve throughput
     // per batch depth.
-    let serial = serial_baseline(&net, &seeds, &mix, sat_queries);
+    let reps = sat_reps(quick);
+    let serial = serial_baseline(&net, &seeds, &mix, sat_queries, reps);
     let sat: Vec<SatRow> = DEPTHS
         .iter()
-        .map(|&d| saturated(&net, &seeds, &mix, &mut oracle, d, sat_queries))
+        .map(|&d| saturated(&net, &seeds, &mix, &mut oracle, d, sat_queries, reps))
         .collect();
     let depth1_qps = sat[0].qps;
+    // The depth curve must be (near-)monotone: deeper batches only add
+    // fusion and coalescing opportunities, so a cell measuring below its
+    // shallower neighbour is a scheduling regression, not noise —
+    // min-of-reps already filtered the timeslicing outliers. Quick mode
+    // runs tiny problem sizes on shared CI hosts, so it gets a looser
+    // tolerance.
+    let monotone_tol = if quick { 0.85 } else { 0.95 };
+    for w in sat.windows(2) {
+        assert!(
+            w[1].qps >= w[0].qps * monotone_tol,
+            "depth curve regressed: depth {} at {:.0} qps fell below depth {} at {:.0} qps \
+             (tolerance {monotone_tol})",
+            w[1].depth,
+            w[1].qps,
+            w[0].depth,
+            w[0].qps,
+        );
+    }
     let best_deep = sat
         .iter()
         .filter(|r| r.depth >= 8)
@@ -485,8 +539,10 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
             "  \"quick\": {},\n",
             "  \"host_cpus\": {},\n",
             "  \"kb_nodes\": {},\n",
+            "  \"profile\": \"{}\",\n",
+            "  \"rustc\": \"{}\",\n",
             "  \"serial_one_at_a_time\": {{ \"queries\": {}, \"wall_ms\": {:.2}, ",
-            "\"qps\": {:.0} }},\n",
+            "\"qps\": {:.0}, \"profile\": \"{}\", \"rustc\": \"{}\" }},\n",
             "  \"saturated\": [\n{}\n  ],\n",
             "  \"open_loop\": [\n{}\n  ],\n",
             "  \"best_speedup_depth8_plus\": {:.2},\n",
@@ -496,9 +552,13 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
         quick,
         host_cpus,
         kb_nodes,
+        build_profile(),
+        rustc_version(),
         serial.queries,
         serial.wall_ns as f64 / 1e6,
         serial.qps,
+        build_profile(),
+        rustc_version(),
         json_sat(&sat, serial.qps, depth1_qps, host_cpus),
         json_open(&open, host_cpus),
         best_deep,
@@ -593,6 +653,11 @@ fn run_to(quick: bool, path: PathBuf) -> ExperimentOutput {
     out.note(format!(
         "host_cpus: {host_cpus} (server and oracle single-threaded)"
     ));
+    out.note(format!(
+        "build: profile {}, {} — fastest of {reps} repetitions per cell",
+        build_profile(),
+        rustc_version()
+    ));
     out.note(format!("wrote {}", path.display()));
     out
 }
@@ -618,6 +683,8 @@ mod tests {
         assert!(json.contains("\"p999_us\""));
         assert!(json.contains("\"host_cpus\""));
         assert!(json.contains("\"wall_reliable\": true"));
+        assert!(json.contains("\"profile\""));
+        assert!(json.contains("\"rustc\": \"rustc"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

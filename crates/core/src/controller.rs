@@ -64,6 +64,97 @@ pub fn plan(program: &Program) -> Vec<Step> {
     steps
 }
 
+/// One step of a [`PlanBuf`] plan: [`Step`] with the group flattened
+/// into a shared index arena instead of an owned `Vec`, so replanning
+/// a pooled buffer allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Execute a single (non-propagate) instruction, by program index.
+    Instr(usize),
+    /// Execute the group `PlanBuf::members(start, len)` overlapped,
+    /// then barrier.
+    Group {
+        /// Offset into [`PlanBuf::members`].
+        start: u32,
+        /// Number of propagations in the group.
+        len: u32,
+    },
+}
+
+/// Reusable, allocation-free form of [`plan`] for the pooled serving
+/// path: steps, group membership, and the dependency sets all keep
+/// their capacity across calls, so steady-state replanning costs no
+/// allocations. Produces exactly the plan [`plan`] produces.
+#[derive(Debug, Default)]
+pub struct PlanBuf {
+    ops: Vec<PlanOp>,
+    members: Vec<u32>,
+    reads: HashSet<Marker>,
+    writes: HashSet<Marker>,
+    /// Offset of the currently open group in `members`.
+    open: u32,
+}
+
+impl PlanBuf {
+    /// Creates an empty buffer; the first plan sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plans `program`, replacing the previous plan in place.
+    pub fn plan(&mut self, program: &Program) {
+        self.ops.clear();
+        self.members.clear();
+        self.reads.clear();
+        self.writes.clear();
+        self.open = 0;
+        for (idx, instr) in program.iter().enumerate() {
+            if instr.class() == InstrClass::Propagate {
+                let ir = instr.reads_fixed();
+                let iw = instr.writes_fixed();
+                let dependent = ir.into_iter().flatten().any(|m| self.writes.contains(&m))
+                    || iw
+                        .into_iter()
+                        .flatten()
+                        .any(|m| self.reads.contains(&m) || self.writes.contains(&m));
+                if dependent {
+                    self.close();
+                }
+                self.reads.extend(ir.into_iter().flatten());
+                self.writes.extend(iw.into_iter().flatten());
+                self.members.push(idx as u32);
+            } else {
+                self.close();
+                self.ops.push(PlanOp::Instr(idx));
+            }
+        }
+        self.close();
+    }
+
+    fn close(&mut self) {
+        let len = self.members.len() as u32 - self.open;
+        if len > 0 {
+            self.ops.push(PlanOp::Group {
+                start: self.open,
+                len,
+            });
+            self.open = self.members.len() as u32;
+            self.reads.clear();
+            self.writes.clear();
+        }
+    }
+
+    /// The planned steps, in execution order.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// The program indices of one group, in program order.
+    pub fn members(&self, start: u32, len: u32) -> &[u32] {
+        &self.members[start as usize..(start + len) as usize]
+    }
+}
+
 /// The pieces of a `PROPAGATE` instruction an engine needs, pre-compiled.
 #[derive(Debug, Clone)]
 pub struct PropSpec {
@@ -171,6 +262,71 @@ mod tests {
                 Step::Group(vec![3]),
             ]
         );
+    }
+
+    /// Expands a [`PlanBuf`] plan back into owned [`Step`]s.
+    fn expand(buf: &PlanBuf) -> Vec<Step> {
+        buf.ops()
+            .iter()
+            .map(|op| match *op {
+                PlanOp::Instr(i) => Step::Instr(i),
+                PlanOp::Group { start, len } => Step::Group(
+                    buf.members(start, len)
+                        .iter()
+                        .map(|&i| i as usize)
+                        .collect(),
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_buf_matches_plan_and_reuses_cleanly() {
+        let programs: Vec<Program> = vec![
+            vec![
+                prop(1, 3),
+                prop(2, 4),
+                Instruction::CollectMarker {
+                    marker: Marker::complex(3),
+                },
+            ]
+            .into_iter()
+            .collect(),
+            vec![
+                prop(1, 3),
+                Instruction::Propagate {
+                    source: Marker::complex(3),
+                    target: Marker::complex(4),
+                    rule: PropRule::Star(RelationType(0)),
+                    func: StepFunc::Identity,
+                },
+            ]
+            .into_iter()
+            .collect(),
+            vec![
+                Instruction::SetMarker {
+                    marker: Marker::binary(1),
+                    value: 0.0,
+                },
+                prop(1, 3),
+                Instruction::ClearMarker {
+                    marker: Marker::binary(1),
+                },
+                prop(1, 4),
+            ]
+            .into_iter()
+            .collect(),
+            Vec::<Instruction>::new().into_iter().collect(),
+        ];
+        // One pooled buffer across all programs, twice over: reuse must
+        // not leak state between plans.
+        let mut buf = PlanBuf::new();
+        for _ in 0..2 {
+            for p in &programs {
+                buf.plan(p);
+                assert_eq!(expand(&buf), plan(p));
+            }
+        }
     }
 
     #[test]

@@ -143,10 +143,35 @@ pub fn exec_single_shared(
     network: &SemanticNetwork,
     regions: &mut [Region],
 ) -> Result<SingleOutcome, CoreError> {
-    let mut out = SingleOutcome {
-        work: vec![ClusterWork::default(); regions.len()],
-        ..SingleOutcome::default()
-    };
+    let mut out = SingleOutcome::default();
+    exec_single_shared_into(instr, network, regions, &mut out)?;
+    Ok(out)
+}
+
+/// [`exec_single_shared`] writing into a pooled [`SingleOutcome`]: the
+/// work vector keeps its capacity across calls, so the steady-state
+/// serving loop allocates nothing for collect-free instructions.
+///
+/// # Errors
+///
+/// Same as [`exec_single_shared`].
+///
+/// # Panics
+///
+/// Panics on `PROPAGATE`, like [`exec_single_shared`].
+pub fn exec_single_shared_into(
+    instr: &Instruction,
+    network: &SemanticNetwork,
+    regions: &mut [Region],
+    out: &mut SingleOutcome,
+) -> Result<(), CoreError> {
+    out.work.clear();
+    out.work.resize(regions.len(), ClusterWork::default());
+    // A leftover collect buffer (the serving loop pre-seeds one from its
+    // pooled reports) is recycled by the collect arms below; any other
+    // instruction discards it.
+    let spare = out.collect.take();
+    out.maintenance_ops = 0;
     match instr {
         Instruction::Propagate { .. } => {
             panic!("PROPAGATE must be executed by a propagation phase")
@@ -255,40 +280,59 @@ pub fn exec_single_shared(
 
         // ----- retrieval -----
         Instruction::CollectMarker { marker } => {
-            let mut all = Vec::new();
+            let mut all = match spare {
+                Some(CollectOutput::Nodes(mut v)) => {
+                    v.clear();
+                    v
+                }
+                _ => Vec::new(),
+            };
             for (c, region) in regions.iter().enumerate() {
-                let part = region.collect_marker(*marker);
-                out.work[c].items = part.len();
-                all.extend(part);
+                out.work[c].items = region.collect_marker_into(*marker, &mut all);
             }
-            all.sort_by_key(|(n, _)| *n);
+            // Node IDs are unique across regions (each node lives in
+            // exactly one), so the allocation-free unstable sort is
+            // order-equivalent to a stable one.
+            all.sort_unstable_by_key(|(n, _)| *n);
             out.collect = Some(CollectOutput::Nodes(all));
         }
         Instruction::CollectRelation { marker, relation } => {
-            let mut all = Vec::new();
+            let mut all = match spare {
+                Some(CollectOutput::Links(mut v)) => {
+                    v.clear();
+                    v
+                }
+                _ => Vec::new(),
+            };
             for (c, region) in regions.iter().enumerate() {
-                let part = region.collect_relation(network, *marker, *relation);
-                out.work[c].items = part.len();
-                all.extend(part);
+                out.work[c].items =
+                    region.collect_relation_into(network, *marker, *relation, &mut all);
             }
+            // Parallel links can tie on (node, destination); the stable
+            // sort preserves their CSR order.
             all.sort_by_key(|(n, l)| (*n, l.destination));
             out.collect = Some(CollectOutput::Links(all));
         }
         Instruction::CollectColor { marker } => {
-            let mut all = Vec::new();
+            let mut all = match spare {
+                Some(CollectOutput::Colors(mut v)) => {
+                    v.clear();
+                    v
+                }
+                _ => Vec::new(),
+            };
             for (c, region) in regions.iter().enumerate() {
-                let part = region.collect_color(network, *marker);
-                out.work[c].items = part.len();
-                all.extend(part);
+                out.work[c].items = region.collect_color_into(network, *marker, &mut all);
             }
-            all.sort_by_key(|(n, _)| *n);
+            // Unique node keys, as for COLLECT-MARKER.
+            all.sort_unstable_by_key(|(n, _)| *n);
             out.collect = Some(CollectOutput::Colors(all));
         }
 
         // ----- explicit barrier: no marker work -----
         Instruction::Barrier => {}
     }
-    Ok(out)
+    Ok(())
 }
 
 /// The trace phase an instruction class belongs to. Shared by the three

@@ -42,7 +42,9 @@ mod report;
 /// Engine-shared instruction semantics, public so comparator engines
 /// (the CM-2 baseline) execute the exact same logic.
 pub mod exec {
-    pub use crate::engine::common::{exec_single, exec_single_shared, ClusterWork, SingleOutcome};
+    pub use crate::engine::common::{
+        exec_single, exec_single_shared, exec_single_shared_into, ClusterWork, SingleOutcome,
+    };
 }
 
 pub use config::{EngineKind, KernelStrategy, MachineConfig, VisitedStrategy};

@@ -326,6 +326,69 @@ impl Region {
         }
     }
 
+    /// Bulk write-back for the bit-sliced serving kernel: stores the
+    /// final folded `(value, origin)` payload of a complex `marker` at
+    /// every listed member node. The sliced kernel runs the
+    /// [`Region::arrive`] merge fold in its lane planes and absorbs
+    /// only the fixed point here, so this is a plain bulk store —
+    /// one register check and one row fetch for the whole run
+    /// ([`MarkerState::merge_values`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register or a
+    /// node outside the region — the same failures the per-arrival
+    /// path reports.
+    pub fn absorb_values(
+        &mut self,
+        marker: Marker,
+        items: impl Iterator<Item = (NodeId, MarkerValue)>,
+    ) -> Result<(), CoreError> {
+        let Region {
+            cluster,
+            map,
+            markers,
+        } = self;
+        let cluster = *cluster;
+        markers.merge_values(
+            marker,
+            items.map(|(node, v)| {
+                debug_assert_eq!(map.cluster_of(node), cluster);
+                (NodeId(map.local_of(node)), v)
+            }),
+        )?;
+        Ok(())
+    }
+
+    /// Bulk write-back of a binary `marker`'s reached set — the binary
+    /// half of [`Region::absorb_values`]; arrivals on a binary marker
+    /// carry no payload, so the fixed point is just the set of touched
+    /// nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for an out-of-range marker register.
+    pub fn absorb_bits(
+        &mut self,
+        marker: Marker,
+        items: impl Iterator<Item = NodeId>,
+    ) -> Result<(), CoreError> {
+        let Region {
+            cluster,
+            map,
+            markers,
+        } = self;
+        let cluster = *cluster;
+        markers.merge_bits(
+            marker,
+            items.map(|node| {
+                debug_assert_eq!(map.cluster_of(node), cluster);
+                NodeId(map.local_of(node))
+            }),
+        )?;
+        Ok(())
+    }
+
     // ----- boolean phase (word-parallel) -----
 
     /// `AND-MARKER` / `OR-MARKER` local part. Returns
@@ -511,14 +574,27 @@ impl Region {
     /// `COLLECT-MARKER` local part: `(global node, payload)` pairs,
     /// ascending by node ID.
     pub fn collect_marker(&self, marker: Marker) -> Vec<(NodeId, Option<MarkerValue>)> {
-        self.markers
-            .row(marker)
-            .map(|row| {
+        let mut out = Vec::new();
+        self.collect_marker_into(marker, &mut out);
+        out
+    }
+
+    /// [`Region::collect_marker`] appending into a caller-owned buffer
+    /// (the steady-state serving loop recycles it), returning how many
+    /// pairs this region contributed.
+    pub fn collect_marker_into(
+        &self,
+        marker: Marker,
+        out: &mut Vec<(NodeId, Option<MarkerValue>)>,
+    ) -> usize {
+        let before = out.len();
+        if let Some(row) = self.markers.row(marker) {
+            out.extend(
                 row.iter()
-                    .map(|local| (self.global(local), self.markers.value(marker, local)))
-                    .collect()
-            })
-            .unwrap_or_default()
+                    .map(|local| (self.global(local), self.markers.value(marker, local))),
+            );
+        }
+        out.len() - before
     }
 
     /// `COLLECT-RELATION` local part: links of `relation` at marked
@@ -530,19 +606,49 @@ impl Region {
         relation: RelationType,
     ) -> Vec<(NodeId, snap_kb::Link)> {
         let mut out = Vec::new();
+        self.collect_relation_into(network, marker, relation, &mut out);
+        out
+    }
+
+    /// [`Region::collect_relation`] appending into a caller-owned
+    /// buffer, returning how many pairs this region contributed.
+    pub fn collect_relation_into(
+        &self,
+        network: &SemanticNetwork,
+        marker: Marker,
+        relation: RelationType,
+        out: &mut Vec<(NodeId, snap_kb::Link)>,
+    ) -> usize {
+        let before = out.len();
         for node in self.active_nodes_iter(marker) {
             for link in network.links_by(node, relation) {
                 out.push((node, *link));
             }
         }
-        out
+        out.len() - before
     }
 
     /// `COLLECT-COLOR` local part: colors of marked member nodes.
     pub fn collect_color(&self, network: &SemanticNetwork, marker: Marker) -> Vec<(NodeId, Color)> {
-        self.active_nodes_iter(marker)
-            .filter_map(|n| network.color(n).ok().map(|c| (n, c)))
-            .collect()
+        let mut out = Vec::new();
+        self.collect_color_into(network, marker, &mut out);
+        out
+    }
+
+    /// [`Region::collect_color`] appending into a caller-owned buffer,
+    /// returning how many pairs this region contributed.
+    pub fn collect_color_into(
+        &self,
+        network: &SemanticNetwork,
+        marker: Marker,
+        out: &mut Vec<(NodeId, Color)>,
+    ) -> usize {
+        let before = out.len();
+        out.extend(
+            self.active_nodes_iter(marker)
+                .filter_map(|n| network.color(n).ok().map(|c| (n, c))),
+        );
+        out.len() - before
     }
 }
 

@@ -218,6 +218,64 @@ impl RunReport {
         *self.class_counts.entry(class).or_insert(0) += 1;
         *self.class_time_ns.entry(class).or_insert(0) += ns;
     }
+
+    /// Resets a pooled report in place for the next query, keeping
+    /// every allocation warm: vectors clear but keep capacity, and the
+    /// class maps **zero their values instead of dropping keys** — so
+    /// steady-state [`RunReport::record`] hits existing entries and
+    /// allocates no tree nodes. Stale zero-count keys are purged by
+    /// [`RunReport::seal_for_pool`] after the run (removal frees, it
+    /// never allocates), keeping the finished report structurally equal
+    /// to a freshly built one. The `partition` field is deliberately
+    /// preserved: it describes the serving snapshot, which outlives the
+    /// query.
+    pub fn reset_for_pool(&mut self) {
+        self.total_ns = 0;
+        self.wall_ns = 0;
+        for v in self.class_counts.values_mut() {
+            *v = 0;
+        }
+        for v in self.class_time_ns.values_mut() {
+            *v = 0;
+        }
+        self.collects.clear();
+        self.overhead = OverheadBreakdown::default();
+        self.traffic.messages_per_sync.clear();
+        self.traffic.total_messages = 0;
+        self.traffic.tasks_sent = 0;
+        self.traffic.total_hops = 0;
+        self.traffic.local_activations = 0;
+        self.traffic.blocked_sends = 0;
+        self.barriers = 0;
+        self.expansions = 0;
+        self.alpha_per_propagate.clear();
+        self.max_propagation_depth = 0;
+        self.perf_events = 0;
+        self.perf_dropped = 0;
+        // Rebuilding these defaults allocates (the trace report holds
+        // histograms); an untouched one is already equal to default, so
+        // only replace what a run actually wrote into.
+        if !self.faults.is_empty() {
+            self.faults = FaultReport::default();
+        }
+        if !self.trace.is_empty() {
+            self.trace = TraceReport::default();
+        }
+        self.schedule_digest = 0;
+    }
+
+    /// Drops the class-map keys a pooled run never touched, making the
+    /// report byte-equal to one built from `RunReport::default()` —
+    /// the other half of [`RunReport::reset_for_pool`]'s contract.
+    pub fn seal_for_pool(&mut self) {
+        let RunReport {
+            class_counts,
+            class_time_ns,
+            ..
+        } = self;
+        class_counts.retain(|_, v| *v > 0);
+        class_time_ns.retain(|c, _| class_counts.contains_key(c));
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +326,49 @@ mod tests {
             collect_ns: 4,
         };
         assert_eq!(o.total_ns(), 10);
+    }
+
+    #[test]
+    fn pooled_reset_and_seal_reproduce_a_fresh_report() {
+        let mut pooled = RunReport::default();
+        pooled.record(InstrClass::Propagate, 100);
+        pooled.record(InstrClass::Boolean, 25);
+        pooled.collects.push(CollectOutput::Nodes(vec![]));
+        pooled.traffic.local_activations = 9;
+        pooled.alpha_per_propagate.push(4);
+        pooled.total_ns = 125;
+        // Next query touches a different class mix: the Boolean keys go
+        // stale at zero and must be purged by seal.
+        pooled.reset_for_pool();
+        pooled.record(InstrClass::Search, 10);
+        pooled.record(InstrClass::Propagate, 70);
+        pooled.total_ns = 80;
+        pooled.seal_for_pool();
+        let mut fresh = RunReport::default();
+        fresh.record(InstrClass::Search, 10);
+        fresh.record(InstrClass::Propagate, 70);
+        fresh.total_ns = 80;
+        assert_eq!(pooled, fresh);
+    }
+
+    #[test]
+    fn pooled_reset_preserves_partition() {
+        let mut r = RunReport {
+            partition: Some(snap_kb::PartitionStats {
+                scheme: snap_kb::PartitionScheme::RoundRobin,
+                clusters: 1,
+                nodes: 0,
+                total_links: 0,
+                cut_links: 0,
+                cut_fraction: 0.0,
+                max_load: 0,
+                load_balance: 1.0,
+                per_cluster: Vec::new(),
+            }),
+            ..RunReport::default()
+        };
+        r.reset_for_pool();
+        assert!(r.partition.is_some(), "partition outlives the query");
     }
 
     #[test]

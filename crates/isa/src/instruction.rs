@@ -292,37 +292,50 @@ impl Instruction {
     /// Markers this instruction reads (used by β-parallelism analysis and
     /// by the controller to decide which barriers are required).
     pub fn reads(&self) -> Vec<Marker> {
+        self.reads_fixed().into_iter().flatten().collect()
+    }
+
+    /// Allocation-free [`Instruction::reads`]: no instruction reads more
+    /// than two markers, so the set fits a fixed pair. Iterate with
+    /// `.into_iter().flatten()`. Pooled serving planners use this form.
+    pub fn reads_fixed(&self) -> [Option<Marker>; 2] {
         use Instruction::*;
         match self {
-            Propagate { source, .. } => vec![*source],
-            AndMarker { a, b, .. } | OrMarker { a, b, .. } => vec![*a, *b],
-            NotMarker { source, .. } => vec![*source],
-            FuncMarker { marker, .. } => vec![*marker],
+            Propagate { source, .. } => [Some(*source), None],
+            AndMarker { a, b, .. } | OrMarker { a, b, .. } => [Some(*a), Some(*b)],
+            NotMarker { source, .. } => [Some(*source), None],
+            FuncMarker { marker, .. } => [Some(*marker), None],
             MarkerCreate { marker, .. }
             | MarkerDelete { marker, .. }
             | MarkerSetColor { marker, .. }
             | CollectMarker { marker }
             | CollectRelation { marker, .. }
-            | CollectColor { marker } => vec![*marker],
-            _ => Vec::new(),
+            | CollectColor { marker } => [Some(*marker), None],
+            _ => [None, None],
         }
     }
 
     /// Markers this instruction writes.
     pub fn writes(&self) -> Vec<Marker> {
+        self.writes_fixed().into_iter().flatten().collect()
+    }
+
+    /// Allocation-free [`Instruction::writes`] — the write-set twin of
+    /// [`Instruction::reads_fixed`].
+    pub fn writes_fixed(&self) -> [Option<Marker>; 2] {
         use Instruction::*;
         match self {
-            Propagate { target, .. } => vec![*target],
+            Propagate { target, .. } => [Some(*target), None],
             AndMarker { target, .. } | OrMarker { target, .. } | NotMarker { target, .. } => {
-                vec![*target]
+                [Some(*target), None]
             }
             SearchNode { marker, .. }
             | SearchRelation { marker, .. }
             | SearchColor { marker, .. }
             | SetMarker { marker, .. }
             | ClearMarker { marker }
-            | FuncMarker { marker, .. } => vec![*marker],
-            _ => Vec::new(),
+            | FuncMarker { marker, .. } => [Some(*marker), None],
+            _ => [None, None],
         }
     }
 

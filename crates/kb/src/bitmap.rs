@@ -140,6 +140,94 @@ impl Bitmap {
     }
 }
 
+/// The lane-major transposition of up to [`BITMAP_WORD_BITS`] per-lane
+/// [`Bitmap`]s: one K-bit lane-mask word per *slot* (a node, or a
+/// `(state, node)` site flattened by the caller), bit `k` of
+/// `word(slot)` meaning "lane `k` has touched this slot".
+///
+/// Where a batch of K lanes would otherwise probe K separate bitmaps, a
+/// plane answers "which lanes have seen this slot?" with one load and
+/// records first touches for *all* lanes with one OR — the word-at-a-
+/// time check-and-set behind the bit-sliced multi-query kernel.
+///
+/// Clearing is proportional to the slots actually touched, not the
+/// arena size: [`LanePlane::or`] logs each slot on its `0 → nonzero`
+/// transition and [`LanePlane::reset`] zeroes only that log, so pooled
+/// planes reset in O(frontier), keeping steady-state serving
+/// allocation- and sweep-free.
+///
+/// # Examples
+///
+/// ```
+/// use snap_kb::LanePlane;
+/// let mut plane = LanePlane::new();
+/// plane.ensure(100);
+/// // Lanes 0 and 3 arrive at slot 42 together: one word op.
+/// assert_eq!(plane.or(42, 0b1001), 0, "no lane had seen slot 42");
+/// // Lane 3 again plus lane 1: the returned word says lane 3 is stale.
+/// assert_eq!(plane.or(42, 0b1010), 0b1001);
+/// plane.reset();
+/// assert_eq!(plane.word(42), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LanePlane {
+    words: Vec<u64>,
+    /// Slots whose word went `0 → nonzero` since the last reset; each
+    /// nonzero word appears here exactly once.
+    touched: Vec<u32>,
+}
+
+impl LanePlane {
+    /// Creates an empty plane; [`LanePlane::ensure`] sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the plane to cover `slots` slots (never shrinks).
+    pub fn ensure(&mut self, slots: usize) {
+        if slots > self.words.len() {
+            self.words.resize(slots, 0);
+        }
+    }
+
+    /// ORs `mask` into `slot`'s lane word and returns the word as it
+    /// was **before** the OR — `!prev & mask` are the lanes whose touch
+    /// is a guaranteed first visit. Grows past the ensured size on
+    /// demand, like [`Bitmap`].
+    #[inline]
+    pub fn or(&mut self, slot: usize, mask: u64) -> u64 {
+        if slot >= self.words.len() {
+            self.words.resize(slot + 1, 0);
+        }
+        let prev = self.words[slot];
+        if prev == 0 && mask != 0 {
+            self.touched.push(slot as u32);
+        }
+        self.words[slot] = prev | mask;
+        prev
+    }
+
+    /// Reads `slot`'s lane word. Out-of-range slots read as all-clear.
+    #[inline]
+    pub fn word(&self, slot: usize) -> u64 {
+        self.words.get(slot).copied().unwrap_or(0)
+    }
+
+    /// The slots holding a nonzero lane word, in first-touch order.
+    #[inline]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Clears the plane in O(touched slots), keeping storage.
+    pub fn reset(&mut self) {
+        for &slot in &self.touched {
+            self.words[slot as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
 /// Iterator over the set bits of a [`Bitmap`], yielding [`NodeId`]s.
 #[derive(Debug, Clone)]
 pub struct BitmapBits<'a> {
@@ -230,7 +318,57 @@ mod tests {
         assert!(map.set(NodeId(500)), "reusable after reset");
     }
 
+    #[test]
+    fn lane_plane_first_touch_and_reset() {
+        let mut plane = LanePlane::new();
+        plane.ensure(4);
+        assert_eq!(plane.or(2, 0b01), 0);
+        assert_eq!(plane.or(2, 0b10), 0b01, "prev word exposes stale lanes");
+        assert_eq!(plane.or(9, 1 << 63), 0, "grows past ensured size");
+        assert_eq!(plane.word(2), 0b11);
+        assert_eq!(plane.touched(), &[2, 9]);
+        assert_eq!(plane.or(3, 0), 0, "zero mask never logs a touch");
+        plane.reset();
+        assert_eq!(plane.word(2), 0);
+        assert_eq!(plane.word(9), 0);
+        assert!(plane.touched().is_empty());
+        // Reusable after reset: touches log again from scratch.
+        assert_eq!(plane.or(9, 1), 0);
+        assert_eq!(plane.touched(), &[9]);
+    }
+
     proptest! {
+        #[test]
+        fn prop_lane_plane_matches_per_lane_bitmaps(
+            ops in proptest::collection::vec((0usize..256, 0u8..8), 0..128),
+        ) {
+            // One plane vs 8 independent bitmaps: or() must report
+            // exactly the lanes each slot had already seen.
+            let mut plane = LanePlane::new();
+            let mut maps: Vec<Bitmap> = (0..8).map(|_| Bitmap::new(256)).collect();
+            for &(slot, lane) in &ops {
+                let prev = plane.or(slot, 1 << lane);
+                for (k, map) in maps.iter().enumerate() {
+                    prop_assert_eq!(
+                        prev & (1 << k) != 0,
+                        map.test(NodeId(slot as u32)),
+                        "slot {} lane {}", slot, k
+                    );
+                }
+                maps[lane as usize].set(NodeId(slot as u32));
+            }
+            for &(slot, _) in &ops {
+                for (k, map) in maps.iter().enumerate() {
+                    prop_assert_eq!(
+                        plane.word(slot) & (1 << k) != 0,
+                        map.test(NodeId(slot as u32))
+                    );
+                }
+            }
+            plane.reset();
+            prop_assert!((0..256).all(|s| plane.word(s) == 0));
+        }
+
         #[test]
         fn prop_matches_reference_set(
             nodes in 1usize..512,

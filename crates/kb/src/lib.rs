@@ -51,7 +51,7 @@ pub mod reference;
 mod status;
 pub mod synth;
 
-pub use bitmap::{Bitmap, BitmapBits, BITMAP_WORD_BITS};
+pub use bitmap::{Bitmap, BitmapBits, LanePlane, BITMAP_WORD_BITS};
 pub use error::KbError;
 pub use ids::{ClusterId, Color, NodeId, RelationType};
 pub use io::ParseNetworkError;

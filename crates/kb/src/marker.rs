@@ -275,6 +275,67 @@ impl MarkerState {
         Ok(())
     }
 
+    /// Bulk [`MarkerState::set_value`]: writes a run of `(node, value)`
+    /// payloads on one complex marker, checking the register and
+    /// fetching the status/value rows **once** instead of per node.
+    /// This is the absorb path of the bit-sliced serving kernel, which
+    /// accumulates a whole propagation's marker writes before touching
+    /// the region.
+    ///
+    /// # Errors
+    ///
+    /// Same per-item contract as [`MarkerState::set_value`]:
+    /// [`KbError::MarkerOutOfRange`] for a bad register (or a binary
+    /// marker), [`KbError::UnknownNode`] for a node outside the region
+    /// — items before the failing one stay written.
+    pub fn merge_values(
+        &mut self,
+        marker: Marker,
+        items: impl Iterator<Item = (NodeId, MarkerValue)>,
+    ) -> Result<(), KbError> {
+        if marker.kind() != MarkerKind::Complex {
+            return Err(KbError::MarkerOutOfRange {
+                index: marker.index(),
+                capacity: 0,
+            });
+        }
+        self.check(marker)?;
+        let nodes = self.nodes;
+        let row = {
+            let slot = &mut self.complex_status[marker.index() as usize];
+            slot.get_or_insert_with(|| StatusRow::new(nodes))
+        };
+        let vals = self.values[marker.index() as usize]
+            .get_or_insert_with(|| vec![MarkerValue::default(); nodes]);
+        for (node, value) in items {
+            if node.index() >= nodes {
+                return Err(KbError::UnknownNode(node));
+            }
+            row.set(node);
+            vals[node.index()] = value;
+        }
+        Ok(())
+    }
+
+    /// Bulk [`MarkerState::set`] for one binary marker: one register
+    /// check and one row fetch for the whole run of nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KbError::MarkerOutOfRange`] for an invalid register
+    /// index.
+    pub fn merge_bits(
+        &mut self,
+        marker: Marker,
+        items: impl Iterator<Item = NodeId>,
+    ) -> Result<(), KbError> {
+        let row = self.row_mut(marker)?;
+        for node in items {
+            row.set(node);
+        }
+        Ok(())
+    }
+
     /// Clears every instance of `marker` across the region. Returns the
     /// number of status words touched (cost-model unit).
     ///
@@ -447,6 +508,68 @@ mod tests {
         )
         .unwrap();
         assert_eq!(st.value(m, NodeId(4)).unwrap().value, 9.0);
+    }
+
+    #[test]
+    fn merge_values_matches_per_node_writes() {
+        let mut bulk = MarkerState::new(20, 2, 2);
+        let mut scalar = MarkerState::new(20, 2, 2);
+        let m = Marker::complex(1);
+        let items = [
+            (
+                NodeId(3),
+                MarkerValue {
+                    value: 1.5,
+                    origin: NodeId(7),
+                },
+            ),
+            (
+                NodeId(9),
+                MarkerValue {
+                    value: 0.5,
+                    origin: NodeId(3),
+                },
+            ),
+            (
+                NodeId(3),
+                MarkerValue {
+                    value: 0.25,
+                    origin: NodeId(1),
+                },
+            ),
+        ];
+        bulk.merge_values(m, items.iter().copied()).unwrap();
+        for (n, v) in items {
+            scalar.set_value(m, n, v).unwrap();
+        }
+        assert_eq!(bulk.count(m), scalar.count(m));
+        for n in 0..20u32 {
+            assert_eq!(bulk.value(m, NodeId(n)), scalar.value(m, NodeId(n)));
+        }
+        // Same per-item errors as the scalar path.
+        let err = bulk
+            .merge_values(m, std::iter::once((NodeId(99), MarkerValue::default())))
+            .unwrap_err();
+        assert_eq!(err, KbError::UnknownNode(NodeId(99)));
+        assert!(matches!(
+            bulk.merge_values(Marker::binary(0), std::iter::empty())
+                .unwrap_err(),
+            KbError::MarkerOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn merge_bits_matches_per_node_writes() {
+        let mut st = MarkerState::new(40, 1, 2);
+        let b = Marker::binary(1);
+        st.merge_bits(b, [NodeId(5), NodeId(1), NodeId(5)].into_iter())
+            .unwrap();
+        assert_eq!(st.active_nodes(b), vec![NodeId(1), NodeId(5)]);
+        assert!(matches!(
+            st.merge_bits(Marker::binary(2), std::iter::empty())
+                .unwrap_err(),
+            KbError::MarkerOutOfRange { .. }
+        ));
     }
 
     #[test]

@@ -2,126 +2,359 @@
 //! at once.
 //!
 //! Non-propagate instructions execute per query through the shared
-//! read-only semantics ([`exec_single_shared`]); every `PROPAGATE` runs
-//! as one fused multi-query wave, so the batch pays each CSR row probe
-//! and rank merge once. Accounting replicates the sequential engine's
-//! shared-snapshot entry point instruction for instruction, which is
-//! what the differential tests pin down: each lane's `RunReport` —
-//! collects, expansions, local activations, simulated nanoseconds — is
-//! identical to running that query alone through
+//! read-only semantics ([`exec_single_shared_into`]); every `PROPAGATE`
+//! runs as one fused multi-query wave. The default kernel is the
+//! bit-sliced sweep ([`propagate_multi_wave_sliced`]): per-lane visited
+//! state lives in lane-major bit-planes, so the first-touch
+//! check-and-set for all `K ≤ 64` lanes is one AND/OR per site and only
+//! improvement comparisons replay per lane. Batches deeper than 64
+//! lanes, and servers configured with [`BatchKernel::Replay`], take the
+//! per-lane replay kernel ([`propagate_multi_wave`]) — the executable
+//! spec the sliced path is differentially tested against.
+//!
+//! Accounting replicates the sequential engine's shared-snapshot entry
+//! point instruction for instruction, which is what the differential
+//! tests pin down: each lane's `RunReport` — collects, expansions,
+//! local activations, simulated nanoseconds — is identical to running
+//! that query alone through
 //! [`Snap1::run_shared`](snap_core::Snap1::run_shared).
+//!
+//! Everything the executor needs per pump lives in [`BatchScratch`] and
+//! the pooled [`QueryContext`]s, so steady-state serving allocates
+//! nothing: plans, seed buffers, lane frontiers, bit-planes, and report
+//! maps all keep their capacity across batches.
 
 use crate::context::QueryContext;
-use snap_core::controller::{plan, PropSpec, Step};
-use snap_core::exec::{exec_single_shared, SingleOutcome};
-use snap_core::kernel::{propagate_multi_wave, BatchLane, MultiWaveScratch, WaveSink};
+use snap_core::controller::{PlanBuf, PlanOp};
+use snap_core::exec::{exec_single_shared_into, SingleOutcome};
+use snap_core::kernel::{
+    propagate_multi_wave, propagate_multi_wave_sliced, BatchLane, MultiWaveScratch,
+    SlicedLaneReport, WaveSink, MAX_SLICED_LANES,
+};
 use snap_core::propagate::{PropArrival, PropTask};
 use snap_core::{CoreError, CostModel, Region, RunReport};
-use snap_isa::{InstrClass, Program};
-use snap_kb::{Marker, NodeId, PartitionStats, SemanticNetwork};
+use snap_isa::{InstrClass, Instruction, Program, RuleProgram, StepFunc};
+use snap_kb::{Marker, MarkerKind, NodeId, SemanticNetwork};
 use snap_mem::SimTime;
+
+/// Which fused propagation kernel a batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchKernel {
+    /// Bit-sliced lane-parallel sweep — one lane-mask word per visited
+    /// site advances every lane at once. Batches deeper than
+    /// [`MAX_SLICED_LANES`] fall back to replay automatically.
+    #[default]
+    Sliced,
+    /// Per-lane replay of the scalar spec — the executable reference
+    /// the sliced kernel is differentially tested against.
+    Replay,
+}
+
+/// Pooled executor state shared by every batch a server pumps: the
+/// controller plan, instruction outcome, lane frontiers, wave scratch,
+/// per-lane clocks and sliced reports, and the compiled-rule cache.
+/// Everything resets in place, so the steady-state pump allocates
+/// nothing.
+pub(crate) struct BatchScratch {
+    plan: PlanBuf,
+    single: SingleOutcome,
+    lanes: Vec<BatchLane>,
+    wave: MultiWaveScratch,
+    now: Vec<SimTime>,
+    out: Vec<SlicedLaneReport>,
+    /// Compiled rules keyed by their `PROPAGATE` instruction. Serving
+    /// workloads cycle through a handful of shapes, so a small linear
+    /// cache removes `RuleProgram` compilation (and its allocations)
+    /// from the steady state; it is cleared if it ever overflows.
+    rules: Vec<(Instruction, RuleProgram)>,
+}
+
+impl BatchScratch {
+    pub(crate) fn new() -> Self {
+        BatchScratch {
+            plan: PlanBuf::new(),
+            single: SingleOutcome::default(),
+            lanes: Vec::new(),
+            wave: MultiWaveScratch::new(),
+            now: Vec::new(),
+            out: Vec::new(),
+            rules: Vec::new(),
+        }
+    }
+}
+
+/// Looks up (or compiles and caches) the rule of a `PROPAGATE`
+/// instruction.
+fn cached_rule<'a>(
+    rules: &'a mut Vec<(Instruction, RuleProgram)>,
+    instr: &Instruction,
+) -> &'a RuleProgram {
+    let idx = match rules.iter().position(|(key, _)| key == instr) {
+        Some(i) => i,
+        None => {
+            let Instruction::Propagate { rule, .. } = instr else {
+                unreachable!("plan groups only propagates");
+            };
+            if rules.len() >= 64 {
+                rules.clear();
+            }
+            rules.push((instr.clone(), rule.compile()));
+            rules.len() - 1
+        }
+    };
+    &rules[idx].1
+}
 
 /// Executes `programs` (all of one shape — same instruction classes,
 /// markers, and propagation rules) against the shared snapshot, one
-/// context per query, returning per-query reports in input order.
+/// context per query, accumulating each query's report in its context
+/// (in input order).
 pub(crate) fn run_batch(
     cost: &CostModel,
     max_hops: u8,
+    kernel: BatchKernel,
     network: &SemanticNetwork,
-    partition: &PartitionStats,
     programs: &[&Program],
     ctxs: &mut [QueryContext],
-    scratch: &mut MultiWaveScratch,
-) -> Result<Vec<RunReport>, CoreError> {
+    scratch: &mut BatchScratch,
+) -> Result<(), CoreError> {
     debug_assert_eq!(programs.len(), ctxs.len());
     let k = programs.len();
-    let mut reports: Vec<RunReport> = (0..k)
-        .map(|_| RunReport {
-            partition: Some(partition.clone()),
-            ..RunReport::default()
-        })
-        .collect();
-    let mut now: Vec<SimTime> = vec![0; k];
+    let BatchScratch {
+        plan,
+        single,
+        lanes,
+        wave,
+        now,
+        out,
+        rules,
+    } = scratch;
+    now.clear();
+    now.resize(k, 0);
+    plan.plan(programs[0]);
+    let sliced = kernel == BatchKernel::Sliced && k <= MAX_SLICED_LANES;
 
-    for step in plan(programs[0]) {
-        match step {
-            Step::Instr(idx) => {
-                for q in 0..k {
+    for oi in 0..plan.ops().len() {
+        match plan.ops()[oi] {
+            PlanOp::Instr(idx) => {
+                for (q, ctx) in ctxs.iter_mut().enumerate() {
                     let instr = &programs[q].instructions()[idx];
-                    let regions = std::slice::from_mut(&mut ctxs[q].region);
-                    let out = exec_single_shared(instr, network, regions)?;
-                    let ns = instr_cost(cost, instr.class(), &out, &mut reports[q]);
+                    if instr.class() == InstrClass::Collect {
+                        // Hand the executor an emptied collect buffer
+                        // reclaimed from this context's previous report,
+                        // so the result payload reuses its capacity.
+                        single.collect = ctx.spare_collects.pop();
+                    }
+                    exec_single_shared_into(
+                        instr,
+                        network,
+                        std::slice::from_mut(&mut ctx.region),
+                        single,
+                    )?;
+                    let ns = instr_cost(cost, instr.class(), single, &mut ctx.report);
                     now[q] += ns;
-                    reports[q].record(instr.class(), ns);
-                    if let Some(c) = out.collect {
-                        reports[q].collects.push(c);
+                    ctx.report.record(instr.class(), ns);
+                    if let Some(c) = single.collect.take() {
+                        ctx.report.collects.push(c);
                     }
                 }
             }
-            Step::Group(indices) => {
-                for (g, &idx) in indices.iter().enumerate() {
-                    let spec = PropSpec::compile(g, &programs[0].instructions()[idx]);
-                    let seeds: Vec<Vec<(NodeId, f32)>> = ctxs
-                        .iter()
-                        .map(|c| {
-                            c.region
-                                .active_nodes(spec.source)
-                                .into_iter()
-                                .map(|n| (n, c.region.source_value(spec.source, n)))
-                                .collect()
-                        })
-                        .collect();
-                    let slices: Vec<&[(NodeId, f32)]> = seeds.iter().map(Vec::as_slice).collect();
-                    // Split each context: lanes move into the kernel by
-                    // value, regions stay mutably borrowed by the sinks.
-                    let mut lanes: Vec<BatchLane> = ctxs
-                        .iter_mut()
-                        .map(|c| std::mem::take(&mut c.lane))
-                        .collect();
-                    let mut sinks: Vec<ServeSink> = ctxs
-                        .iter_mut()
-                        .zip(reports.iter_mut())
-                        .zip(&seeds)
-                        .map(|((c, report), s)| {
-                            report.alpha_per_propagate.push(s.len() as u64);
-                            ServeSink {
-                                cost,
-                                region: &mut c.region,
-                                target: spec.target,
-                                report,
-                                ns: cost.pu_decode_ns,
-                            }
-                        })
-                        .collect();
-                    let res = propagate_multi_wave(
-                        network, &spec.rule, spec.func, spec.prop, max_hops, &slices, &mut lanes,
-                        scratch, &mut sinks,
-                    );
-                    let ns: Vec<SimTime> = sinks.iter().map(|s| s.ns).collect();
-                    drop(sinks);
-                    for (c, lane) in ctxs.iter_mut().zip(lanes) {
-                        c.lane = lane;
+            PlanOp::Group { start, len } => {
+                for g in 0..len as usize {
+                    let idx = plan.members(start, len)[g] as usize;
+                    let instr = &programs[0].instructions()[idx];
+                    let (source, target, func) = match *instr {
+                        Instruction::Propagate {
+                            source,
+                            target,
+                            func,
+                            ..
+                        } => (source, target, func),
+                        _ => unreachable!("plan groups only propagates"),
+                    };
+                    let rule = cached_rule(rules, instr);
+                    // Seed frontiers and α accounting, per lane.
+                    for ctx in ctxs.iter_mut() {
+                        let QueryContext {
+                            region,
+                            report,
+                            seeds,
+                            ..
+                        } = ctx;
+                        seeds.clear();
+                        for n in region.active_nodes_iter(source) {
+                            seeds.push((n, region.source_value(source, n)));
+                        }
+                        report.alpha_per_propagate.push(seeds.len() as u64);
                     }
-                    res?;
-                    for q in 0..k {
-                        now[q] += ns[q];
-                        reports[q].record(InstrClass::Propagate, ns[q]);
+                    if sliced {
+                        run_group_sliced(
+                            cost, max_hops, network, ctxs, lanes, wave, out, rule, func, g, target,
+                            now,
+                        )?;
+                    } else {
+                        run_group_replay(
+                            cost, max_hops, network, ctxs, lanes, wave, rule, func, g, target, now,
+                        )?;
                     }
                 }
                 // Implicit barrier closing the group, per query.
-                for (q, report) in reports.iter_mut().enumerate() {
+                for (q, ctx) in ctxs.iter_mut().enumerate() {
                     now[q] += cost.sync_base_ns;
-                    report.overhead.sync_ns += cost.sync_base_ns;
-                    report.barriers += 1;
-                    report.traffic.messages_per_sync.push(0);
+                    ctx.report.overhead.sync_ns += cost.sync_base_ns;
+                    ctx.report.barriers += 1;
+                    ctx.report.traffic.messages_per_sync.push(0);
                 }
             }
         }
     }
-    for (q, report) in reports.iter_mut().enumerate() {
-        report.total_ns = now[q];
+    for (q, ctx) in ctxs.iter_mut().enumerate() {
+        ctx.report.total_ns = now[q];
+        // Purge classes this query never recorded, so a pooled report is
+        // indistinguishable from a freshly built one.
+        ctx.report.seal_for_pool();
     }
-    Ok(reports)
+    Ok(())
+}
+
+/// One propagation of a group through the bit-sliced kernel: pre-seed
+/// the marker plane with any existing target state, sweep, then absorb
+/// each lane's folded fixed point and charge its accumulated cost.
+#[allow(clippy::too_many_arguments)]
+fn run_group_sliced(
+    cost: &CostModel,
+    max_hops: u8,
+    network: &SemanticNetwork,
+    ctxs: &mut [QueryContext],
+    lanes: &mut Vec<BatchLane>,
+    wave: &mut MultiWaveScratch,
+    out: &mut Vec<SlicedLaneReport>,
+    rule: &RuleProgram,
+    func: StepFunc,
+    prop: usize,
+    target: Marker,
+    now: &mut [SimTime],
+) -> Result<(), CoreError> {
+    let k = ctxs.len();
+    let complex = target.kind() == MarkerKind::Complex;
+    wave.begin_sliced(k, rule.states().len(), network.node_count());
+    // The epsilon merge fold is order-sensitive, so any pre-existing
+    // target state must enter the plane *before* arrivals fold into it.
+    for (q, ctx) in ctxs.iter().enumerate() {
+        if ctx.region.count(target) > 0 {
+            for node in ctx.region.active_nodes_iter(target) {
+                let value = if complex {
+                    ctx.region.value(target, node)
+                } else {
+                    None
+                };
+                wave.seed_marker(q, node, value);
+            }
+        }
+    }
+    if lanes.len() < k {
+        lanes.resize_with(k, BatchLane::new);
+    }
+    out.clear();
+    out.resize(k, SlicedLaneReport::default());
+    let mut seed_slices: [&[(NodeId, f32)]; MAX_SLICED_LANES] = [&[]; MAX_SLICED_LANES];
+    for (q, ctx) in ctxs.iter().enumerate() {
+        seed_slices[q] = &ctx.seeds;
+    }
+    propagate_multi_wave_sliced(
+        network,
+        rule,
+        func,
+        prop,
+        max_hops,
+        &seed_slices[..k],
+        &mut lanes[..k],
+        wave,
+        complex,
+        |segments, links, arrivals| cost.expand_ns(segments, links, arrivals),
+        out,
+    );
+    for (q, ctx) in ctxs.iter_mut().enumerate() {
+        let r = &out[q];
+        let ns = cost.pu_decode_ns + r.expand_ns;
+        now[q] += ns;
+        ctx.report.expansions += r.expansions;
+        ctx.report.traffic.local_activations += r.activations;
+        ctx.report.max_propagation_depth = ctx.report.max_propagation_depth.max(r.max_depth);
+        ctx.report.record(InstrClass::Propagate, ns);
+        if complex {
+            ctx.region.absorb_values(
+                target,
+                wave.marker_results(q, true)
+                    .map(|(n, v)| (n, v.expect("complex lanes carry payloads"))),
+            )?;
+        } else {
+            ctx.region
+                .absorb_bits(target, wave.marker_results(q, false).map(|(n, _)| n))?;
+        }
+    }
+    Ok(())
+}
+
+/// One propagation of a group through the per-lane replay kernel — the
+/// executable spec, also the fallback for batches deeper than
+/// [`MAX_SLICED_LANES`]. Allocates per call; only the sliced path is
+/// allocation-free.
+#[allow(clippy::too_many_arguments)]
+fn run_group_replay(
+    cost: &CostModel,
+    max_hops: u8,
+    network: &SemanticNetwork,
+    ctxs: &mut [QueryContext],
+    lanes: &mut Vec<BatchLane>,
+    wave: &mut MultiWaveScratch,
+    rule: &RuleProgram,
+    func: StepFunc,
+    prop: usize,
+    target: Marker,
+    now: &mut [SimTime],
+) -> Result<(), CoreError> {
+    let k = ctxs.len();
+    if lanes.len() < k {
+        lanes.resize_with(k, BatchLane::new);
+    }
+    let mut slices: Vec<&[(NodeId, f32)]> = Vec::with_capacity(k);
+    let mut sinks: Vec<ServeSink> = Vec::with_capacity(k);
+    for ctx in ctxs.iter_mut() {
+        let QueryContext {
+            region,
+            report,
+            seeds,
+            ..
+        } = ctx;
+        slices.push(seeds);
+        sinks.push(ServeSink {
+            cost,
+            region,
+            target,
+            report,
+            ns: cost.pu_decode_ns,
+        });
+    }
+    let res = propagate_multi_wave(
+        network,
+        rule,
+        func,
+        prop,
+        max_hops,
+        &slices,
+        &mut lanes[..k],
+        wave,
+        &mut sinks,
+    );
+    let ns: Vec<SimTime> = sinks.iter().map(|s| s.ns).collect();
+    drop(sinks);
+    res?;
+    for (q, ctx) in ctxs.iter_mut().enumerate() {
+        now[q] += ns[q];
+        ctx.report.record(InstrClass::Propagate, ns[q]);
+    }
+    Ok(())
 }
 
 /// Single-PE cost of one non-propagate instruction — the sequential
@@ -161,7 +394,7 @@ fn instr_cost(
         }
 }
 
-/// Per-lane engine accounting behind the fused kernel: the sequential
+/// Per-lane engine accounting behind the replay kernel: the sequential
 /// engine's wave sink minus tracing — same report fields, same cost-
 /// model nanoseconds, same region merges, in the same event order.
 struct ServeSink<'a> {

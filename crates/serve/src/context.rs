@@ -1,34 +1,63 @@
 //! Per-query execution contexts, pooled across queries.
 
-use snap_core::kernel::BatchLane;
-use snap_core::{Region, RegionMap};
-use snap_kb::{ClusterId, SemanticNetwork};
+use snap_core::{CollectOutput, Region, RegionMap, RunReport};
+use snap_kb::{ClusterId, NodeId, PartitionStats, SemanticNetwork};
 use std::sync::Arc;
 
 /// One query's isolated execution state: its marker tables (a
-/// [`Region`] over the shared snapshot) and its lane through the fused
-/// propagation kernel (visited tables plus frontier buffers).
+/// [`Region`] over the shared snapshot), the report being accumulated
+/// for it, and its pooled seed buffer.
 ///
 /// Contexts are pooled by the [`Server`](crate::Server): after a batch
-/// completes, each context is [reset in place](Region::reset) and
+/// completes, each context is [reset in place](QueryContext::reset) and
 /// returned to the pool, so steady-state serving reuses the per-query
-/// marker and visited allocations instead of rebuilding them.
+/// marker tables, report maps, and seed buffers instead of rebuilding
+/// them — zero allocations per query once warm. The partition stats are
+/// stamped into the report once, at construction, and survive every
+/// reset.
 pub struct QueryContext {
     pub(crate) region: Region,
-    pub(crate) lane: BatchLane,
+    pub(crate) report: RunReport,
+    /// Seed frontier of the propagation currently being set up; lives
+    /// here (not in batch scratch) so its capacity pools per query.
+    pub(crate) seeds: Vec<(NodeId, f32)>,
+    /// Emptied collect buffers reclaimed from the previous query's
+    /// report; the batch executor pre-seeds the instruction executor
+    /// with them so `COLLECT-*` results reuse their capacity.
+    pub(crate) spare_collects: Vec<CollectOutput>,
 }
 
 impl QueryContext {
-    pub(crate) fn new(map: &Arc<RegionMap>, network: &SemanticNetwork) -> Self {
+    pub(crate) fn new(
+        map: &Arc<RegionMap>,
+        network: &SemanticNetwork,
+        partition: &PartitionStats,
+    ) -> Self {
         QueryContext {
             region: Region::new(ClusterId(0), Arc::clone(map), network),
-            lane: BatchLane::new(),
+            report: RunReport {
+                partition: Some(partition.clone()),
+                ..RunReport::default()
+            },
+            seeds: Vec::new(),
+            spare_collects: Vec::new(),
         }
     }
 
-    /// Clears all query-local marker state, keeping allocations. The
-    /// lane resets itself at the start of every fused sweep.
+    /// Clears all query-local state, keeping allocations (and the
+    /// stamped partition stats). Collect payloads migrate — emptied —
+    /// into the spare pool instead of being dropped.
     pub(crate) fn reset(&mut self) {
         self.region.reset();
+        for mut c in self.report.collects.drain(..) {
+            match &mut c {
+                CollectOutput::Nodes(v) => v.clear(),
+                CollectOutput::Links(v) => v.clear(),
+                CollectOutput::Colors(v) => v.clear(),
+            }
+            self.spare_collects.push(c);
+        }
+        self.report.reset_for_pool();
+        self.seeds.clear();
     }
 }

@@ -33,5 +33,8 @@ mod batch;
 mod context;
 mod server;
 
+pub use batch::BatchKernel;
 pub use context::QueryContext;
-pub use server::{Admission, Completion, QueryId, ServeConfig, ServeStats, Server, ShedReason};
+pub use server::{
+    Admission, Completion, CompletionRef, QueryId, ServeConfig, ServeStats, Server, ShedReason,
+};

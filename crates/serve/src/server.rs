@@ -1,8 +1,8 @@
 //! Admission, shape-compatible batching, and exact shed accounting.
 
-use crate::batch::run_batch;
+use crate::batch::{run_batch, BatchKernel, BatchScratch};
 use crate::context::QueryContext;
-use snap_core::kernel::{wave_supported, MultiWaveScratch};
+use snap_core::kernel::{wave_supported, MAX_SLICED_LANES};
 use snap_core::{CoreError, CostModel, EngineKind, MachineConfig, RegionMap, RunReport, Snap1};
 use snap_isa::{InstrClass, Instruction, Program};
 use snap_kb::{PartitionScheme, PartitionStats, SemanticNetwork};
@@ -27,6 +27,10 @@ pub struct ServeConfig {
     /// KB epoch this server serves; recorded for bookkeeping when a
     /// fleet of servers rotates through snapshot generations.
     pub epoch: u64,
+    /// Which fused kernel batches run. [`BatchKernel::Sliced`] (the
+    /// default) advances all lanes word-at-a-time; batches deeper than
+    /// [`MAX_SLICED_LANES`] fall back to per-lane replay automatically.
+    pub kernel: BatchKernel,
 }
 
 impl Default for ServeConfig {
@@ -37,6 +41,7 @@ impl Default for ServeConfig {
             max_hops: MachineConfig::snap1_eval().max_hops,
             cost: CostModel::snap1(),
             epoch: 0,
+            kernel: BatchKernel::default(),
         }
     }
 }
@@ -104,6 +109,20 @@ pub struct Completion {
     pub result: Result<RunReport, CoreError>,
 }
 
+/// Borrowed view of one finished query, as [`Server::pump_with`]
+/// delivers it: the report stays in its pooled context, so the
+/// steady-state serving loop observes completions without cloning — or
+/// allocating — anything.
+#[derive(Debug)]
+pub struct CompletionRef<'a> {
+    /// The admission handle this completion answers.
+    pub id: QueryId,
+    /// How many queries shared the fused batch (1 = served solo).
+    pub batch_depth: usize,
+    /// The query's report (identical to a solo run), or its error.
+    pub result: Result<&'a RunReport, &'a CoreError>,
+}
+
 struct Pending {
     id: QueryId,
     program: Program,
@@ -120,6 +139,11 @@ struct Pending {
 /// propagation batch. Head-of-line dispatch means no shape can starve:
 /// whatever is oldest runs next, bringing its compatible followers
 /// along.
+///
+/// Every buffer the pump touches — pending entries, batch staging,
+/// query contexts, kernel scratch — is pooled on the server, so
+/// steady-state serving ([`Server::pump_with`] after warm-up) performs
+/// no heap allocation per query.
 pub struct Server {
     network: Arc<SemanticNetwork>,
     map: Arc<RegionMap>,
@@ -129,8 +153,19 @@ pub struct Server {
     /// (oversized custom rules) and for batch-failure fallback.
     oracle: Snap1,
     queue: VecDeque<Pending>,
+    /// Spent [`Pending`] entries, recycled by `offer` (shape strings
+    /// and program slots keep their capacity).
+    free: Vec<Pending>,
+    /// Current batch being staged/served, drained back to `free`.
+    batch: Vec<Pending>,
+    /// Indices into `batch`: one per distinct program (lane owners).
+    uniq: Vec<usize>,
+    /// For each batch member, the lane index (into `uniq`) it reads.
+    rep_of: Vec<usize>,
     pool: Vec<QueryContext>,
-    scratch: MultiWaveScratch,
+    /// Contexts checked out for the batch in flight.
+    active: Vec<QueryContext>,
+    scratch: BatchScratch,
     stats: ServeStats,
     next_id: u64,
 }
@@ -166,8 +201,13 @@ impl Server {
             cfg,
             oracle,
             queue: VecDeque::new(),
+            free: Vec::new(),
+            batch: Vec::new(),
+            uniq: Vec::new(),
+            rep_of: Vec::new(),
             pool: Vec::new(),
-            scratch: MultiWaveScratch::new(),
+            active: Vec::new(),
+            scratch: BatchScratch::new(),
             stats: ServeStats::default(),
             next_id: 0,
         })
@@ -190,16 +230,19 @@ impl Server {
             self.stats.shed_overload += 1;
             return Admission::Shed(ShedReason::QueueFull);
         }
-        let (shape, fusable) = shape_key(&self.network, &program);
+        let mut p = self.free.pop().unwrap_or_else(|| Pending {
+            id: QueryId(0),
+            program: std::iter::empty::<Instruction>().collect(),
+            shape: String::new(),
+            fusable: false,
+        });
         let id = QueryId(self.next_id);
         self.next_id += 1;
+        p.id = id;
+        p.fusable = shape_key(&self.network, &program, &mut p.shape);
+        p.program = program;
         self.stats.admitted += 1;
-        self.queue.push_back(Pending {
-            id,
-            program,
-            shape,
-            fusable,
-        });
+        self.queue.push_back(p);
         Admission::Admitted(id)
     }
 
@@ -208,40 +251,69 @@ impl Server {
     /// wave — with bit-identical queries coalesced onto a single lane
     /// and sharing its report. Returns their completions (empty when
     /// the queue is idle).
+    ///
+    /// This convenience form clones each report out of its pooled
+    /// context; the steady-state serving loop uses
+    /// [`Server::pump_with`], which does not.
     pub fn pump(&mut self) -> Vec<Completion> {
+        let mut done = Vec::new();
+        self.pump_with(|c| {
+            done.push(Completion {
+                id: c.id,
+                batch_depth: c.batch_depth,
+                result: c.result.cloned().map_err(Clone::clone),
+            });
+        });
+        done
+    }
+
+    /// [`Server::pump`] without the clones: serves one batch and hands
+    /// each completion to `sink` as a borrowed [`CompletionRef`]. Once
+    /// the pools are warm, a pump performs no heap allocation.
+    pub fn pump_with(&mut self, mut sink: impl FnMut(CompletionRef<'_>)) {
         let Some(head) = self.queue.front() else {
-            return Vec::new();
+            return;
         };
         if !head.fusable {
             let p = self.queue.pop_front().expect("head exists");
             let result = self.oracle.run_shared(&self.network, &p.program);
-            self.settle(&result);
-            return vec![Completion {
+            match &result {
+                Ok(_) => self.stats.completed += 1,
+                Err(_) => self.stats.failed += 1,
+            }
+            sink(CompletionRef {
                 id: p.id,
                 batch_depth: 1,
-                result,
-            }];
+                result: result.as_ref(),
+            });
+            self.free.push(p);
+            return;
         }
-        let mut batch: Vec<Pending> = Vec::with_capacity(self.cfg.max_batch);
-        batch.push(self.queue.pop_front().expect("head exists"));
+        debug_assert!(self.batch.is_empty() && self.active.is_empty());
+        self.batch
+            .push(self.queue.pop_front().expect("head exists"));
         // Fast path: the matching prefix (steady-state serving is
         // shape-homogeneous, so this usually fills the batch without
         // touching the rest of the queue).
-        while batch.len() < self.cfg.max_batch {
-            match self.queue.front() {
-                Some(p) if p.fusable && p.shape == batch[0].shape => {
-                    batch.push(self.queue.pop_front().expect("front exists"));
-                }
-                _ => break,
+        while self.batch.len() < self.cfg.max_batch {
+            let matches = match self.queue.front() {
+                Some(p) => p.fusable && p.shape == self.batch[0].shape,
+                None => false,
+            };
+            if !matches {
+                break;
             }
+            let p = self.queue.pop_front().expect("front exists");
+            self.batch.push(p);
         }
         // Slow path: steal later same-shape queries, stopping as soon as
         // the batch fills; unscanned and non-matching entries keep their
         // relative order.
         let mut i = 0;
-        while i < self.queue.len() && batch.len() < self.cfg.max_batch {
-            if self.queue[i].fusable && self.queue[i].shape == batch[0].shape {
-                batch.push(self.queue.remove(i).expect("index in bounds"));
+        while i < self.queue.len() && self.batch.len() < self.cfg.max_batch {
+            if self.queue[i].fusable && self.queue[i].shape == self.batch[0].shape {
+                let p = self.queue.remove(i).expect("index in bounds");
+                self.batch.push(p);
             } else {
                 i += 1;
             }
@@ -253,76 +325,88 @@ impl Server {
         // the duplicate's entire execution — the report of an identical
         // program on an immutable snapshot is identical by construction
         // (the differential tests pin this down).
-        let mut uniq: Vec<usize> = Vec::new();
-        let mut rep_of: Vec<usize> = Vec::with_capacity(batch.len());
-        for (i, p) in batch.iter().enumerate() {
-            match uniq.iter().position(|&u| batch[u].program == p.program) {
-                Some(j) => rep_of.push(j),
+        self.uniq.clear();
+        self.rep_of.clear();
+        for i in 0..self.batch.len() {
+            match self
+                .uniq
+                .iter()
+                .position(|&u| self.batch[u].program == self.batch[i].program)
+            {
+                Some(j) => self.rep_of.push(j),
                 None => {
-                    rep_of.push(uniq.len());
-                    uniq.push(i);
+                    self.rep_of.push(self.uniq.len());
+                    self.uniq.push(i);
                 }
             }
         }
-        let programs: Vec<&Program> = uniq.iter().map(|&i| &batch[i].program).collect();
-        let mut ctxs: Vec<QueryContext> = (0..programs.len())
-            .map(|_| {
-                self.pool
-                    .pop()
-                    .unwrap_or_else(|| QueryContext::new(&self.map, &self.network))
-            })
-            .collect();
+        for _ in 0..self.uniq.len() {
+            let ctx = self
+                .pool
+                .pop()
+                .unwrap_or_else(|| QueryContext::new(&self.map, &self.network, &self.partition));
+            self.active.push(ctx);
+        }
+        // Program refs live on the stack up to the sliced-kernel width;
+        // deeper (replay-fallback) batches take the heap.
+        let n = self.uniq.len();
+        let mut stack: [&Program; MAX_SLICED_LANES] = [&self.batch[0].program; MAX_SLICED_LANES];
+        let mut heap: Vec<&Program> = Vec::new();
+        let programs: &[&Program] = if n <= MAX_SLICED_LANES {
+            for (j, &u) in self.uniq.iter().enumerate() {
+                stack[j] = &self.batch[u].program;
+            }
+            &stack[..n]
+        } else {
+            heap.extend(self.uniq.iter().map(|&u| &self.batch[u].program));
+            &heap
+        };
         let res = run_batch(
             &self.cfg.cost,
             self.cfg.max_hops,
+            self.cfg.kernel,
             &self.network,
-            &self.partition,
-            &programs,
-            &mut ctxs,
+            programs,
+            &mut self.active,
             &mut self.scratch,
         );
-        drop(programs);
-        for mut c in ctxs {
-            c.reset();
-            self.pool.push(c);
-        }
-        let depth = batch.len();
+        let depth = self.batch.len();
         match res {
-            Ok(reports) => batch
-                .into_iter()
-                .zip(rep_of)
-                .map(|(p, rep)| {
+            Ok(()) => {
+                for i in 0..self.batch.len() {
                     self.stats.completed += 1;
-                    Completion {
-                        id: p.id,
+                    sink(CompletionRef {
+                        id: self.batch[i].id,
                         batch_depth: depth,
-                        result: Ok(reports[rep].clone()),
-                    }
-                })
-                .collect(),
+                        result: Ok(&self.active[self.rep_of[i]].report),
+                    });
+                }
+            }
             Err(_) => {
                 // The fused batch failed: retry each member solo so one
                 // poisoned query cannot take its batch-mates down.
-                batch
-                    .into_iter()
-                    .map(|p| {
-                        let result = self.oracle.run_shared(&self.network, &p.program);
-                        self.settle(&result);
-                        Completion {
-                            id: p.id,
-                            batch_depth: 1,
-                            result,
-                        }
-                    })
-                    .collect()
+                for i in 0..self.batch.len() {
+                    let result = self
+                        .oracle
+                        .run_shared(&self.network, &self.batch[i].program);
+                    match &result {
+                        Ok(_) => self.stats.completed += 1,
+                        Err(_) => self.stats.failed += 1,
+                    }
+                    sink(CompletionRef {
+                        id: self.batch[i].id,
+                        batch_depth: 1,
+                        result: result.as_ref(),
+                    });
+                }
             }
         }
-    }
-
-    fn settle(&mut self, result: &Result<RunReport, CoreError>) {
-        match result {
-            Ok(_) => self.stats.completed += 1,
-            Err(_) => self.stats.failed += 1,
+        while let Some(mut c) = self.active.pop() {
+            c.reset();
+            self.pool.push(c);
+        }
+        while let Some(p) = self.batch.pop() {
+            self.free.push(p);
         }
     }
 
@@ -379,18 +463,19 @@ impl Server {
     }
 }
 
-/// Canonical shape of a program: search parameters (which node, color,
-/// relation, or initial value a query asks about) are masked so queries
-/// differing only in what they ask still batch; everything else —
-/// instruction sequence, markers, propagation rules, step and combine
-/// functions — prints exactly. Two programs with equal shapes plan to
-/// the same controller steps and fuse their propagation waves.
+/// Canonical shape of a program, written into `key` (cleared first):
+/// search parameters (which node, color, relation, or initial value a
+/// query asks about) are masked so queries differing only in what they
+/// ask still batch; everything else — instruction sequence, markers,
+/// propagation rules, step and combine functions — prints exactly. Two
+/// programs with equal shapes plan to the same controller steps and
+/// fuse their propagation waves.
 ///
-/// The second return is `false` when some propagation rule cannot take
-/// the fused kernel (an oversized custom rule): such queries are served
-/// solo through the oracle.
-fn shape_key(network: &SemanticNetwork, program: &Program) -> (String, bool) {
-    let mut key = String::new();
+/// Returns `false` when some propagation rule cannot take the fused
+/// kernel (an oversized custom rule): such queries are served solo
+/// through the oracle.
+fn shape_key(network: &SemanticNetwork, program: &Program, key: &mut String) -> bool {
+    key.clear();
     let mut fusable = true;
     for instr in program.iter() {
         match instr {
@@ -414,7 +499,7 @@ fn shape_key(network: &SemanticNetwork, program: &Program) -> (String, bool) {
             }
         }
     }
-    (key, fusable)
+    fusable
 }
 
 #[cfg(test)]
@@ -493,6 +578,28 @@ mod tests {
     }
 
     #[test]
+    fn replay_kernel_serves_the_same_reports() {
+        let net = snapshot();
+        let cfg = ServeConfig {
+            kernel: BatchKernel::Replay,
+            ..ServeConfig::default()
+        };
+        let mut sliced = Server::new(Arc::clone(&net), ServeConfig::default()).unwrap();
+        let mut replay = Server::new(Arc::clone(&net), cfg).unwrap();
+        for n in [3u32, 3, 50, 151, 299] {
+            sliced.offer(query(n));
+            replay.offer(query(n));
+        }
+        let a = sliced.drain();
+        let b = replay.drain();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.result.as_ref().unwrap(), y.result.as_ref().unwrap());
+        }
+    }
+
+    #[test]
     fn incompatible_shapes_split_into_separate_batches() {
         let net = snapshot();
         let mut server = Server::new(Arc::clone(&net), ServeConfig::default()).unwrap();
@@ -519,6 +626,28 @@ mod tests {
             let want = oracle.run_shared(&net, &spread_query(n)).unwrap();
             assert_eq!(got.collects, want.collects);
         }
+        server.assert_accounting();
+    }
+
+    #[test]
+    fn saturated_queue_forms_full_batches_every_pump() {
+        let net = snapshot();
+        let cfg = ServeConfig {
+            max_batch: 8,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::new(net, cfg).unwrap();
+        // 20 same-shape queries: a saturated queue must fill every
+        // batch to min(max_batch, queued) — the depth-curve benches
+        // depend on this (a short batch dilutes the fused speedup).
+        for n in 0..20u32 {
+            server.offer(query(n % 5));
+        }
+        let mut depths = Vec::new();
+        while server.queue_len() > 0 {
+            depths.push(server.pump().len());
+        }
+        assert_eq!(depths, vec![8, 8, 4], "every pump fills its batch");
         server.assert_accounting();
     }
 

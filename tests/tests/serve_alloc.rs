@@ -1,0 +1,132 @@
+//! Zero-allocation steady-state serving.
+//!
+//! The serving layer's claim is that once its pools are warm — pending
+//! entries, query contexts, kernel scratch, report maps — a
+//! [`Server::pump_with`] cycle serves every query without touching the
+//! heap. This test makes the claim falsifiable: a counting global
+//! allocator (enabled by the `alloc-count` cargo feature, so the
+//! counter never taxes the rest of the suite) is armed after a warm-up
+//! phase, and the measured drain must record **zero** allocations.
+//!
+//! Admission is measured separately from the drain: `offer` pays one
+//! rule compilation per propagate instruction to decide fusibility, so
+//! the zero-allocation invariant is pinned to the pump — the hot path
+//! the saturated-throughput bench times.
+
+#![cfg(feature = "alloc-count")]
+
+use snap_isa::{Program, PropRule, StepFunc};
+use snap_kb::synth::scale_free_network;
+use snap_kb::{Marker, NodeId, RelationType};
+use snap_serve::{Admission, ServeConfig, Server};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Passes everything through to the system allocator, counting
+/// allocations (not deallocations: returning pooled memory is fine,
+/// taking new memory is what the steady-state invariant forbids) while
+/// `COUNTING` is armed.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The bench's parse-style query shape: all instances fuse.
+fn query(node: u32) -> Program {
+    Program::builder()
+        .search_node(NodeId(node), Marker::binary(1), 0.0)
+        .propagate(
+            Marker::binary(1),
+            Marker::complex(2),
+            PropRule::Star(RelationType(0)),
+            StepFunc::AddWeight,
+        )
+        .collect_marker(Marker::complex(2))
+        .build()
+}
+
+#[test]
+fn steady_state_pump_allocates_nothing_per_query() {
+    let mut net = scale_free_network(300, 2, 11);
+    net.flush_links();
+    let cfg = ServeConfig {
+        max_batch: 8,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(Arc::new(net), cfg).unwrap();
+    // Distinct seeds so every query takes its own lane (no coalescing
+    // shortcut) and the batch runs the full sliced kernel.
+    let seeds = [0u32, 17, 42, 99, 123, 200, 250, 299];
+    let programs: Vec<Program> = seeds.iter().map(|&n| query(n)).collect();
+
+    // Warm-up: several full offer-and-drain rounds grow every pool to
+    // its steady-state footprint (contexts, scratch planes, report
+    // maps, recycled pending slots, the compiled-rule cache).
+    for _ in 0..3 {
+        for p in &programs {
+            assert!(matches!(server.offer(p.clone()), Admission::Admitted(_)));
+        }
+        while server.queue_len() > 0 {
+            server.pump_with(|c| {
+                c.result.expect("warm-up query succeeds");
+            });
+        }
+    }
+
+    // Measured round: programs are cloned and offered before the
+    // counter is armed (building a Program allocates; admission compiles
+    // rules for the fusibility check), then the drain — the path the
+    // throughput bench times — runs under the armed counter.
+    for p in &programs {
+        assert!(matches!(server.offer(p.clone()), Admission::Admitted(_)));
+    }
+    let mut served = 0u64;
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    while server.queue_len() > 0 {
+        server.pump_with(|c| {
+            assert!(c.result.is_ok(), "measured query succeeds");
+            served += 1;
+        });
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(served, seeds.len() as u64, "every offer completed");
+    assert_eq!(
+        allocs, 0,
+        "steady-state pump allocated {allocs} time(s) serving {served} queries"
+    );
+    server.assert_accounting();
+}

@@ -19,7 +19,7 @@ use snap_core::{CoreError, EngineKind, MachineConfig, RunReport, Snap1};
 use snap_integration_tests::grid;
 use snap_isa::{Program, PropRule, StepFunc};
 use snap_kb::{Color, Marker, NetworkConfig, NodeId, RelationType, SemanticNetwork};
-use snap_serve::{Admission, Completion, ServeConfig, Server};
+use snap_serve::{Admission, BatchKernel, Completion, ServeConfig, Server};
 use std::sync::Arc;
 
 const DEPTHS: [usize; 3] = [1, 4, 16];
@@ -236,6 +236,57 @@ proptest! {
             .collect();
         for (pi, c) in serve_all(&net, &programs, 3, depth) {
             assert_isolated(&format!("fuzzed #{pi} depth {depth}"), &c, &serial[pi]);
+        }
+    }
+
+    /// Kernel differential at the serving layer: the bit-sliced
+    /// lane-parallel kernel and the per-lane replay kernel (the
+    /// executable spec) must produce byte-identical completions — same
+    /// IDs, same batch depths, same full reports (collects, traffic,
+    /// simulated nanoseconds) or same typed errors — for the same offer
+    /// stream. Depth 64 pins the widest sliced batch (one lane-mask
+    /// word, `MAX_SLICED_LANES`).
+    #[test]
+    fn sliced_and_replay_kernels_serve_identical_completions(
+        spec in net_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..8),
+        depth in prop_oneof![Just(1usize), Just(4), Just(16), Just(64)],
+    ) {
+        let net = Arc::new(build_net(&spec));
+        let programs: Vec<Program> =
+            queries.iter().map(|q| build_query(q, spec.nodes)).collect();
+        let copies = 3;
+        let total = programs.len() * copies;
+        let make = |kernel| {
+            let cfg = ServeConfig {
+                max_batch: depth,
+                queue_capacity: total,
+                kernel,
+                ..ServeConfig::default()
+            };
+            Server::new(Arc::clone(&net), cfg).expect("flushed snapshot")
+        };
+        let mut sliced = make(BatchKernel::Sliced);
+        let mut replay = make(BatchKernel::Replay);
+        for _ in 0..copies {
+            for p in &programs {
+                assert!(matches!(sliced.offer(p.clone()), Admission::Admitted(_)));
+                assert!(matches!(replay.offer(p.clone()), Admission::Admitted(_)));
+            }
+        }
+        let a = sliced.drain();
+        let b = replay.drain();
+        sliced.assert_accounting();
+        replay.assert_accounting();
+        assert_eq!(a.len(), b.len(), "completion counts diverged");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id, "completion order diverged");
+            assert_eq!(x.batch_depth, y.batch_depth, "batch formation diverged");
+            match (&x.result, &y.result) {
+                (Ok(gx), Ok(gy)) => assert_eq!(gx, gy, "reports diverged for {:?}", x.id),
+                (Err(ex), Err(ey)) => assert_eq!(ex, ey, "errors diverged for {:?}", x.id),
+                (gx, gy) => panic!("sliced says {gx:?} but replay says {gy:?}"),
+            }
         }
     }
 }
